@@ -1,0 +1,96 @@
+/// Ablation A7: the deadline-constrained problem (Theorems 1-2).
+///
+/// Times the exact solver on Partition-shaped gadgets of growing size —
+/// the NP-completeness proof predicts exponential growth on hard (no-
+/// partition) instances — and measures how often the polynomial heuristic
+/// finds a witness on feasible ones.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/deadline.h"
+
+namespace {
+
+using namespace dvfs;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(1);
+
+  bench::print_header("A7a: exact Deadline-SingleCore on Partition gadgets");
+  std::printf("%6s %16s %16s %20s\n", "n", "feasible (ms)", "infeasible (ms)",
+              "(hard = odd-sum instance)");
+  bench::print_rule(64);
+  for (const std::size_t n : {8u, 12u, 16u, 20u}) {
+    // Feasible: duplicated values always partition evenly.
+    std::vector<std::uint64_t> feasible;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const std::uint64_t v = 1 + rng() % 1000;
+      feasible.push_back(v);
+      feasible.push_back(v);
+    }
+    // Infeasible: odd total, forcing the solver to exhaust the space.
+    std::vector<std::uint64_t> infeasible(n, 2);
+    infeasible[0] = 3;
+
+    auto t0 = Clock::now();
+    const bool f = core::solve_partition_via_scheduler(feasible).has_value();
+    const double feasible_ms = ms_since(t0);
+    t0 = Clock::now();
+    const bool g = core::solve_partition_via_scheduler(infeasible).has_value();
+    const double infeasible_ms = ms_since(t0);
+    std::printf("%6zu %16.3f %16.3f   feasible=%d infeasible=%d\n", n,
+                feasible_ms, infeasible_ms, f ? 1 : 0, g ? 1 : 0);
+  }
+
+  bench::print_header("A7b: heuristic vs exact on random feasible gadgets");
+  std::size_t heuristic_hits = 0;
+  std::size_t exact_hits = 0;
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 7; ++i) {
+      const std::uint64_t v = 1 + rng() % 50;
+      values.push_back(v);
+      values.push_back(v);  // guarantees a perfect partition exists
+    }
+    const core::DeadlineInstance inst =
+        core::partition_to_deadline_single(values);
+    if (core::solve_deadline_single_exact(inst).has_value()) ++exact_hits;
+    if (core::solve_deadline_single_heuristic(inst).has_value()) {
+      ++heuristic_hits;
+    }
+  }
+  std::printf("exact success:     %zu/%d (must be %d: instances are "
+              "feasible by construction)\n",
+              exact_hits, kTrials, kTrials);
+  std::printf("heuristic success: %zu/%d (incomplete but sound; the gap is "
+              "the price of polynomial time)\n",
+              heuristic_hits, kTrials);
+
+  bench::print_header("A7c: exact Deadline-MultiCore (Theorem 2 gadget)");
+  for (const std::size_t n : {12u, 20u, 28u}) {
+    std::vector<std::uint64_t> values;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const std::uint64_t v = 1 + rng() % 1000;
+      values.push_back(v);
+      values.push_back(v);
+    }
+    const auto t0 = Clock::now();
+    const bool ok =
+        core::solve_deadline_multi_exact(core::partition_to_deadline_multi(values))
+            .has_value();
+    std::printf("n=%2zu: %s in %.3f ms\n", n,
+                ok ? "schedulable" : "NOT schedulable (bug)", ms_since(t0));
+  }
+  return exact_hits == kTrials ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+/// Ablation A2: the Algorithm 4-6 structure gives O(|P-hat| + log N)
+/// insert/delete with a Theta(1) running cost, versus recomputing the cost
+/// from scratch after each change (O(N)).
+///
+/// Benchmarked operations, each at several queue sizes N:
+///   insert_erase/maintained — one insert + one erase, cached cost kept
+///   insert_erase/recompute  — same churn but paying an O(N) recompute
+///   cost_query              — reading the running total (Theta(1))
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "dvfs/core/dynamic_sched.h"
+
+namespace {
+
+using namespace dvfs;
+
+core::CostTable online_table() {
+  return core::CostTable(core::EnergyModel::icpp2014_table2(),
+                         core::CostParams{0.4, 0.1});
+}
+
+core::DynamicSingleCoreScheduler prefilled(std::size_t n, std::uint64_t seed) {
+  core::DynamicSingleCoreScheduler q(online_table());
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.insert(cyc(rng), i);
+  }
+  return q;
+}
+
+void BM_InsertEraseMaintained(benchmark::State& state) {
+  auto q = prefilled(static_cast<std::size_t>(state.range(0)), 42);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  for (auto _ : state) {
+    const auto ref = q.insert(cyc(rng), 1'000'000);
+    benchmark::DoNotOptimize(q.total_cost());
+    q.erase(ref);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InsertEraseMaintained)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oLogN);
+
+void BM_InsertEraseRecompute(benchmark::State& state) {
+  auto q = prefilled(static_cast<std::size_t>(state.range(0)), 42);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  for (auto _ : state) {
+    const auto ref = q.insert(cyc(rng), 1'000'000);
+    benchmark::DoNotOptimize(q.recompute_cost());  // the O(N) alternative
+    q.erase(ref);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InsertEraseRecompute)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_CostQuery(benchmark::State& state) {
+  const auto q = prefilled(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.total_cost());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CostQuery)
+    ->RangeMultiplier(16)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::o1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

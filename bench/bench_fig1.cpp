@@ -1,0 +1,82 @@
+/// Reproduces Fig. 1: model verification — the cost predicted by the
+/// analytic model ("Sim") versus the measured execution ("Exp").
+///
+/// Setup follows Section V-A2: the 24 Table I workloads, two frequencies
+/// (1.6 and 3.0 GHz), Re = 0.1, Rt = 0.4, a WBG-generated plan, four
+/// cores. The paper's "Exp" bar is a real machine; here it is the event
+/// simulator with the shared-resource contention model enabled
+/// (ContentionModel::icpp2014_quadcore()), which reproduces the mechanism
+/// the paper blames for its ~8% gap. "Sim" disables contention, which
+/// matches the analytic plan cost exactly.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/governors/planned_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/sim/power_meter.h"
+#include "dvfs/workload/spec2006int.h"
+
+int main() {
+  using namespace dvfs;
+  constexpr std::size_t kCores = 4;
+  const core::CostParams cp{0.1, 0.4};
+
+  // Two-frequency restriction of Table II: {1.6, 3.0} GHz.
+  const core::EnergyModel full = core::EnergyModel::icpp2014_table2();
+  const core::EnergyModel two_rates(
+      core::RateSet({1.6, 3.0}),
+      {full.energy_per_cycle(0), full.energy_per_cycle(4)},
+      {full.time_per_cycle(0), full.time_per_cycle(4)});
+
+  const std::vector<core::CostTable> tables(kCores,
+                                            core::CostTable(two_rates, cp));
+  const auto tasks = workload::spec_batch_tasks();
+  const core::Plan plan = core::workload_based_greedy(tasks, tables);
+  const core::PlanCost analytic = core::evaluate_plan(plan, tables);
+
+  // The "Exp" measurement goes through the wall-power-meter pipeline the
+  // paper used (sampled power trace, idle baseline deducted), not through
+  // the simulator's internal ledger — reproducing the methodology, not
+  // just the number.
+  constexpr double kIdleWatts = 2.0;  // per-core share of the idle machine
+  auto execute = [&](sim::ContentionModel contention, Joules* metered) {
+    sim::Engine engine(std::vector<core::EnergyModel>(kCores, two_rates),
+                       contention, kIdleWatts);
+    governors::PlannedBatchPolicy policy(plan);
+    sim::PowerTracingPolicy meter(policy, kIdleWatts);
+    sim::SimResult r = engine.run(workload::Trace(tasks), meter);
+    if (metered != nullptr) {
+      *metered = meter.integrate_idle_deducted(r.end_time);
+    }
+    return r;
+  };
+  Joules metered_sim = 0.0;
+  Joules metered_exp = 0.0;
+  const sim::SimResult sim_run =
+      execute(sim::ContentionModel::none(), &metered_sim);
+  const sim::SimResult exp_run =
+      execute(sim::ContentionModel::icpp2014_quadcore(), &metered_exp);
+
+  bench::print_header("Fig. 1: Simulation vs Experiment (normalized to Sim)");
+  const std::vector<bench::PolicyOutcome> rows{
+      bench::outcome_from("Sim", sim_run, cp),
+      bench::outcome_from("Exp", exp_run, cp),
+  };
+  bench::print_normalized(rows);
+  std::printf("\nanalytic plan cost: %.2f; Sim run cost: %.2f "
+              "(must agree to float precision)\n",
+              analytic.total(), rows[0].total_cost());
+  std::printf("Exp/Sim total-cost gap: %+.1f%% (paper: ~+8%%)\n",
+              (rows[1].total_cost() / rows[0].total_cost() - 1.0) * 100.0);
+  std::printf("\nwall-meter readings (idle-deducted): Sim %.0f J, Exp %.0f J"
+              " — internal ledger: %.0f / %.0f J\n"
+              "(meter < ledger by exactly idle_watts x busy-seconds: "
+              "deducting the idle baseline also strips the idle share of "
+              "busy cores — the systematic bias of the paper's wall-meter "
+              "methodology, which cancels in normalized comparisons)\n",
+              metered_sim, metered_exp, sim_run.busy_energy,
+              exp_run.busy_energy);
+  return 0;
+}

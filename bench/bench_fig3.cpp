@@ -1,0 +1,103 @@
+/// Reproduces Fig. 3: online-mode cost comparison of Least Marginal Cost
+/// (LMC) against Opportunistic Load Balancing (OLB) and On-demand (OD).
+///
+/// Setup follows Section V-B: a Judgegirl-scale exam trace (768
+/// non-interactive submissions + 50525 interactive requests over half an
+/// hour, five problems), four cores, Re = 0.4 cents/J, Rt = 0.1 cents/s.
+/// OLB places on the earliest-ready core at the highest frequency; OD
+/// assigns round-robin with the Linux ondemand rule; LMC is the paper's
+/// heuristic. The trace itself is synthetic (the original is proprietary)
+/// with the published population sizes; see DESIGN.md for the
+/// substitution rationale.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+
+int main() {
+  using namespace dvfs;
+  constexpr std::size_t kCores = 4;
+  const core::CostParams cp{0.4, 0.1};
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+
+  const workload::Trace trace =
+      workload::generate_judgegirl(workload::JudgegirlConfig{}, 2014);
+  std::printf("trace: %zu interactive + %zu non-interactive tasks, "
+              "%.0f s horizon\n",
+              trace.count(core::TaskClass::kInteractive),
+              trace.count(core::TaskClass::kNonInteractive), trace.horizon());
+
+  auto engine = [&] {
+    return sim::Engine(std::vector<core::EnergyModel>(kCores, model),
+                       sim::ContentionModel::none());
+  };
+
+  sim::SimResult lmc;
+  {
+    sim::Engine e = engine();
+    governors::LmcPolicy policy(
+        std::vector<core::CostTable>(kCores, core::CostTable(model, cp)));
+    lmc = e.run(trace, policy);
+  }
+  sim::SimResult olb;
+  {
+    sim::Engine e = engine();
+    governors::FifoPolicy policy(
+        {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+         .freq = governors::FifoPolicy::FreqMode::kMax});
+    olb = e.run(trace, policy);
+  }
+  sim::SimResult od;
+  {
+    sim::Engine e = engine();
+    governors::FifoPolicy policy(
+        {.placement = governors::FifoPolicy::Placement::kRoundRobin,
+         .freq = governors::FifoPolicy::FreqMode::kOndemand});
+    od = e.run(trace, policy);
+  }
+
+  bench::print_header(
+      "Fig. 3: Cost Comparison of Scheduling Methods (online, normalized to LMC)");
+  const std::vector<bench::PolicyOutcome> rows{
+      bench::outcome_from("LMC", lmc, cp),
+      bench::outcome_from("OLB", olb, cp),
+      bench::outcome_from("OD", od, cp),
+  };
+  bench::print_normalized(rows);
+  std::printf("\n");
+  bench::print_deltas(rows[0], rows[1]);  // paper: -11%% energy, -31%% time
+  bench::print_deltas(rows[0], rows[2]);  // paper: -11%% energy, -46%% time
+  std::printf("\nmean interactive turnaround: LMC %.4f s, OLB %.4f s, "
+              "OD %.4f s\n",
+              lmc.mean_turnaround(core::TaskClass::kInteractive),
+              olb.mean_turnaround(core::TaskClass::kInteractive),
+              od.mean_turnaround(core::TaskClass::kInteractive));
+  std::printf("mean submission turnaround:  LMC %.3f s, OLB %.3f s, "
+              "OD %.3f s\n",
+              lmc.mean_turnaround(core::TaskClass::kNonInteractive),
+              olb.mean_turnaround(core::TaskClass::kNonInteractive),
+              od.mean_turnaround(core::TaskClass::kNonInteractive));
+  std::printf("\nfrequency residency (share of busy time):\n");
+  bench::print_rate_share("LMC", lmc, model.rates());
+  bench::print_rate_share("OLB", olb, model.rates());
+  bench::print_rate_share("OD", od, model.rates());
+  const std::size_t n_int = trace.count(core::TaskClass::kInteractive);
+  std::printf("\ninteractive 2s-deadline misses: LMC %zu, OLB %zu, OD %zu "
+              "(of %zu)\n",
+              lmc.deadline_misses(core::TaskClass::kInteractive),
+              olb.deadline_misses(core::TaskClass::kInteractive),
+              od.deadline_misses(core::TaskClass::kInteractive), n_int);
+  std::printf("interactive p95/p99 latency: LMC %.3f/%.3f s, OLB %.3f/%.3f "
+              "s, OD %.3f/%.3f s\n",
+              lmc.turnaround_percentile(core::TaskClass::kInteractive, 0.95),
+              lmc.turnaround_percentile(core::TaskClass::kInteractive, 0.99),
+              olb.turnaround_percentile(core::TaskClass::kInteractive, 0.95),
+              olb.turnaround_percentile(core::TaskClass::kInteractive, 0.99),
+              od.turnaround_percentile(core::TaskClass::kInteractive, 0.95),
+              od.turnaround_percentile(core::TaskClass::kInteractive, 0.99));
+  return 0;
+}

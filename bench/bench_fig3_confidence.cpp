@@ -1,0 +1,84 @@
+/// Fig. 3 with error bars: the paper evaluates LMC on one proprietary
+/// trace; this bench replays the comparison over 16 independently seeded
+/// Judgegirl-scale traces (in parallel on a thread pool) and reports the
+/// mean +/- 95% CI of each normalized metric, showing the Fig. 3
+/// conclusions are a property of the workload *regime*, not of one lucky
+/// trace.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/parallel/seed_sweep.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+
+namespace {
+
+using namespace dvfs;
+constexpr std::size_t kCores = 4;
+constexpr std::size_t kReplications = 16;
+
+parallel::MetricMap measure(std::uint64_t seed) {
+  const core::CostParams cp{0.4, 0.1};
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+  // 1/4-scale traces keep 16 replications quick; the regime (burst shape,
+  // task mix, per-core load) matches the headline bench.
+  workload::JudgegirlConfig cfg;
+  cfg.duration = 450.0;
+  cfg.non_interactive_tasks = 192;
+  cfg.interactive_tasks = 12631;
+  const workload::Trace trace = workload::generate_judgegirl(cfg, seed);
+
+  auto run = [&](sim::Policy& policy) {
+    sim::Engine engine(std::vector<core::EnergyModel>(kCores, model),
+                       sim::ContentionModel::none());
+    return engine.run(trace, policy);
+  };
+  governors::LmcPolicy lmc(
+      std::vector<core::CostTable>(kCores, core::CostTable(model, cp)));
+  governors::FifoPolicy olb(
+      {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+       .freq = governors::FifoPolicy::FreqMode::kMax});
+  governors::FifoPolicy od(
+      {.placement = governors::FifoPolicy::Placement::kRoundRobin,
+       .freq = governors::FifoPolicy::FreqMode::kOndemand});
+  const sim::SimResult r_lmc = run(lmc);
+  const sim::SimResult r_olb = run(olb);
+  const sim::SimResult r_od = run(od);
+
+  return parallel::MetricMap{
+      {"olb/lmc energy", r_olb.energy_cost(cp) / r_lmc.energy_cost(cp)},
+      {"olb/lmc time", r_olb.time_cost(cp) / r_lmc.time_cost(cp)},
+      {"olb/lmc total", r_olb.total_cost(cp) / r_lmc.total_cost(cp)},
+      {"od/lmc energy", r_od.energy_cost(cp) / r_lmc.energy_cost(cp)},
+      {"od/lmc time", r_od.time_cost(cp) / r_lmc.time_cost(cp)},
+      {"od/lmc total", r_od.total_cost(cp) / r_lmc.total_cost(cp)},
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace dvfs;
+  bench::print_header(
+      "Fig. 3 with error bars: baseline cost relative to LMC over 16 seeded "
+      "traces");
+  parallel::ThreadPool pool;
+  const auto stats = parallel::sweep_seeds(pool, kReplications, 3000, measure);
+  std::printf("%-18s %10s %12s %10s %10s   %s\n", "metric", "mean",
+              "+/-95%CI", "min", "max", "(>1 = LMC cheaper)");
+  bench::print_rule(78);
+  for (const auto& [name, s] : stats) {
+    std::printf("%-18s %10.3f %12.3f %10.3f %10.3f\n", name.c_str(), s.mean,
+                s.ci95(), s.min, s.max);
+  }
+  // The reproduction claim: LMC wins on every metric in expectation, and
+  // the total-cost win is outside the confidence interval.
+  const bool wins =
+      stats.at("olb/lmc total").mean - stats.at("olb/lmc total").ci95() > 1.0 &&
+      stats.at("od/lmc total").mean - stats.at("od/lmc total").ci95() > 1.0;
+  std::printf("\nLMC total-cost win significant at ~95%%: %s\n",
+              wins ? "yes" : "NO");
+  return wins ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+/// Ablation A9: heterogeneous platforms.
+///
+/// The paper states both WBG (Theorem 5) and LMC (Section IV) handle
+/// heterogeneous multi-core systems; its evaluation only shows the
+/// homogeneous i7-950. This bench exercises the heterogeneous paths at
+/// scale on a big.LITTLE-style machine: two fast/hungry cores (i7-like
+/// Table II) plus two slow/frugal cores (Exynos-like cubic model).
+///
+///  * batch: WBG on the mixed platform vs the naive "pretend homogeneous"
+///    round-robin using only the big cores' model, and vs big-cores-only;
+///  * online: LMC vs OLB/OD on the same mixed platform.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/governors/planned_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+#include "dvfs/workload/spec2006int.h"
+
+namespace {
+
+using namespace dvfs;
+
+// Two i7-like cores + two LITTLE cores (lower rates, far less energy per
+// cycle: kappa tuned so a LITTLE core at 1.7 GHz draws ~3 W).
+std::vector<core::EnergyModel> biglittle() {
+  const core::EnergyModel big = core::EnergyModel::icpp2014_table2();
+  const core::EnergyModel little = core::EnergyModel::cubic(
+      core::RateSet({0.6, 0.9, 1.2, 1.5, 1.7}), 0.55, 0.35);
+  return {big, big, little, little};
+}
+
+std::vector<core::CostTable> tables_for(
+    const std::vector<core::EnergyModel>& models, const core::CostParams& cp) {
+  std::vector<core::CostTable> tables;
+  tables.reserve(models.size());
+  for (const core::EnergyModel& m : models) tables.emplace_back(m, cp);
+  return tables;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<core::EnergyModel> models = biglittle();
+
+  // ---------------------------------------------------------------- batch
+  {
+    const core::CostParams cp{0.1, 0.4};
+    const auto tables = tables_for(models, cp);
+    const auto tasks = workload::spec_batch_tasks();
+
+    const core::Plan het = core::workload_based_greedy(tasks, tables);
+    const core::PlanCost het_cost = core::evaluate_plan(het, tables);
+
+    // Baseline 1: ignore the LITTLE cores entirely (big cores only).
+    const std::vector<core::CostTable> big_only(2, tables[0]);
+    const core::Plan big_plan = core::workload_based_greedy(tasks, big_only);
+    const core::PlanCost big_cost = core::evaluate_plan(big_plan, big_only);
+
+    // Baseline 2: spread heaviest-first round-robin over all 4 cores,
+    // pricing positions with the big-core table (heterogeneity-blind).
+    const core::Plan blind = core::round_robin_homogeneous(tasks, tables[0], 4);
+    const core::PlanCost blind_cost = core::evaluate_plan(blind, tables);
+
+    bench::print_header("A9a: batch WBG on a big.LITTLE platform");
+    std::printf("%-24s %14s %12s %12s\n", "plan", "total cost",
+                "energy (J)", "makespan");
+    bench::print_rule(66);
+    std::printf("%-24s %14.1f %12.0f %12.0f\n", "WBG heterogeneous",
+                het_cost.total(), het_cost.energy, het_cost.makespan);
+    std::printf("%-24s %14.1f %12.0f %12.0f\n", "big cores only",
+                big_cost.total(), big_cost.energy, big_cost.makespan);
+    std::printf("%-24s %14.1f %12.0f %12.0f\n", "heterogeneity-blind RR",
+                blind_cost.total(), blind_cost.energy, blind_cost.makespan);
+    std::printf("\nWBG vs big-only: %+.1f%% cost; vs blind RR: %+.1f%% cost "
+                "(negative = WBG cheaper)\n",
+                (het_cost.total() / big_cost.total() - 1.0) * 100.0,
+                (het_cost.total() / blind_cost.total() - 1.0) * 100.0);
+    // How much work lands on the LITTLE cores?
+    Cycles little_cycles = 0;
+    Cycles all_cycles = 0;
+    for (std::size_t j = 0; j < het.cores.size(); ++j) {
+      for (const core::ScheduledTask& st : het.cores[j].sequence) {
+        all_cycles += st.cycles;
+        if (j >= 2) little_cycles += st.cycles;
+      }
+    }
+    std::printf("share of cycles on LITTLE cores under WBG: %.1f%%\n",
+                100.0 * static_cast<double>(little_cycles) /
+                    static_cast<double>(all_cycles));
+  }
+
+  // --------------------------------------------------------------- online
+  {
+    const core::CostParams cp{0.4, 0.1};
+    const auto tables = tables_for(models, cp);
+    workload::JudgegirlConfig cfg;
+    cfg.duration = 900.0;
+    cfg.non_interactive_tasks = 384;
+    cfg.interactive_tasks = 25262;
+    const workload::Trace trace = workload::generate_judgegirl(cfg, 99);
+
+    auto run = [&](sim::Policy& policy) {
+      sim::Engine engine(models, sim::ContentionModel::none());
+      return engine.run(trace, policy);
+    };
+    governors::LmcPolicy lmc(tables);
+    governors::FifoPolicy olb(
+        {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+         .freq = governors::FifoPolicy::FreqMode::kMax});
+    governors::FifoPolicy od(
+        {.placement = governors::FifoPolicy::Placement::kRoundRobin,
+         .freq = governors::FifoPolicy::FreqMode::kOndemand});
+    const sim::SimResult r_lmc = run(lmc);
+    const sim::SimResult r_olb = run(olb);
+    const sim::SimResult r_od = run(od);
+
+    bench::print_header("A9b: online LMC vs baselines on big.LITTLE");
+    const std::vector<bench::PolicyOutcome> rows{
+        bench::outcome_from("LMC", r_lmc, cp),
+        bench::outcome_from("OLB", r_olb, cp),
+        bench::outcome_from("OD", r_od, cp),
+    };
+    bench::print_normalized(rows);
+    std::printf("\nLMC mean interactive turnaround %.4f s (OLB %.4f, OD "
+                "%.4f)\n",
+                r_lmc.mean_turnaround(core::TaskClass::kInteractive),
+                r_olb.mean_turnaround(core::TaskClass::kInteractive),
+                r_od.mean_turnaround(core::TaskClass::kInteractive));
+    std::printf("LMC utilization big: %.0f%%/%.0f%%  little: %.0f%%/%.0f%%\n",
+                100 * r_lmc.utilization(0), 100 * r_lmc.utilization(1),
+                100 * r_lmc.utilization(2), 100 * r_lmc.utilization(3));
+  }
+  return 0;
+}

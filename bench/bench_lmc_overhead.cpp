@@ -1,0 +1,59 @@
+/// Ablation A3: per-arrival decision overhead of Least Marginal Cost.
+///
+/// The paper motivates the Algorithm 4-6 machinery by the need to keep the
+/// scheduler's own overhead negligible against millisecond-scale requests.
+/// Measures the full placement decision (probe R cores, insert at the
+/// argmin) against queue depth and core count, plus the Eq. 27 interactive
+/// choice.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "dvfs/core/online_lmc.h"
+
+namespace {
+
+using namespace dvfs;
+
+core::LmcScheduler prefilled(std::size_t cores, std::size_t per_core,
+                             std::uint64_t seed) {
+  core::LmcScheduler lmc(std::vector<core::CostTable>(
+      cores, core::CostTable(core::EnergyModel::icpp2014_table2(),
+                             core::CostParams{0.4, 0.1})));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  for (std::size_t i = 0; i < cores * per_core; ++i) {
+    lmc.place_non_interactive(cyc(rng), i);
+  }
+  return lmc;
+}
+
+void BM_PlaceNonInteractive(benchmark::State& state) {
+  const std::size_t cores = static_cast<std::size_t>(state.range(0));
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  auto lmc = prefilled(cores, depth, 11);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  core::TaskId id = 1'000'000;
+  for (auto _ : state) {
+    const auto p = lmc.place_non_interactive(cyc(rng), id++);
+    // Remove it again so depth stays constant across iterations.
+    lmc.erase(p.core, p.ref);
+  }
+}
+BENCHMARK(BM_PlaceNonInteractive)
+    ->ArgsProduct({{1, 4, 16}, {16, 256, 4096}});
+
+void BM_ChooseInteractiveCore(benchmark::State& state) {
+  const std::size_t cores = static_cast<std::size_t>(state.range(0));
+  auto lmc = prefilled(cores, 256, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lmc.choose_interactive_core(3'000'000));
+  }
+}
+BENCHMARK(BM_ChooseInteractiveCore)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

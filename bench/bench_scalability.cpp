@@ -1,0 +1,80 @@
+/// Ablation A5: scalability of the schedulers in cores and tasks, and the
+/// Theorem 4 <-> Theorem 5 equivalence (round-robin equals WBG on
+/// homogeneous cores).
+///
+/// Reports WBG planning wall time (the O(n log n + n log R) part the paper
+/// cares about), per-task planning cost at increasing scales, and confirms
+/// the homogeneous RR plan cost matches WBG's to float precision.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/workload/generators.h"
+
+namespace {
+
+using namespace dvfs;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+  const core::CostParams cp{0.1, 0.4};
+
+  bench::print_header("A5a: WBG planning time vs tasks and cores");
+  std::printf("%10s %8s %14s %14s %16s\n", "tasks", "cores", "plan (ms)",
+              "us/task", "total cost");
+  bench::print_rule(68);
+  for (const std::size_t cores : {2u, 4u, 16u, 64u}) {
+    const std::vector<core::CostTable> tables(cores,
+                                              core::CostTable(model, cp));
+    for (const std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+      workload::BatchConfig cfg;
+      cfg.num_tasks = n;
+      const auto tasks = workload::generate_batch(cfg, 77);
+      const auto t0 = Clock::now();
+      const core::Plan plan = core::workload_based_greedy(tasks, tables);
+      const double ms = ms_since(t0);
+      const core::PlanCost cost = core::evaluate_plan(plan, tables);
+      std::printf("%10zu %8zu %14.2f %14.3f %16.1f\n", n, cores, ms,
+                  ms * 1000.0 / static_cast<double>(n), cost.total());
+    }
+  }
+
+  bench::print_header(
+      "A5b: Theorem 4 vs Theorem 5 - RR equals WBG on homogeneous cores");
+  std::printf("%10s %8s %16s %16s %10s\n", "tasks", "cores", "RR cost",
+              "WBG cost", "equal?");
+  bench::print_rule(66);
+  bool all_equal = true;
+  for (const std::size_t cores : {2u, 4u, 8u}) {
+    const std::vector<core::CostTable> tables(cores,
+                                              core::CostTable(model, cp));
+    for (const std::size_t n : {24u, 500u, 5000u}) {
+      workload::BatchConfig cfg;
+      cfg.num_tasks = n;
+      cfg.shape = workload::BatchShape::kLognormal;
+      const auto tasks = workload::generate_batch(cfg, 13);
+      const auto rr =
+          core::evaluate_plan(core::round_robin_homogeneous(
+                                  tasks, tables[0], cores),
+                              tables[0]);
+      const auto wbg = core::evaluate_plan(
+          core::workload_based_greedy(tasks, tables), tables);
+      const bool equal = almost_equal(rr.total(), wbg.total(), 1e-9, 1e-9);
+      all_equal = all_equal && equal;
+      std::printf("%10zu %8zu %16.1f %16.1f %10s\n", n, cores, rr.total(),
+                  wbg.total(), equal ? "yes" : "NO");
+    }
+  }
+  std::printf("\nTheorem 4/5 equivalence on homogeneous cores: %s\n",
+              all_equal ? "HOLDS" : "VIOLATED");
+  return all_equal ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+/// Ablation A4: sensitivity of the Fig. 2/Fig. 3 conclusions to the cost
+/// weights Re (money per joule) and Rt (money per second of waiting).
+///
+/// The paper picks Re:Rt = 1:4 for batch and 4:1 for online; this sweep
+/// shows where the winners and the chosen frequencies move as the ratio
+/// varies, including the extremes (energy-only and latency-only pricing).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/governors/planned_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+#include "dvfs/workload/spec2006int.h"
+
+namespace {
+
+using namespace dvfs;
+constexpr std::size_t kCores = 4;
+
+void batch_sweep() {
+  bench::print_header("A4a: batch WBG vs OLB vs PS across Re:Rt");
+  std::printf("%-12s %12s %12s %12s %16s\n", "Re:Rt", "WBG/OLB", "WBG/PS",
+              "WBG rates", "(cost ratios; <1 = WBG cheaper)");
+  bench::print_rule(70);
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+  const auto tasks = workload::spec_batch_tasks();
+  const workload::Trace trace(tasks);
+
+  for (const auto& [re, rt] : std::vector<std::pair<double, double>>{
+           {1.0, 0.01}, {1.0, 0.1}, {0.1, 0.4}, {0.1, 1.0}, {0.01, 1.0}}) {
+    const core::CostParams cp{re, rt};
+    const std::vector<core::CostTable> tables(kCores,
+                                              core::CostTable(model, cp));
+    const core::Plan plan = core::workload_based_greedy(tasks, tables);
+
+    auto run = [&](sim::Policy& policy) {
+      sim::Engine e(std::vector<core::EnergyModel>(kCores, model),
+                    sim::ContentionModel::icpp2014_quadcore());
+      return e.run(trace, policy);
+    };
+    governors::PlannedBatchPolicy wbg_p(plan);
+    governors::FifoPolicy olb_p(
+        {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+         .freq = governors::FifoPolicy::FreqMode::kOndemand});
+    governors::FifoPolicy ps_p(
+        {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+         .freq = governors::FifoPolicy::FreqMode::kOndemand,
+         .rate_cap = 2});
+    const auto wbg = run(wbg_p);
+    const auto olb = run(olb_p);
+    const auto ps = run(ps_p);
+
+    // How many distinct rates does the WBG plan use? (crossover indicator)
+    std::vector<bool> used(model.num_rates(), false);
+    for (const core::CorePlan& c : plan.cores) {
+      for (const core::ScheduledTask& st : c.sequence) used[st.rate_idx] = true;
+    }
+    std::string rates;
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      if (used[i]) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "%.1f ", model.rates()[i]);
+        rates += buf;
+      }
+    }
+    std::printf("%5.2f:%-6.2f %12.3f %12.3f   %s\n", re, rt,
+                wbg.total_cost(cp) / olb.total_cost(cp),
+                wbg.total_cost(cp) / ps.total_cost(cp), rates.c_str());
+  }
+}
+
+void online_sweep() {
+  bench::print_header("A4b: online LMC vs OLB vs OD across Re:Rt");
+  std::printf("%-12s %12s %12s\n", "Re:Rt", "LMC/OLB", "LMC/OD");
+  bench::print_rule(40);
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+  workload::JudgegirlConfig cfg;
+  // A 1/6-scale trace keeps the sweep quick while preserving the regime.
+  cfg.duration = 300.0;
+  cfg.non_interactive_tasks = 128;
+  cfg.interactive_tasks = 8420;
+  const workload::Trace trace = workload::generate_judgegirl(cfg, 2014);
+
+  for (const auto& [re, rt] : std::vector<std::pair<double, double>>{
+           {1.0, 0.01}, {0.4, 0.1}, {0.1, 0.1}, {0.1, 0.4}, {0.01, 1.0}}) {
+    const core::CostParams cp{re, rt};
+    auto run = [&](sim::Policy& policy) {
+      sim::Engine e(std::vector<core::EnergyModel>(kCores, model),
+                    sim::ContentionModel::none());
+      return e.run(trace, policy);
+    };
+    governors::LmcPolicy lmc_p(
+        std::vector<core::CostTable>(kCores, core::CostTable(model, cp)));
+    governors::FifoPolicy olb_p(
+        {.placement = governors::FifoPolicy::Placement::kEarliestReady,
+         .freq = governors::FifoPolicy::FreqMode::kMax});
+    governors::FifoPolicy od_p(
+        {.placement = governors::FifoPolicy::Placement::kRoundRobin,
+         .freq = governors::FifoPolicy::FreqMode::kOndemand});
+    const auto lmc = run(lmc_p);
+    const auto olb = run(olb_p);
+    const auto od = run(od_p);
+    std::printf("%5.2f:%-6.2f %12.3f %12.3f\n", re, rt,
+                lmc.total_cost(cp) / olb.total_cost(cp),
+                lmc.total_cost(cp) / od.total_cost(cp));
+  }
+}
+
+}  // namespace
+
+int main() {
+  batch_sweep();
+  online_sweep();
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// Ablation A11: does the paper's free-DVFS-transition assumption matter?
+///
+/// Real per-core DVFS transitions stall the core (10 us - 10 ms depending
+/// on the platform) and burn regulator energy. This bench sweeps the
+/// transition latency and reports, for the 24 Table I workloads on one
+/// core:
+///   * the cost of the switch-aware DP plan,
+///   * the cost of the paper's (switch-oblivious) LTL plan evaluated
+///     under the true transition costs,
+///   * how many distinct frequencies each plan uses.
+/// The gap between the two rows is what modeling transitions buys.
+#include <cstdio>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/batch_switch_cost.h"
+#include "dvfs/workload/spec2006int.h"
+
+namespace {
+
+using namespace dvfs;
+
+std::size_t distinct_rates(const core::CorePlan& plan) {
+  std::set<std::size_t> rates;
+  for (const core::ScheduledTask& st : plan.sequence) rates.insert(st.rate_idx);
+  return rates.size();
+}
+
+}  // namespace
+
+int main() {
+  const core::CostTable table(core::EnergyModel::icpp2014_table2(),
+                              core::CostParams{0.1, 0.4});
+  const auto tasks = workload::spec_batch_tasks();
+  const core::CorePlan oblivious = core::longest_task_last(tasks, table);
+
+  bench::print_header(
+      "A11: DVFS transition costs (24 Table I workloads, single core)");
+  std::printf("%-14s %16s %16s %10s %10s %12s\n", "stall / switch",
+              "aware cost", "oblivious cost", "gap", "rates", "(aware)");
+  bench::print_rule(84);
+  for (const double latency : {0.0, 1e-5, 1e-3, 0.1, 1.0, 10.0}) {
+    // Transition energy scales with the stall (regulator ramp at ~20 W).
+    const core::SwitchCost sc{latency, 20.0 * latency};
+    const core::CorePlan aware =
+        core::single_core_with_switch_cost(tasks, table, sc);
+    const Money aware_cost =
+        core::evaluate_single_with_switch_cost(aware, table, sc).total();
+    const Money oblivious_cost =
+        core::evaluate_single_with_switch_cost(oblivious, table, sc).total();
+    std::printf("%-14.5f %16.1f %16.1f %+9.2f%% %6zu/%zu\n", latency,
+                aware_cost, oblivious_cost,
+                (oblivious_cost / aware_cost - 1.0) * 100.0,
+                distinct_rates(aware), distinct_rates(oblivious));
+  }
+  std::printf(
+      "\nReading: Table I workloads run for minutes, so even absurd stalls\n"
+      "are noise. The assumption is only stressed when tasks shrink toward\n"
+      "the transition latency:\n");
+
+  // Second sweep: 400 request-sized tasks (1.6M-160M cycles, i.e. 1-100 ms
+  // at 1.6 GHz) where millisecond transitions are a real fraction of the
+  // work.
+  {
+    std::vector<core::Task> small;
+    std::mt19937_64 rng(5);
+    for (core::TaskId i = 0; i < 400; ++i) {
+      small.push_back(core::Task{
+          .id = i, .cycles = 1'600'000 + rng() % 160'000'000});
+    }
+    const core::CorePlan small_oblivious =
+        core::longest_task_last(small, table);
+    bench::print_header("A11b: same sweep with 1-100 ms tasks");
+    std::printf("%-14s %16s %16s %10s %10s\n", "stall / switch", "aware cost",
+                "oblivious cost", "gap", "rates");
+    bench::print_rule(72);
+    for (const double latency : {0.0, 1e-4, 1e-3, 1e-2, 0.1}) {
+      const core::SwitchCost sc{latency, 20.0 * latency};
+      const core::CorePlan aware =
+          core::single_core_with_switch_cost(small, table, sc);
+      const Money aware_cost =
+          core::evaluate_single_with_switch_cost(aware, table, sc).total();
+      const Money oblivious_cost =
+          core::evaluate_single_with_switch_cost(small_oblivious, table, sc)
+              .total();
+      std::printf("%-14.5f %16.3f %16.3f %+9.2f%% %6zu/%zu\n", latency,
+                  aware_cost, oblivious_cost,
+                  (oblivious_cost / aware_cost - 1.0) * 100.0,
+                  distinct_rates(aware), distinct_rates(small_oblivious));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// Reproduces Table I: average execution times of the 24 SPEC CPU2006int
+/// workloads at 1.6 GHz, plus the derived cycle counts the schedulers
+/// consume (L = seconds * 1.6 GHz, the paper's estimation method).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dvfs/workload/spec2006int.h"
+
+int main() {
+  using namespace dvfs;
+  bench::print_header(
+      "Table I: Average Execution Times of the Workloads (seconds)");
+  std::printf("%-12s %10s %12s %18s\n", "benchmark", "input", "seconds",
+              "cycles (derived)");
+  bench::print_rule(56);
+  double total_seconds = 0.0;
+  Cycles total_cycles = 0;
+  for (const workload::SpecWorkload& w : workload::spec2006int()) {
+    const Cycles cycles = workload::spec_cycles(w);
+    std::printf("%-12s %10s %12.3f %18llu\n", std::string(w.benchmark).c_str(),
+                to_string(w.input), w.avg_seconds_at_1_6ghz,
+                static_cast<unsigned long long>(cycles));
+    total_seconds += w.avg_seconds_at_1_6ghz;
+    total_cycles += cycles;
+  }
+  bench::print_rule(56);
+  std::printf("%-12s %10s %12.3f %18llu\n", "total", "", total_seconds,
+              static_cast<unsigned long long>(total_cycles));
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// Reproduces Table II: the batch-mode processing-rate parameters of the
+/// Intel i7-950 — per-cycle energy E(p) and time T(p) per rate — plus the
+/// derived per-core busy power and a comparison against the analytic
+/// cubic-power model used for sweeps.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dvfs/core/energy_model.h"
+
+int main() {
+  using namespace dvfs;
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  bench::print_header("Table II: Parameters in Batch Mode (i7-950)");
+  std::printf("%-12s", "p_k (GHz)");
+  for (std::size_t i = 0; i < m.num_rates(); ++i) {
+    std::printf(" %8.1f", m.rates()[i]);
+  }
+  std::printf("\n%-12s", "E(p_k) nJ");
+  for (std::size_t i = 0; i < m.num_rates(); ++i) {
+    std::printf(" %8.3f", m.energy_per_cycle(i) * 1e9);
+  }
+  std::printf("\n%-12s", "T(p_k) ns");
+  for (std::size_t i = 0; i < m.num_rates(); ++i) {
+    std::printf(" %8.3f", m.time_per_cycle(i) * 1e9);
+  }
+  std::printf("\n%-12s", "power (W)");
+  for (std::size_t i = 0; i < m.num_rates(); ++i) {
+    std::printf(" %8.2f", m.busy_power(i));
+  }
+  std::printf("\n");
+
+  bench::print_header(
+      "Analytic cubic model fitted to the same rate set (for sweeps)");
+  // kappa and static floor chosen to bracket Table II at the end points.
+  const core::EnergyModel cubic =
+      core::EnergyModel::cubic(m.rates(), 0.64, 1.6);
+  std::printf("%-14s %10s %10s %10s\n", "p (GHz)", "tbl2 nJ", "cubic nJ",
+              "rel err");
+  bench::print_rule(48);
+  for (std::size_t i = 0; i < m.num_rates(); ++i) {
+    const double t2 = m.energy_per_cycle(i) * 1e9;
+    const double cb = cubic.energy_per_cycle(i) * 1e9;
+    std::printf("%-14.1f %10.3f %10.3f %9.1f%%\n", m.rates()[i], t2, cb,
+                (cb / t2 - 1.0) * 100.0);
+  }
+  return 0;
+}

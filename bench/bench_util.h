@@ -1,0 +1,95 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment-reproduction binaries.
+///
+/// Each bench binary regenerates one table or figure of the paper and
+/// prints it in a fixed-width text form so runs can be diffed. Normalized
+/// rows follow the paper's figures: the proposed scheduler's bar is 1.00
+/// and baselines are reported relative to it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/rate_set.h"
+#include "dvfs/sim/metrics.h"
+
+namespace dvfs::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// One policy's measured outcome in a comparison figure.
+struct PolicyOutcome {
+  std::string name;
+  Joules energy = 0.0;        ///< busy (idle-deducted) joules
+  Seconds turnaround = 0.0;   ///< sum of per-task turnaround
+  Seconds makespan = 0.0;
+  Money energy_cost = 0.0;
+  Money time_cost = 0.0;
+
+  [[nodiscard]] Money total_cost() const { return energy_cost + time_cost; }
+};
+
+inline PolicyOutcome outcome_from(const std::string& name,
+                                  const sim::SimResult& r,
+                                  const core::CostParams& cp) {
+  PolicyOutcome o;
+  o.name = name;
+  o.energy = r.busy_energy;
+  o.turnaround = r.total_turnaround();
+  o.makespan = r.end_time;
+  o.energy_cost = r.energy_cost(cp);
+  o.time_cost = r.time_cost(cp);
+  return o;
+}
+
+/// Prints the figure-style normalized comparison: first row is the
+/// reference (1.00 everywhere).
+inline void print_normalized(const std::vector<PolicyOutcome>& rows) {
+  DVFS_REQUIRE(!rows.empty(), "no rows to print");
+  const PolicyOutcome& ref = rows.front();
+  std::printf("%-10s %12s %12s %12s %12s %12s\n", "policy", "time-cost",
+              "energy-cost", "total-cost", "energy(J)", "makespan(s)");
+  print_rule();
+  for (const PolicyOutcome& row : rows) {
+    std::printf("%-10s %12.3f %12.3f %12.3f %12.1f %12.1f\n",
+                row.name.c_str(), row.time_cost / ref.time_cost,
+                row.energy_cost / ref.energy_cost,
+                row.total_cost() / ref.total_cost(), row.energy,
+                row.makespan);
+  }
+}
+
+/// Frequency-residency row: what fraction of busy time a policy spent at
+/// each rate (the "which frequencies did it actually pick" view).
+inline void print_rate_share(const std::string& name,
+                             const sim::SimResult& r,
+                             const core::RateSet& rates) {
+  const std::vector<double> share = r.rate_share();
+  std::printf("%-10s", name.c_str());
+  for (std::size_t i = 0; i < share.size(); ++i) {
+    std::printf("  %.1fGHz:%5.1f%%", rates[i], share[i] * 100.0);
+  }
+  std::printf("\n");
+}
+
+/// "X% less energy / Y% slowdown"-style deltas of `a` relative to `b`,
+/// matching how the paper words its findings.
+inline void print_deltas(const PolicyOutcome& a, const PolicyOutcome& b) {
+  const double de = (1.0 - a.energy_cost / b.energy_cost) * 100.0;
+  const double dt = (1.0 - a.time_cost / b.time_cost) * 100.0;
+  const double dc = (1.0 - a.total_cost() / b.total_cost()) * 100.0;
+  std::printf("%s vs %s: %+.1f%% energy, %+.1f%% time, %+.1f%% total cost "
+              "(positive = %s better)\n",
+              a.name.c_str(), b.name.c_str(), de, dt, dc, a.name.c_str());
+}
+
+}  // namespace dvfs::bench

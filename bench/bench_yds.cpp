@@ -1,0 +1,122 @@
+/// Ablation A13: the discretization gap — discrete per-core DVFS rates
+/// versus the YDS continuous-speed optimum the paper's Related Work cites
+/// (Yao et al.).
+///
+/// For random deadline instances on the Theorem 1 gadget machine (two
+/// rates following P = 4 s^3 exactly), the minimum discrete-rate energy
+/// (found by budget bisection over the exact solver) is compared against
+/// the YDS lower bound; then the same question is asked with 3, 5, and 9
+/// rates on the cubic curve to show the gap closing as the rate set gets
+/// finer — the quantitative version of "discrete DVFS is almost as good
+/// as ideal speed scaling".
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "dvfs/core/deadline.h"
+#include "dvfs/core/yds.h"
+
+namespace {
+
+using namespace dvfs;
+
+// Rates on the curve E(s) = 4 s^2 per cycle (P = 4 s^3), spanning
+// [0.5, 1.0] like the gadget, with `n` evenly spaced steps.
+core::EnergyModel cubic_rates(std::size_t n) {
+  std::vector<Rate> rates;
+  std::vector<double> e;
+  std::vector<double> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s =
+        0.5 + 0.5 * static_cast<double>(i) / static_cast<double>(n - 1);
+    rates.push_back(s);
+    e.push_back(4.0 * s * s);
+    t.push_back(1.0 / s);
+  }
+  return core::EnergyModel(core::RateSet(std::move(rates)), std::move(e),
+                           std::move(t));
+}
+
+double min_discrete_energy(const std::vector<core::Task>& tasks,
+                           const core::EnergyModel& model) {
+  double total = 0.0;
+  for (const core::Task& t : tasks) total += static_cast<double>(t.cycles);
+  double lo = 0.0;
+  double hi = 16.0 * total;  // everything at the fastest rate and then some
+  for (int it = 0; it < 45; ++it) {
+    const double mid = (lo + hi) / 2.0;
+    const core::DeadlineInstance inst{tasks, model, std::max(mid, 1e-9)};
+    if (core::solve_deadline_single_exact(inst).has_value()) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(20140902);
+  std::uniform_int_distribution<Cycles> cyc(1, 40);
+
+  bench::print_header(
+      "A13: discrete-DVFS energy vs the YDS continuous optimum");
+  std::printf("%8s %16s %18s %12s  %s\n", "rates", "one-rate/task",
+              "preemptive split", "instances",
+              "(mean energy gap over the continuous YDS ideal)");
+  bench::print_rule(84);
+
+  for (const std::size_t num_rates : {2u, 3u, 5u, 9u}) {
+    const core::EnergyModel model = cubic_rates(num_rates);
+    double sum_gap = 0.0;
+    double max_gap = 0.0;
+    double sum_preemptive_gap = 0.0;
+    constexpr int kTrials = 25;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<core::Task> tasks;
+      const std::size_t n = 3 + rng() % 5;
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Cycles c = cyc(rng);
+        total += static_cast<double>(c);
+        tasks.push_back(core::Task{.id = i, .cycles = c, .deadline = 0.0});
+      }
+      // Staggered deadlines whose required speeds fall INSIDE the rate
+      // span [0.5, 1.0]: outside it, the comparison would measure the
+      // rate floor/ceiling, not discretization.
+      double cum = 0.0;
+      std::uniform_real_distribution<double> target_speed(0.55, 0.95);
+      for (core::Task& t : tasks) {
+        cum += static_cast<double>(t.cycles);
+        t.deadline = cum / target_speed(rng);
+      }
+      std::sort(tasks.begin(), tasks.end(),
+                [](const core::Task& a, const core::Task& b) {
+                  return a.deadline < b.deadline;
+                });
+      const double discrete = min_discrete_energy(tasks, model);
+      const core::YdsSchedule yds = core::yds_schedule(tasks);
+      const double continuous = yds.energy(4.0, 3.0);
+      const double preemptive =
+          core::discrete_energy(core::round_to_discrete(yds, model), model);
+      const double gap = discrete / continuous - 1.0;
+      sum_gap += gap;
+      max_gap = std::max(max_gap, gap);
+      sum_preemptive_gap += preemptive / continuous - 1.0;
+    }
+    std::printf("%8zu %15.2f%% %17.2f%% %12d\n", num_rates,
+                100.0 * sum_gap / kTrials,
+                100.0 * sum_preemptive_gap / kTrials, kTrials);
+  }
+  std::printf(
+      "\nReading: the gap between the best discrete-rate schedule and the\n"
+      "YDS continuous ideal shrinks steadily as the rate set refines —\n"
+      "the cost of the paper's discrete-rate model is bounded by the\n"
+      "platform's frequency granularity, not by the scheduling.\n");
+  return 0;
+}

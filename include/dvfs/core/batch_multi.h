@@ -1,0 +1,39 @@
+/// \file batch_multi.h
+/// \brief Optimal multi-core batch scheduling (Section III-C).
+///
+/// Homogeneous platforms: Theorem 4 — assign the R heaviest tasks to the R
+/// cores at backward position 1, the next R at position 2, and so on
+/// (round-robin, heaviest first).
+///
+/// Heterogeneous platforms: Algorithm 3, "Workload Based Greedy" (WBG) —
+/// keep a min-heap of the next per-cycle position cost C_j(k) of every
+/// core; repeatedly give the heaviest unassigned task to the core with the
+/// cheapest next position (Theorem 5 shows this greedy is optimal).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/schedule.h"
+#include "dvfs/core/task.h"
+
+namespace dvfs::core {
+
+/// Theorem 4 round-robin for `num_cores` identical cores.
+[[nodiscard]] Plan round_robin_homogeneous(std::span<const Task> tasks,
+                                           const CostTable& table,
+                                           std::size_t num_cores);
+
+/// Algorithm 3 (Workload Based Greedy); `tables[j]` models core j. Works
+/// for homogeneous platforms too (pass R copies of the same table).
+[[nodiscard]] Plan workload_based_greedy(std::span<const Task> tasks,
+                                         std::span<const CostTable> tables);
+
+/// Exhaustive search over all task-to-core assignments (cores^n); within a
+/// core, the Theorem 3 order and per-position optimal rates are applied.
+/// Requires cores^n <= 2^22 (checked); test/bench support only.
+[[nodiscard]] Plan brute_force_assignment(std::span<const Task> tasks,
+                                          std::span<const CostTable> tables);
+
+}  // namespace dvfs::core

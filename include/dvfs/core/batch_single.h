@@ -1,0 +1,44 @@
+/// \file batch_single.h
+/// \brief Optimal single-core batch scheduling (Section III-B).
+///
+/// Theorem 3: some optimal schedule orders tasks by non-decreasing cycle
+/// count, and Lemma 1 makes the optimal rate for each position independent
+/// of the workload. "Longest Task Last" (Algorithm 2) therefore sorts the
+/// tasks, walks the dominating position ranges, and assigns each backward
+/// position its precomputed best rate — O(|J| log |J|) total.
+///
+/// A brute-force reference (exhaustive over task orders and rate choices)
+/// is included for property tests and the optimality-gap bench; it is
+/// exponential and guarded to small instances.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/schedule.h"
+#include "dvfs/core/task.h"
+
+namespace dvfs::core {
+
+/// Algorithm 2 ("Longest Task Last"): the optimal single-core plan.
+/// Preconditions: tasks are batch tasks with positive cycle counts.
+[[nodiscard]] CorePlan longest_task_last(std::span<const Task> tasks,
+                                         const CostTable& table);
+
+/// Evaluates a single-core plan's exact model cost.
+[[nodiscard]] PlanCost evaluate_single(const CorePlan& core,
+                                       const CostTable& table);
+
+/// Exhaustive optimum over all n! orders and |P|^n rate assignments.
+/// Requires n <= 8 (checked); test/bench support only.
+[[nodiscard]] CorePlan brute_force_single(std::span<const Task> tasks,
+                                          const CostTable& table);
+
+/// Smarter exponential reference: fixes the Theorem 3 order (non-decreasing
+/// cycles) but searches all |P|^n rate assignments, verifying Lemma 1
+/// independently of the envelope construction. Requires n <= 12 (checked).
+[[nodiscard]] CorePlan brute_force_rates_sorted(std::span<const Task> tasks,
+                                                const CostTable& table);
+
+}  // namespace dvfs::core

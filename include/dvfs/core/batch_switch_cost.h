@@ -1,0 +1,64 @@
+/// \file batch_switch_cost.h
+/// \brief Single-core batch scheduling when DVFS transitions are not free
+///        (an extension beyond the paper).
+///
+/// The paper's model switches rates between tasks at zero cost; real
+/// voltage/frequency transitions stall the core for tens of microseconds
+/// and burn regulator energy. This module keeps the paper's Theorem 3
+/// order (non-decreasing cycles — still the natural order; see the bench
+/// for how little reordering could matter) and chooses rates with a
+/// dynamic program over (task, previous rate):
+///
+///   dp[i][r] = min over r' of dp[i-1][r'] + position_cost(i, r) * L_i
+///                              + [r != r'] * switch_penalty(i)
+///
+/// where a switch before forward task i delays tasks i..n by the switch
+/// latency (temporal cost Rt * latency * (n - i + 1)) and adds Re *
+/// switch energy. O(n * |P|^2) time, O(|P|) rolling space (we keep the
+/// full table for plan recovery).
+///
+/// With zero switch cost the DP reproduces Longest Task Last exactly; as
+/// transitions get more expensive, plans consolidate onto fewer rates
+/// (ablation A11, `bench_switch_cost`).
+#pragma once
+
+#include <span>
+
+#include "dvfs/core/batch_single.h"
+#include "dvfs/core/cost_model.h"
+
+namespace dvfs::core {
+
+/// Cost of one rate transition on a core.
+struct SwitchCost {
+  Seconds latency = 0.0;  ///< core stalls this long at each rate change
+  Joules energy = 0.0;    ///< regulator/PLL energy per change
+
+  [[nodiscard]] bool free() const { return latency == 0.0 && energy == 0.0; }
+};
+
+/// Optimal-rates plan for the Theorem 3 order under `switch_cost`.
+/// `initial_rate` (optional): rate the core idles at before the first
+/// task; kNoInitialRate charges nothing for the first task's setting.
+inline constexpr std::size_t kNoInitialRate = static_cast<std::size_t>(-1);
+
+[[nodiscard]] CorePlan single_core_with_switch_cost(
+    std::span<const Task> tasks, const CostTable& table,
+    const SwitchCost& switch_cost,
+    std::size_t initial_rate = kNoInitialRate);
+
+/// Exact model cost of a single-core plan including transition penalties
+/// (generalizes evaluate_single; equal to it when switch_cost.free()).
+[[nodiscard]] PlanCost evaluate_single_with_switch_cost(
+    const CorePlan& core, const CostTable& table,
+    const SwitchCost& switch_cost,
+    std::size_t initial_rate = kNoInitialRate);
+
+/// Exhaustive reference over all |P|^n rate assignments in the Theorem 3
+/// order (n <= 10 checked); test support.
+[[nodiscard]] CorePlan brute_force_switch_cost(
+    std::span<const Task> tasks, const CostTable& table,
+    const SwitchCost& switch_cost,
+    std::size_t initial_rate = kNoInitialRate);
+
+}  // namespace dvfs::core

@@ -1,0 +1,93 @@
+/// \file deadline.h
+/// \brief Deadline-constrained batch scheduling (Section III-A).
+///
+/// Theorem 1 proves Deadline-SingleCore NP-complete by reduction from
+/// Partition; Theorem 2 does the same for Deadline-MultiCore. This module
+/// provides:
+///
+///  * the exact reduction gadgets from both proofs,
+///  * an exact single-core solver (EDF order is exchange-argument optimal
+///    for feasibility, so only the |P|^n rate space is searched, with
+///    branch-and-bound pruning),
+///  * an exact two-core solver for the Theorem 2 gadget,
+///  * a polynomial heuristic (EDF + greedy rate lifting) usable at scale,
+///  * solve_partition_via_scheduler(), which decides Partition by running
+///    the exact scheduler on the Theorem 1 gadget — executable evidence of
+///    the reduction.
+///
+/// NP-completeness means the exact solvers are exponential; they check
+/// instance-size guards and exist for correctness evidence and the A7
+/// bench, not for production scheduling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/energy_model.h"
+#include "dvfs/core/schedule.h"
+#include "dvfs/core/task.h"
+
+namespace dvfs::core {
+
+/// Decision instance of Deadline-SingleCore: order the tasks and pick a
+/// rate for each, such that every task meets its deadline and total energy
+/// is at most `energy_budget`.
+struct DeadlineInstance {
+  std::vector<Task> tasks;     ///< deadlines required (no kNoDeadline)
+  EnergyModel model;
+  Joules energy_budget = 0.0;
+};
+
+/// A witness schedule for a feasible instance.
+struct DeadlineSolution {
+  CorePlan plan;               ///< forward order with chosen rates
+  Joules energy = 0.0;
+  Seconds finish = 0.0;        ///< completion time of the last task
+};
+
+/// Exact solver. Returns a witness if and only if the instance is
+/// feasible. Requires tasks.size() <= 24 (checked): the rate space is
+/// pruned but worst-case exponential (Theorem 1 says it must be, unless
+/// P = NP).
+[[nodiscard]] std::optional<DeadlineSolution> solve_deadline_single_exact(
+    const DeadlineInstance& instance);
+
+/// Polynomial heuristic: EDF order, all tasks at the lowest rate, then
+/// repeatedly lift the rate of the task giving the best deadline-slack
+/// gain per joule until all deadlines hold (or report infeasible-for-the-
+/// heuristic). Sound (a returned schedule is always valid) but incomplete.
+[[nodiscard]] std::optional<DeadlineSolution> solve_deadline_single_heuristic(
+    const DeadlineInstance& instance);
+
+/// The Theorem 1 gadget for a Partition instance {a_1..a_n}: n tasks with
+/// L_i = a_i, two rates with T = {2, 1} and E = {1, 4}, every deadline
+/// 1.5 * S and energy budget 2.5 * S, where S = sum(a_i).
+[[nodiscard]] DeadlineInstance partition_to_deadline_single(
+    std::span<const std::uint64_t> values);
+
+/// Decides Partition by scheduling the Theorem 1 gadget exactly. When a
+/// partition exists, returns the indices of one subset whose sum is S/2
+/// (the tasks the witness runs at the high rate).
+[[nodiscard]] std::optional<std::vector<std::size_t>>
+solve_partition_via_scheduler(std::span<const std::uint64_t> values);
+
+/// The Theorem 2 gadget: two identical single-rate cores, common deadline
+/// S/2; feasible iff the values admit a perfect partition.
+struct DeadlineMultiInstance {
+  std::vector<Task> tasks;
+  EnergyModel model;      ///< single-rate model shared by both cores
+  std::size_t num_cores = 2;
+};
+
+[[nodiscard]] DeadlineMultiInstance partition_to_deadline_multi(
+    std::span<const std::uint64_t> values);
+
+/// Exact feasibility for the multi-core instance (exhaustive assignment
+/// with subset-sum style memoization; tasks.size() <= 28 checked).
+[[nodiscard]] std::optional<Plan> solve_deadline_multi_exact(
+    const DeadlineMultiInstance& instance);
+
+}  // namespace dvfs::core

@@ -1,0 +1,93 @@
+/// \file energy_model.h
+/// \brief Per-rate energy and time consumption functions (Section II-C).
+///
+/// E(p) is the energy in joules and T(p) the time in seconds required to
+/// execute one cycle at processing rate p, with E strictly increasing and
+/// T strictly decreasing in p. A task j_k run entirely at rate p costs
+/// e_k = L_k * E(p) joules and t_k = L_k * T(p) seconds (Eqs. 1-2).
+///
+/// The canonical instance is the paper's Table II (measured on an Intel
+/// i7-950 with a DW-6091 wall power meter, idle power deducted); an
+/// analytic cubic-power model is provided for sweeps over arbitrary rate
+/// sets, and the two-rate gadget from the Theorem 1 NP-completeness proof
+/// is included for the deadline solvers and their tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/common.h"
+#include "dvfs/core/rate_set.h"
+
+namespace dvfs::core {
+
+class EnergyModel {
+ public:
+  /// `energy_per_cycle[i]` (joules) and `time_per_cycle[i]` (seconds) pair
+  /// with rate index i of `rates`. Monotonicity (E up, T down) is enforced:
+  /// it is both physically expected and load-bearing for the dominating-
+  /// range construction (Algorithm 1 requires it).
+  EnergyModel(RateSet rates, std::vector<double> energy_per_cycle,
+              std::vector<double> time_per_cycle);
+
+  [[nodiscard]] const RateSet& rates() const { return rates_; }
+  [[nodiscard]] std::size_t num_rates() const { return rates_.size(); }
+
+  /// E(p_idx): joules per cycle.
+  [[nodiscard]] double energy_per_cycle(std::size_t rate_idx) const {
+    DVFS_REQUIRE(rate_idx < epc_.size(), "rate index out of range");
+    return epc_[rate_idx];
+  }
+
+  /// T(p_idx): seconds per cycle.
+  [[nodiscard]] double time_per_cycle(std::size_t rate_idx) const {
+    DVFS_REQUIRE(rate_idx < tpc_.size(), "rate index out of range");
+    return tpc_[rate_idx];
+  }
+
+  /// Active (busy) power draw at a rate: E(p)/T(p) watts.
+  [[nodiscard]] double busy_power(std::size_t rate_idx) const {
+    return energy_per_cycle(rate_idx) / time_per_cycle(rate_idx);
+  }
+
+  /// e_k = L_k * E(p) (Eq. 1).
+  [[nodiscard]] Joules task_energy(Cycles cycles, std::size_t rate_idx) const {
+    return static_cast<double>(cycles) * energy_per_cycle(rate_idx);
+  }
+
+  /// t_k = L_k * T(p) (Eq. 2).
+  [[nodiscard]] Seconds task_time(Cycles cycles, std::size_t rate_idx) const {
+    return static_cast<double>(cycles) * time_per_cycle(rate_idx);
+  }
+
+  /// Restriction of the model to a subset of the rate indices, preserving
+  /// order. Used by the Power Saving baseline (lower half of the rates).
+  [[nodiscard]] EnergyModel restricted(std::size_t keep_lowest) const;
+
+  /// Table II of the paper: p = {1.6, 2.0, 2.4, 2.8, 3.0} GHz,
+  /// E = {3.375, 4.22, 5.0, 6.0, 7.1} nJ/cycle,
+  /// T = {0.625, 0.5, 0.42, 0.36, 0.33} ns/cycle (converted to J and s).
+  [[nodiscard]] static EnergyModel icpp2014_table2();
+
+  /// Analytic model for an arbitrary rate set: dynamic power ~ f^3 (classic
+  /// f*V^2 with V ~ f), so energy per cycle E(p) = kappa * p^2 + e_static,
+  /// and T(p) = 1/p exactly. `kappa_nj_per_ghz2` is in nJ/(cycle*GHz^2);
+  /// `static_nj` adds a rate-independent per-cycle energy floor.
+  [[nodiscard]] static EnergyModel cubic(const RateSet& rates,
+                                         double kappa_nj_per_ghz2 = 0.8,
+                                         double static_nj = 1.0);
+
+  /// The two-rate instance used in the Theorem 1 reduction: T(pl) = 2,
+  /// T(ph) = 1, E(pl) = 1, E(ph) = 4 (high rate twice as fast, energy
+  /// quadratic in frequency). Units are abstract.
+  [[nodiscard]] static EnergyModel partition_gadget();
+
+  friend bool operator==(const EnergyModel&, const EnergyModel&) = default;
+
+ private:
+  RateSet rates_;
+  std::vector<double> epc_;  // E(p): joules per cycle
+  std::vector<double> tpc_;  // T(p): seconds per cycle
+};
+
+}  // namespace dvfs::core

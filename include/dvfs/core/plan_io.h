@@ -1,0 +1,29 @@
+/// \file plan_io.h
+/// \brief Plan serialization for planner/executor handoff.
+///
+/// A batch deployment computes the WBG plan once (scheduler box) and
+/// executes it elsewhere (the machine whose cpufreq gets pinned). The
+/// interchange format is CSV — `core,position,task_id,cycles,rate_idx` —
+/// append-friendly, diffable, and loadable with ordinary tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dvfs/core/schedule.h"
+
+namespace dvfs::core {
+
+/// Writes `core,position,task_id,cycles,rate_idx` rows (position is the
+/// 1-based forward slot within the core's sequence).
+void write_plan_csv(const Plan& plan, std::ostream& os);
+void write_plan_csv_file(const Plan& plan, const std::string& path);
+
+/// Parses the format produced by write_plan_csv. Cores and positions may
+/// appear in any order; gaps in core indices produce empty CorePlans.
+/// Throws PreconditionError on malformed rows, duplicate positions, or
+/// position gaps within a core.
+[[nodiscard]] Plan read_plan_csv(std::istream& is);
+[[nodiscard]] Plan read_plan_csv_file(const std::string& path);
+
+}  // namespace dvfs::core

@@ -1,0 +1,94 @@
+/// \file rate_set.h
+/// \brief Discrete per-core processing rates (Section II-B).
+///
+/// P = {p_1 < p_2 < ... < p_|P|} is the non-empty set of discrete
+/// frequencies a core can run at. Rates are indexed; the scheduling
+/// algorithms work in rate *indices* so that a rate choice is always a
+/// member of P by construction.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "dvfs/common.h"
+
+namespace dvfs::core {
+
+class RateSet {
+ public:
+  /// Rates must be positive and strictly increasing.
+  explicit RateSet(std::vector<Rate> rates_ghz) : rates_(std::move(rates_ghz)) {
+    DVFS_REQUIRE(!rates_.empty(), "rate set must be non-empty");
+    DVFS_REQUIRE(rates_.front() > 0.0, "rates must be positive");
+    for (std::size_t i = 1; i < rates_.size(); ++i) {
+      DVFS_REQUIRE(rates_[i] > rates_[i - 1],
+                   "rates must be strictly increasing");
+    }
+  }
+
+  RateSet(std::initializer_list<Rate> rates_ghz)
+      : RateSet(std::vector<Rate>(rates_ghz)) {}
+
+  [[nodiscard]] std::size_t size() const { return rates_.size(); }
+  [[nodiscard]] Rate operator[](std::size_t idx) const {
+    DVFS_REQUIRE(idx < rates_.size(), "rate index out of range");
+    return rates_[idx];
+  }
+  [[nodiscard]] Rate lowest() const { return rates_.front(); }
+  [[nodiscard]] Rate highest() const { return rates_.back(); }
+  [[nodiscard]] std::size_t highest_index() const { return rates_.size() - 1; }
+  [[nodiscard]] std::span<const Rate> rates() const { return rates_; }
+
+  /// Index of the largest rate <= `p` (clamps below the minimum to index 0).
+  /// Mirrors how a governor maps a requested frequency onto an available one.
+  [[nodiscard]] std::size_t floor_index(Rate p) const {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < rates_.size(); ++i) {
+      if (rates_[i] <= p) idx = i;
+    }
+    return idx;
+  }
+
+  /// Exact lookup; requires `p` to be a member of the set.
+  [[nodiscard]] std::size_t index_of(Rate p) const {
+    for (std::size_t i = 0; i < rates_.size(); ++i) {
+      if (almost_equal(rates_[i], p)) return i;
+    }
+    DVFS_REQUIRE(false, "rate not in set");
+    return 0;  // unreachable
+  }
+
+  /// Keeps only the lower half of the rate set: the paper's "Power Saving"
+  /// baseline restricts the i7-950 to {1.6, 2.0, 2.4} GHz out of five rates,
+  /// i.e. ceil(|P| / 2) of the lowest rates.
+  [[nodiscard]] RateSet lower_half() const {
+    const std::size_t keep = (rates_.size() + 1) / 2;
+    return RateSet(std::vector<Rate>(rates_.begin(),
+                                     rates_.begin() + static_cast<long>(keep)));
+  }
+
+  /// The five batch-mode rates of the paper's Intel i7-950 (Table II), GHz.
+  [[nodiscard]] static RateSet i7_950() { return {1.6, 2.0, 2.4, 2.8, 3.0}; }
+
+  /// A 12-step set matching the paper's note that each i7-950 core exposes
+  /// 12 frequency choices (1.60 to 3.07 GHz).
+  [[nodiscard]] static RateSet i7_950_full() {
+    return {1.60, 1.73, 1.86, 2.00, 2.13, 2.26,
+            2.40, 2.53, 2.66, 2.80, 2.93, 3.07};
+  }
+
+  /// The paper's ARM Exynos-4412 example range (0.2 to 1.7 GHz).
+  [[nodiscard]] static RateSet exynos_4412() {
+    return {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+            1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7};
+  }
+
+  friend bool operator==(const RateSet&, const RateSet&) = default;
+
+ private:
+  std::vector<Rate> rates_;
+};
+
+}  // namespace dvfs::core

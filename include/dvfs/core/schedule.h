@@ -1,0 +1,76 @@
+/// \file schedule.h
+/// \brief Scheduling plans and their analytic cost evaluation (Eq. 8).
+///
+/// A Plan fixes, for every core, the forward execution order of its tasks
+/// and the rate index each task runs at. evaluate_plan() computes the exact
+/// model cost: energy cost Re * sum(L_k * E(p_k)) plus temporal cost
+/// Rt * sum of turnaround times, where a task's turnaround is the finish
+/// time of everything before it on the same core plus its own run time
+/// (batch mode: all tasks arrive at 0, cores run their queues back to
+/// back).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dvfs/common.h"
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/task.h"
+
+namespace dvfs::core {
+
+/// One slot of a per-core execution sequence.
+struct ScheduledTask {
+  TaskId task_id = 0;
+  Cycles cycles = 0;
+  std::size_t rate_idx = 0;
+
+  friend bool operator==(const ScheduledTask&, const ScheduledTask&) = default;
+};
+
+/// Forward execution order for one core (index 0 runs first).
+struct CorePlan {
+  std::vector<ScheduledTask> sequence;
+
+  [[nodiscard]] std::size_t size() const { return sequence.size(); }
+};
+
+/// A complete multi-core plan.
+struct Plan {
+  std::vector<CorePlan> cores;
+
+  [[nodiscard]] std::size_t num_cores() const { return cores.size(); }
+  [[nodiscard]] std::size_t num_tasks() const {
+    std::size_t n = 0;
+    for (const CorePlan& c : cores) n += c.size();
+    return n;
+  }
+};
+
+/// Cost breakdown of a plan under the analytic model.
+struct PlanCost {
+  Money energy_cost = 0.0;      ///< Re * total joules.
+  Money time_cost = 0.0;        ///< Rt * sum of turnaround times.
+  Joules energy = 0.0;          ///< total joules.
+  Seconds total_turnaround = 0.0;  ///< sum over tasks of turnaround.
+  Seconds makespan = 0.0;       ///< latest core finish time.
+
+  [[nodiscard]] Money total() const { return energy_cost + time_cost; }
+};
+
+/// Evaluates a plan on a homogeneous platform (every core shares `table`).
+[[nodiscard]] PlanCost evaluate_plan(const Plan& plan, const CostTable& table);
+
+/// Evaluates a plan on a heterogeneous platform; `tables[j]` models core j.
+[[nodiscard]] PlanCost evaluate_plan(const Plan& plan,
+                                     std::span<const CostTable> tables);
+
+/// Checks that `plan` schedules exactly the tasks in `tasks` (by id, with
+/// matching cycle counts, each exactly once) and uses only valid rate
+/// indices. Returns false rather than throwing so tests can assert on it.
+[[nodiscard]] bool plan_is_permutation_of(const Plan& plan,
+                                          std::span<const Task> tasks,
+                                          std::span<const CostTable> tables);
+
+}  // namespace dvfs::core

@@ -1,0 +1,53 @@
+/// \file seed_sweep.h
+/// \brief Replicated experiments: run a seeded measurement many times in
+///        parallel and aggregate the distribution.
+///
+/// The paper evaluates its online mode on a single proprietary trace; a
+/// reproduction should show its conclusions are not an artifact of one
+/// random trace. SeedSweep runs `measure(seed)` for a range of seeds on a
+/// ThreadPool and reports mean / stddev / min / max per metric, which the
+/// confidence bench (`bench_fig3_confidence`) turns into error bars.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dvfs/common.h"
+#include "dvfs/parallel/thread_pool.h"
+
+namespace dvfs::parallel {
+
+/// Summary statistics of one metric across replications.
+struct Stats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Half-width of a ~95% normal confidence interval for the mean.
+  [[nodiscard]] double ci95() const {
+    if (n < 2) return 0.0;
+    return 1.96 * stddev / std::sqrt(static_cast<double>(n));
+  }
+};
+
+/// Computes Stats over raw samples.
+[[nodiscard]] Stats summarize(const std::vector<double>& samples);
+
+/// One replication's named metrics (e.g. {"lmc_cost", ...}).
+using MetricMap = std::map<std::string, double>;
+
+/// Runs `measure` for seeds [first_seed, first_seed + replications) on
+/// `pool` and aggregates each metric across replications. Every metric
+/// name must appear in every replication (checked). Deterministic:
+/// results depend only on the seeds, not on scheduling order.
+[[nodiscard]] std::map<std::string, Stats> sweep_seeds(
+    ThreadPool& pool, std::size_t replications, std::uint64_t first_seed,
+    const std::function<MetricMap(std::uint64_t seed)>& measure);
+
+}  // namespace dvfs::parallel

@@ -1,0 +1,79 @@
+/// \file thread_pool.h
+/// \brief Fixed-size work-queue thread pool.
+///
+/// The evaluation harness re-runs whole simulations across seeds, policies
+/// and platform shapes; each run is independent and seconds-scale, so a
+/// plain pool of worker threads over a mutex-protected queue is the right
+/// tool (coarse tasks, no work stealing needed).
+///
+/// Concurrency style follows the C++ Core Guidelines: think in tasks, not
+/// threads (CP.4); RAII for joining (CP.25: workers are joined in the
+/// destructor, never detached) and for locking (CP.20: every lock is a
+/// scoped lock); condition variables always wait under a predicate
+/// (CP.42).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "dvfs/common.h"
+
+namespace dvfs::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains nothing: pending tasks that never ran are abandoned, but all
+  /// *running* tasks complete and every worker is joined.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Schedules `fn(args...)` and returns a future for its result.
+  /// Exceptions thrown by the task are delivered through the future.
+  template <typename Fn, typename... Args>
+  [[nodiscard]] auto submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using Result = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [f = std::forward<Fn>(fn),
+         ... a = std::forward<Args>(args)]() mutable -> Result {
+          return std::invoke(std::move(f), std::move(a)...);
+        });
+    std::future<Result> future = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      DVFS_REQUIRE(!stopping_, "pool is shutting down");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    ready_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, n) on the pool and blocks until all complete.
+  /// The first exception (if any) is rethrown after every task finished.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dvfs::parallel

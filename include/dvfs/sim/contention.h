@@ -1,0 +1,54 @@
+/// \file contention.h
+/// \brief Shared-resource interference model (Section V-A2).
+///
+/// The paper's Fig. 1 finds real executions cost ~8% more than the
+/// analytic model predicts and attributes the gap to (a) co-running tasks
+/// competing for last-level cache and memory bandwidth and (b) execution
+/// time not scaling perfectly with frequency. This model reproduces
+/// mechanism (a): while `b` cores are busy simultaneously, every busy core
+/// executes cycles slower by the factor
+///
+///     f(b) = 1 + alpha * (b - 1)
+///
+/// (one busy core runs interference-free). Busy power is unchanged, so
+/// stretched time raises both the time and the energy of the run — exactly
+/// the direction and rough magnitude of the paper's observed gap when
+/// alpha is calibrated so a fully-loaded quad core pays ~8%.
+#pragma once
+
+#include <cstddef>
+
+#include "dvfs/common.h"
+
+namespace dvfs::sim {
+
+class ContentionModel {
+ public:
+  /// `alpha` = per-co-runner slowdown. Zero disables contention (ideal
+  /// machine, matching the analytic cost model exactly).
+  explicit ContentionModel(double alpha = 0.0) : alpha_(alpha) {
+    DVFS_REQUIRE(alpha >= 0.0, "slowdown cannot be negative");
+  }
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Execution-time stretch while `busy_cores` cores run concurrently.
+  [[nodiscard]] double factor(std::size_t busy_cores) const {
+    if (busy_cores <= 1) return 1.0;
+    return 1.0 + alpha_ * static_cast<double>(busy_cores - 1);
+  }
+
+  /// No interference at all (the paper's simulator).
+  [[nodiscard]] static ContentionModel none() { return ContentionModel(0.0); }
+
+  /// Calibrated so 4 co-running cores are ~8% slower (the paper's measured
+  /// model-vs-reality gap on the quad-core i7-950).
+  [[nodiscard]] static ContentionModel icpp2014_quadcore() {
+    return ContentionModel(0.08 / 3.0);
+  }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace dvfs::sim

@@ -1,0 +1,167 @@
+/// \file engine.h
+/// \brief Event-driven multi-core DVFS simulator (Section V-B).
+///
+/// The paper evaluates the online mode with an event-driven simulator
+/// whose events are task arrivals and completions; this engine generalizes
+/// that with preemption, mid-flight frequency changes, periodic governor
+/// timers, and the contention model needed for the Fig. 1 experiment.
+///
+/// Division of labour: the engine owns *mechanism* — per-core execution
+/// progress, cancellable completion events, energy integration, task
+/// records. A Policy owns *strategy* — which core a task goes to, what
+/// runs next, at which rate. The paper's schedulers (LMC, OLB, On-demand,
+/// Power Saving, WBG plan execution) are Policy implementations in
+/// dvfs::governors.
+///
+/// Execution model: core j at rate index r executes 1 / (T_j(r) * f(b))
+/// cycles per second while b cores are busy (f from ContentionModel), and
+/// draws busy power E_j(r) / T_j(r) watts. Between events all state is
+/// constant, so progress integrates exactly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/core/energy_model.h"
+#include "dvfs/core/task.h"
+#include "dvfs/ds/indexed_heap.h"
+#include "dvfs/sim/contention.h"
+#include "dvfs/sim/metrics.h"
+#include "dvfs/workload/trace.h"
+
+namespace dvfs::sim {
+
+class Engine;
+
+/// Scheduling strategy driven by the engine's events.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Called once before the run starts (after cores are configured).
+  virtual void attach(Engine& engine) { (void)engine; }
+
+  /// A task from the trace has arrived. The policy may start it, queue it
+  /// internally, preempt something, or re-rate running work.
+  virtual void on_arrival(Engine& engine, const core::Task& task) = 0;
+
+  /// Core `core` finished `task` and is now idle.
+  virtual void on_complete(Engine& engine, std::size_t core,
+                           core::TaskId task) = 0;
+
+  /// Periodic callback every timer_interval() seconds (if positive).
+  virtual void on_timer(Engine& engine) { (void)engine; }
+  [[nodiscard]] virtual Seconds timer_interval() const { return 0.0; }
+
+  /// False while the policy still holds queued work (keeps timers alive
+  /// when all cores happen to be idle).
+  [[nodiscard]] virtual bool idle() const { return true; }
+};
+
+class Engine {
+ public:
+  /// One energy model per core (homogeneous platforms pass copies).
+  /// `idle_watts` is the per-core idle power, integrated separately.
+  /// `dvfs_transition_latency`: a core stalls this long (no progress,
+  /// busy power at the new rate) whenever its frequency changes — set
+  /// non-zero to drop the paper's free-transition assumption online
+  /// (ablation A14). The first task after boot pays nothing.
+  Engine(std::vector<core::EnergyModel> models, ContentionModel contention,
+         double idle_watts = 0.0, Seconds dvfs_transition_latency = 0.0);
+
+  // ------------------------------------------------------------- topology
+  [[nodiscard]] std::size_t num_cores() const { return cores_.size(); }
+  [[nodiscard]] const core::EnergyModel& model(std::size_t core) const;
+  [[nodiscard]] const ContentionModel& contention() const {
+    return contention_;
+  }
+
+  // ------------------------------------------------- policy control surface
+  /// Begins (or resumes) `task` on an idle core. `remaining` may be less
+  /// than the task's total cycles when resuming preempted work.
+  void start(std::size_t core, core::TaskId task, double remaining_cycles,
+             std::size_t rate_idx);
+
+  struct Preempted {
+    core::TaskId task = 0;
+    double remaining_cycles = 0.0;
+  };
+  /// Stops the task running on `core` and returns what is left of it.
+  [[nodiscard]] Preempted preempt(std::size_t core);
+
+  /// Changes the rate of the running task (per-core DVFS mid-flight).
+  void set_rate(std::size_t core, std::size_t rate_idx);
+
+  [[nodiscard]] bool busy(std::size_t core) const;
+  [[nodiscard]] core::TaskId running_task(std::size_t core) const;
+  [[nodiscard]] std::size_t current_rate(std::size_t core) const;
+  [[nodiscard]] double remaining_cycles(std::size_t core) const;
+
+  /// Current simulated time (valid during callbacks).
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Total busy seconds core `core` has accumulated; governors sample the
+  /// difference between ticks to compute loading.
+  [[nodiscard]] Seconds cumulative_busy_seconds(std::size_t core) const;
+
+  /// Record of a task seen so far this run (by id).
+  [[nodiscard]] const TaskRecord& record(core::TaskId task) const;
+
+  // ---------------------------------------------------------------- running
+  /// Simulates `trace` to completion under `policy` and returns the
+  /// metrics. The engine is reusable: each run starts from idle cores.
+  SimResult run(const workload::Trace& trace, Policy& policy);
+
+ private:
+  struct CoreState {
+    bool busy = false;
+    std::size_t record_idx = 0;   // into result_.tasks
+    double remaining = 0.0;       // cycles
+    std::size_t rate_idx = 0;
+    std::size_t last_rate = kNoRate;  // persists across idle gaps
+    Seconds stall_remaining = 0.0;    // pending DVFS transition stall
+    ds::IndexedHeap<std::size_t>::Handle completion_event =
+        ds::IndexedHeap<std::size_t>::kNullHandle;
+    Seconds busy_seconds = 0.0;
+  };
+  static constexpr std::size_t kNoRate = static_cast<std::size_t>(-1);
+
+  /// Charges the transition stall when a core's frequency changes.
+  void charge_transition(CoreState& c, std::size_t new_rate);
+
+  enum class EventKind : std::uint8_t { kArrival, kCompletion, kTimer };
+  struct Event {
+    EventKind kind;
+    std::size_t index;  // arrival: trace index; completion: core index
+  };
+
+  void check_core(std::size_t core) const;
+  [[nodiscard]] std::size_t busy_count() const { return busy_count_; }
+
+  /// Advances all cores from last_update_ to `t`, integrating cycles and
+  /// energy with the contention factor of the elapsed segment.
+  void sync_to(Seconds t);
+
+  /// Re-keys every busy core's completion event after a state change.
+  void reschedule_completions();
+
+  [[nodiscard]] std::size_t record_index(core::TaskId task) const;
+
+  std::vector<core::EnergyModel> models_;
+  ContentionModel contention_;
+  double idle_watts_;
+  Seconds transition_latency_;
+
+  // Per-run state.
+  std::vector<CoreState> cores_;
+  std::size_t busy_count_ = 0;
+  Seconds now_ = 0.0;
+  ds::IndexedHeap<Event> events_;
+  SimResult result_;
+  std::unordered_map<core::TaskId, std::size_t> record_of_;
+  bool running_ = false;
+};
+
+}  // namespace dvfs::sim

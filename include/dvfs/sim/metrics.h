@@ -1,0 +1,102 @@
+/// \file metrics.h
+/// \brief Per-task and aggregate measurements of a simulation run.
+///
+/// Mirrors the paper's measurement methodology: energy is the integral of
+/// power over the run with the idle baseline kept separate (the paper
+/// deducts the idle wall-power reading), time is per-task turnaround
+/// (completion minus arrival — the online experiments score each task's
+/// completion, not the makespan), and cost converts both through Re/Rt.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/common.h"
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/task.h"
+
+namespace dvfs::sim {
+
+struct TaskRecord {
+  core::TaskId id = 0;
+  core::TaskClass klass = core::TaskClass::kBatch;
+  Cycles cycles = 0;
+  Seconds arrival = 0.0;
+  Seconds deadline = kNoDeadline;  ///< from the trace; policies may ignore it
+  Seconds first_start = -1.0;  ///< -1 until the task first runs
+  Seconds finish = -1.0;       ///< -1 until completion
+  Joules energy = 0.0;         ///< busy energy attributed to this task
+  std::size_t preemptions = 0;
+
+  /// Completed after its deadline, or never completed despite having one.
+  [[nodiscard]] bool missed_deadline() const {
+    if (deadline == kNoDeadline) return false;
+    return !completed() || finish > deadline;
+  }
+
+  [[nodiscard]] bool started() const { return first_start >= 0.0; }
+  [[nodiscard]] bool completed() const { return finish >= 0.0; }
+  [[nodiscard]] Seconds turnaround() const {
+    DVFS_REQUIRE(completed(), "task not completed");
+    return finish - arrival;
+  }
+  [[nodiscard]] Seconds waiting() const {
+    DVFS_REQUIRE(started(), "task never started");
+    return first_start - arrival;
+  }
+};
+
+/// Everything a simulation run produces.
+struct SimResult {
+  std::vector<TaskRecord> tasks;
+  Joules busy_energy = 0.0;  ///< integral of busy power (idle deducted)
+  Joules idle_energy = 0.0;  ///< idle-power integral, reported separately
+  Seconds end_time = 0.0;    ///< completion of the last event (makespan)
+
+  /// rate_residency[core][rate_idx] = busy seconds core spent at that rate
+  /// (the frequency-residency histogram a power analyst would pull from
+  /// hardware counters).
+  std::vector<std::vector<Seconds>> rate_residency;
+
+  /// Per-core total busy seconds (sum over rates of the residency row).
+  [[nodiscard]] Seconds busy_seconds(std::size_t core) const;
+
+  /// Fraction of all busy time spent at each rate index, aggregated over
+  /// cores (rows may have different lengths on heterogeneous platforms;
+  /// the result is sized to the longest row). Empty if nothing ran.
+  [[nodiscard]] std::vector<double> rate_share() const;
+
+  /// Mean utilization of a core over [0, end_time].
+  [[nodiscard]] double utilization(std::size_t core) const;
+
+  [[nodiscard]] std::size_t completed_count() const;
+
+  /// Sum of turnaround over completed tasks, optionally one class only.
+  [[nodiscard]] Seconds total_turnaround() const;
+  [[nodiscard]] Seconds total_turnaround(core::TaskClass klass) const;
+
+  [[nodiscard]] Seconds mean_turnaround(core::TaskClass klass) const;
+
+  /// Tasks of `klass` that blew their deadline (finished late or never).
+  [[nodiscard]] std::size_t deadline_misses(core::TaskClass klass) const;
+
+  /// Turnaround percentile over completed tasks of `klass` (p in [0, 1];
+  /// 0.5 = median, 0.99 = tail latency). Requires at least one completed
+  /// task of the class.
+  [[nodiscard]] Seconds turnaround_percentile(core::TaskClass klass,
+                                              double p) const;
+
+  /// Re * busy_energy (the paper's idle-deducted methodology).
+  [[nodiscard]] Money energy_cost(const core::CostParams& p) const {
+    return p.re * busy_energy;
+  }
+  /// Rt * total turnaround of completed tasks.
+  [[nodiscard]] Money time_cost(const core::CostParams& p) const {
+    return p.rt * total_turnaround();
+  }
+  [[nodiscard]] Money total_cost(const core::CostParams& p) const {
+    return energy_cost(p) + time_cost(p);
+  }
+};
+
+}  // namespace dvfs::sim

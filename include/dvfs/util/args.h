@@ -1,0 +1,56 @@
+/// \file args.h
+/// \brief Minimal command-line flag parsing for the dvfs tools.
+///
+/// Supports `--flag value`, `--flag=value` and boolean `--flag`. Strict:
+/// unknown flags, missing required flags and malformed values are
+/// reported (PreconditionError) rather than ignored — a scheduling tool
+/// silently dropping `--rate-cap` would be worse than one that refuses
+/// to run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dvfs/common.h"
+
+namespace dvfs::util {
+
+class Args {
+ public:
+  /// Parses argv-style input (argv[0] is the program name and skipped).
+  /// `known_flags` is the complete set of accepted flag names (without
+  /// the leading dashes).
+  Args(int argc, const char* const* argv,
+       const std::set<std::string>& known_flags);
+
+  /// True if the flag appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& flag) const {
+    return values_.contains(flag);
+  }
+
+  /// Value accessors; get_* without a default require the flag.
+  [[nodiscard]] std::string get_string(const std::string& flag) const;
+  [[nodiscard]] std::string get_string(const std::string& flag,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& flag) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& flag,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& flag) const;
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const;
+
+  /// Positional arguments (non-flag tokens), in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dvfs::util

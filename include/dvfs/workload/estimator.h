@@ -1,0 +1,92 @@
+/// \file estimator.h
+/// \brief Cycle-requirement estimation (Section V-B).
+///
+/// The online scheduler needs L_k at arrival time. The paper obtains it two
+/// ways: interactive request kinds are profiled offline ("we can profile
+/// the CPU cycles required to complete these kinds of tasks while building
+/// the system"), and non-interactive submissions are predicted from the
+/// running average of previously completed submissions. Both estimators
+/// live here so the simulator (or a real dispatcher) can schedule with
+/// estimates while charging actual costs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/common.h"
+
+namespace dvfs::workload {
+
+/// Offline profiling table: request kind -> measured average cycles.
+class ProfileEstimator {
+ public:
+  /// Registers (or replaces) a profiled kind.
+  void set_profile(const std::string& kind, Cycles avg_cycles) {
+    DVFS_REQUIRE(avg_cycles > 0, "profiled cycles must be positive");
+    profiles_[kind] = avg_cycles;
+  }
+
+  [[nodiscard]] bool has_profile(const std::string& kind) const {
+    return profiles_.contains(kind);
+  }
+
+  /// Estimate for a kind; requires the kind to be profiled.
+  [[nodiscard]] Cycles estimate(const std::string& kind) const {
+    const auto it = profiles_.find(kind);
+    DVFS_REQUIRE(it != profiles_.end(), "kind not profiled: " + kind);
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return profiles_.size(); }
+
+ private:
+  std::unordered_map<std::string, Cycles> profiles_;
+};
+
+/// Running mean of completed work per category (e.g. per exam problem):
+/// "we can still predict the resource requirement of a newly arrived
+/// non-interactive task by taking average of the previous completed
+/// submissions."
+class HistoricalAverageEstimator {
+ public:
+  /// `categories`: number of distinct streams (problems). `prior`: the
+  /// estimate returned before any completion is observed in a category.
+  HistoricalAverageEstimator(std::size_t categories, Cycles prior)
+      : prior_(prior), sums_(categories, 0.0), counts_(categories, 0) {
+    DVFS_REQUIRE(categories >= 1, "need at least one category");
+    DVFS_REQUIRE(prior >= 1, "prior must be positive");
+  }
+
+  [[nodiscard]] std::size_t categories() const { return sums_.size(); }
+
+  /// Records the measured cost of a completed task.
+  void record(std::size_t category, Cycles actual) {
+    DVFS_REQUIRE(category < sums_.size(), "category out of range");
+    DVFS_REQUIRE(actual > 0, "actual cycles must be positive");
+    sums_[category] += static_cast<double>(actual);
+    counts_[category] += 1;
+  }
+
+  /// Current estimate for a category (the prior until data arrives).
+  [[nodiscard]] Cycles estimate(std::size_t category) const {
+    DVFS_REQUIRE(category < sums_.size(), "category out of range");
+    if (counts_[category] == 0) return prior_;
+    const double mean =
+        sums_[category] / static_cast<double>(counts_[category]);
+    return mean < 1.0 ? Cycles{1} : static_cast<Cycles>(mean);
+  }
+
+  [[nodiscard]] std::size_t observations(std::size_t category) const {
+    DVFS_REQUIRE(category < sums_.size(), "category out of range");
+    return counts_[category];
+  }
+
+ private:
+  Cycles prior_;
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace dvfs::workload

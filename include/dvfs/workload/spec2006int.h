@@ -1,0 +1,48 @@
+/// \file spec2006int.h
+/// \brief The paper's batch-mode workloads (Table I).
+///
+/// The batch experiments use SPEC CPU2006int: 12 benchmarks, each with its
+/// `train` and `ref` input, giving 24 workloads. The paper measures each
+/// workload's average wall time over ten runs at the lowest frequency
+/// (1.6 GHz) and converts it to a cycle count as time * frequency. Table I
+/// is reproduced verbatim; the cycle conversion happens here the same way.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dvfs/core/task.h"
+
+namespace dvfs::workload {
+
+/// Which of the two SPEC input sets a row refers to.
+enum class SpecInput : std::uint8_t { kTrain, kRef };
+
+[[nodiscard]] constexpr const char* to_string(SpecInput in) {
+  return in == SpecInput::kTrain ? "train" : "ref";
+}
+
+/// One Table I row half: a benchmark with one input set and its measured
+/// average execution time at 1.6 GHz.
+struct SpecWorkload {
+  std::string_view benchmark;
+  SpecInput input;
+  Seconds avg_seconds_at_1_6ghz;
+};
+
+/// All 24 Table I workloads (12 benchmarks x {train, ref}), in the paper's
+/// row order (train rows first within each benchmark).
+[[nodiscard]] std::span<const SpecWorkload> spec2006int();
+
+/// Cycle count of a workload: avg seconds x measurement frequency
+/// (1.6 GHz), exactly as the paper estimates L_k.
+[[nodiscard]] Cycles spec_cycles(const SpecWorkload& w);
+
+/// The 24 workloads as batch tasks (ids 0..23 in Table I order).
+[[nodiscard]] std::vector<core::Task> spec_batch_tasks();
+
+/// Only the `ref` or only the `train` workloads as batch tasks.
+[[nodiscard]] std::vector<core::Task> spec_batch_tasks(SpecInput input);
+
+}  // namespace dvfs::workload

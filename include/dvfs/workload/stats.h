@@ -1,0 +1,68 @@
+/// \file stats.h
+/// \brief Workload characterization: the numbers a scheduling evaluation
+///        should print next to its results.
+///
+/// The paper describes its trace with population counts only; a
+/// reproduction needs the load story too (a scheduler comparison at 10%
+/// utilization says nothing). analyze() summarizes a trace per task
+/// class, and offered_load() converts cycle demand into utilization of a
+/// given platform — including the peak-window load that determines
+/// whether queues ever build.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/core/energy_model.h"
+#include "dvfs/workload/trace.h"
+
+namespace dvfs::workload {
+
+/// Distribution summary of one task class within a trace.
+struct ClassStats {
+  std::size_t count = 0;
+  Cycles total_cycles = 0;
+  Cycles min_cycles = 0;
+  Cycles max_cycles = 0;
+  double mean_cycles = 0.0;
+  Cycles p50_cycles = 0;  ///< median
+  Cycles p95_cycles = 0;
+  Cycles p99_cycles = 0;
+};
+
+struct TraceStats {
+  Seconds horizon = 0.0;  ///< last arrival time
+  ClassStats interactive;
+  ClassStats non_interactive;
+  ClassStats batch;
+
+  [[nodiscard]] const ClassStats& of(core::TaskClass klass) const {
+    switch (klass) {
+      case core::TaskClass::kInteractive: return interactive;
+      case core::TaskClass::kNonInteractive: return non_interactive;
+      case core::TaskClass::kBatch: return batch;
+    }
+    return batch;  // unreachable
+  }
+};
+
+/// Per-class distribution summary. O(n log n).
+[[nodiscard]] TraceStats analyze(const Trace& trace);
+
+/// Average offered load of the trace on `cores` identical cores running at
+/// rate index `rate_idx`: total execution time demanded divided by
+/// available core-seconds over the horizon. > 1 means the platform cannot
+/// keep up on average.
+[[nodiscard]] double offered_load(const Trace& trace,
+                                  const core::EnergyModel& model,
+                                  std::size_t rate_idx, std::size_t cores);
+
+/// Maximum offered load over any window of `window` seconds (sliding over
+/// arrival times; work is attributed to its arrival instant). Detects the
+/// burst the mean hides. O(n) after sorting (the trace is arrival-sorted).
+[[nodiscard]] double peak_offered_load(const Trace& trace,
+                                       const core::EnergyModel& model,
+                                       std::size_t rate_idx,
+                                       std::size_t cores, Seconds window);
+
+}  // namespace dvfs::workload

@@ -1,0 +1,67 @@
+/// \file trace.h
+/// \brief Online-mode workload traces and their CSV serialization.
+///
+/// A trace is a time-ordered stream of task arrivals — the input of the
+/// paper's event-driven simulator (Section V-B). The canonical disk format
+/// is CSV with the header `id,arrival,cycles,class[,deadline]` so traces
+/// can be inspected, filtered, and re-fed with ordinary tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dvfs/core/task.h"
+
+namespace dvfs::workload {
+
+/// A full online workload: tasks ordered by non-decreasing arrival time.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Takes ownership; sorts by (arrival, id) so callers may append in any
+  /// order. Validates every task.
+  explicit Trace(std::vector<core::Task> tasks);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] const std::vector<core::Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const core::Task& operator[](std::size_t i) const {
+    DVFS_REQUIRE(i < tasks_.size(), "trace index out of range");
+    return tasks_[i];
+  }
+
+  [[nodiscard]] std::size_t count(core::TaskClass klass) const;
+
+  /// Time of the last arrival (0 for an empty trace).
+  [[nodiscard]] Seconds horizon() const {
+    return tasks_.empty() ? 0.0 : tasks_.back().arrival;
+  }
+
+  /// Total cycles across all tasks.
+  [[nodiscard]] Cycles total_cycles() const;
+
+  /// Merges two traces, preserving arrival order.
+  [[nodiscard]] static Trace merge(const Trace& a, const Trace& b);
+
+  /// Tasks arriving in [from, to), re-based so the window starts at time
+  /// 0 (deadlines shift with their tasks). For studying one phase of a
+  /// bursty trace — e.g. only the end-of-exam rush.
+  [[nodiscard]] Trace slice(Seconds from, Seconds to) const;
+
+ private:
+  std::vector<core::Task> tasks_;
+};
+
+/// Writes `id,arrival,cycles,class,deadline` rows (deadline column omitted
+/// per row when infinite).
+void write_csv(const Trace& trace, std::ostream& os);
+void write_csv_file(const Trace& trace, const std::string& path);
+
+/// Parses the format produced by write_csv. Throws PreconditionError on
+/// malformed rows (wrong arity, non-numeric fields, unknown class names).
+[[nodiscard]] Trace read_csv(std::istream& is);
+[[nodiscard]] Trace read_csv_file(const std::string& path);
+
+}  // namespace dvfs::workload

@@ -1,0 +1,129 @@
+#include "dvfs/core/batch_single.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dvfs::core {
+namespace {
+
+void check_batch_tasks(std::span<const Task> tasks) {
+  for (const Task& t : tasks) {
+    DVFS_REQUIRE(is_valid(t), "invalid task");
+    DVFS_REQUIRE(t.arrival == 0.0, "batch tasks arrive at time 0");
+  }
+}
+
+// Sorts indices so tasks run in non-decreasing cycle order (Theorem 3),
+// with id as the tie breaker for deterministic output.
+std::vector<std::size_t> sorted_forward_order(std::span<const Task> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].cycles != tasks[b].cycles)
+      return tasks[a].cycles < tasks[b].cycles;
+    return tasks[a].id < tasks[b].id;
+  });
+  return order;
+}
+
+}  // namespace
+
+CorePlan longest_task_last(std::span<const Task> tasks,
+                           const CostTable& table) {
+  check_batch_tasks(tasks);
+  const std::vector<std::size_t> order = sorted_forward_order(tasks);
+  const std::size_t n = tasks.size();
+  CorePlan plan;
+  plan.sequence.reserve(n);
+  // Forward position k corresponds to backward position n - k + 1; the
+  // dominating ranges give that position's optimal rate directly.
+  for (std::size_t k = 1; k <= n; ++k) {
+    const Task& t = tasks[order[k - 1]];
+    plan.sequence.push_back(
+        ScheduledTask{t.id, t.cycles, table.best_rate(n - k + 1)});
+  }
+  return plan;
+}
+
+PlanCost evaluate_single(const CorePlan& core, const CostTable& table) {
+  Plan plan;
+  plan.cores.push_back(core);
+  return evaluate_plan(plan, table);
+}
+
+CorePlan brute_force_single(std::span<const Task> tasks,
+                            const CostTable& table) {
+  check_batch_tasks(tasks);
+  DVFS_REQUIRE(tasks.size() <= 8, "brute force limited to 8 tasks");
+  const std::size_t n = tasks.size();
+  const std::size_t num_rates = table.model().num_rates();
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  CorePlan best;
+  Money best_cost = std::numeric_limits<Money>::infinity();
+  std::vector<std::size_t> rates(n, 0);
+
+  do {
+    // Enumerate all rate assignments for this order (odometer).
+    std::fill(rates.begin(), rates.end(), std::size_t{0});
+    while (true) {
+      CorePlan candidate;
+      candidate.sequence.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const Task& t = tasks[perm[k]];
+        candidate.sequence.push_back(ScheduledTask{t.id, t.cycles, rates[k]});
+      }
+      const Money cost = evaluate_single(candidate, table).total();
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = std::move(candidate);
+      }
+      // Advance the odometer.
+      std::size_t digit = 0;
+      while (digit < n && ++rates[digit] == num_rates) {
+        rates[digit] = 0;
+        ++digit;
+      }
+      if (digit == n) break;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  return best;
+}
+
+CorePlan brute_force_rates_sorted(std::span<const Task> tasks,
+                                  const CostTable& table) {
+  check_batch_tasks(tasks);
+  DVFS_REQUIRE(tasks.size() <= 12, "rate search limited to 12 tasks");
+  const std::size_t n = tasks.size();
+  const std::size_t num_rates = table.model().num_rates();
+  const std::vector<std::size_t> order = sorted_forward_order(tasks);
+
+  CorePlan best;
+  Money best_cost = std::numeric_limits<Money>::infinity();
+  std::vector<std::size_t> rates(n, 0);
+  while (true) {
+    CorePlan candidate;
+    candidate.sequence.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Task& t = tasks[order[k]];
+      candidate.sequence.push_back(ScheduledTask{t.id, t.cycles, rates[k]});
+    }
+    const Money cost = evaluate_single(candidate, table).total();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(candidate);
+    }
+    std::size_t digit = 0;
+    while (digit < n && ++rates[digit] == num_rates) {
+      rates[digit] = 0;
+      ++digit;
+    }
+    if (digit == n || n == 0) break;
+  }
+  return best;
+}
+
+}  // namespace dvfs::core

@@ -1,0 +1,171 @@
+#include "dvfs/core/batch_switch_cost.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace dvfs::core {
+namespace {
+
+void check_inputs(std::span<const Task> tasks, const CostTable& table,
+                  const SwitchCost& sc, std::size_t initial_rate) {
+  for (const Task& t : tasks) {
+    DVFS_REQUIRE(is_valid(t), "invalid task");
+    DVFS_REQUIRE(t.arrival == 0.0, "batch tasks arrive at time 0");
+  }
+  DVFS_REQUIRE(sc.latency >= 0.0 && sc.energy >= 0.0,
+               "switch costs cannot be negative");
+  DVFS_REQUIRE(initial_rate == kNoInitialRate ||
+                   initial_rate < table.model().num_rates(),
+               "initial rate out of range");
+}
+
+// Theorem 3 order: non-decreasing cycles, id tie-break.
+std::vector<std::size_t> sorted_order(std::span<const Task> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].cycles != tasks[b].cycles)
+      return tasks[a].cycles < tasks[b].cycles;
+    return tasks[a].id < tasks[b].id;
+  });
+  return order;
+}
+
+// Cost charged when the rate changes just before forward task i (1-based):
+// the stall delays tasks i..n (temporal) and burns the transition energy.
+Money switch_penalty(const CostTable& table, const SwitchCost& sc,
+                     std::size_t i, std::size_t n) {
+  return table.params().re * sc.energy +
+         table.params().rt * sc.latency * static_cast<double>(n - i + 1);
+}
+
+}  // namespace
+
+CorePlan single_core_with_switch_cost(std::span<const Task> tasks,
+                                      const CostTable& table,
+                                      const SwitchCost& switch_cost,
+                                      std::size_t initial_rate) {
+  check_inputs(tasks, table, switch_cost, initial_rate);
+  const std::size_t n = tasks.size();
+  CorePlan plan;
+  if (n == 0) return plan;
+  const std::size_t num_rates = table.model().num_rates();
+  const std::vector<std::size_t> order = sorted_order(tasks);
+
+  constexpr Money kInf = std::numeric_limits<Money>::infinity();
+  // dp[i][r]: best cost of the first i tasks with task i running at rate
+  // index r. parent[i][r]: argmin predecessor rate for recovery.
+  std::vector<std::vector<Money>> dp(n + 1, std::vector<Money>(num_rates, kInf));
+  std::vector<std::vector<std::size_t>> parent(
+      n + 1, std::vector<std::size_t>(num_rates, 0));
+
+  for (std::size_t r = 0; r < num_rates; ++r) {
+    const Task& t = tasks[order[0]];
+    Money c = table.forward_cost(1, n, r) * static_cast<double>(t.cycles);
+    if (initial_rate != kNoInitialRate && r != initial_rate) {
+      c += switch_penalty(table, switch_cost, 1, n);
+    }
+    dp[1][r] = c;
+  }
+  for (std::size_t i = 2; i <= n; ++i) {
+    const Task& t = tasks[order[i - 1]];
+    const double l = static_cast<double>(t.cycles);
+    const Money sw = switch_penalty(table, switch_cost, i, n);
+    for (std::size_t r = 0; r < num_rates; ++r) {
+      const Money own = table.forward_cost(i, n, r) * l;
+      for (std::size_t prev = 0; prev < num_rates; ++prev) {
+        if (dp[i - 1][prev] == kInf) continue;
+        const Money c = dp[i - 1][prev] + own + (prev == r ? 0.0 : sw);
+        if (c < dp[i][r]) {
+          dp[i][r] = c;
+          parent[i][r] = prev;
+        }
+      }
+    }
+  }
+
+  // Recover the rate path (ties: higher rate, matching best_rate's
+  // convention).
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < num_rates; ++r) {
+    if (dp[n][r] <= dp[n][best]) best = r;
+  }
+  std::vector<std::size_t> rates(n);
+  for (std::size_t i = n; i >= 1; --i) {
+    rates[i - 1] = best;
+    best = parent[i][best];
+  }
+  plan.sequence.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks[order[i]];
+    plan.sequence.push_back(ScheduledTask{t.id, t.cycles, rates[i]});
+  }
+  return plan;
+}
+
+PlanCost evaluate_single_with_switch_cost(const CorePlan& core,
+                                          const CostTable& table,
+                                          const SwitchCost& switch_cost,
+                                          std::size_t initial_rate) {
+  DVFS_REQUIRE(switch_cost.latency >= 0.0 && switch_cost.energy >= 0.0,
+               "switch costs cannot be negative");
+  const EnergyModel& m = table.model();
+  PlanCost acc;
+  Seconds clock = 0.0;
+  std::size_t prev_rate = initial_rate;
+  for (const ScheduledTask& st : core.sequence) {
+    DVFS_REQUIRE(st.rate_idx < m.num_rates(), "rate index out of range");
+    if (prev_rate != kNoInitialRate && st.rate_idx != prev_rate) {
+      clock += switch_cost.latency;
+      acc.energy += switch_cost.energy;
+    }
+    prev_rate = st.rate_idx;
+    clock += m.task_time(st.cycles, st.rate_idx);
+    acc.energy += m.task_energy(st.cycles, st.rate_idx);
+    acc.total_turnaround += clock;
+  }
+  acc.makespan = clock;
+  acc.energy_cost = table.params().re * acc.energy;
+  acc.time_cost = table.params().rt * acc.total_turnaround;
+  return acc;
+}
+
+CorePlan brute_force_switch_cost(std::span<const Task> tasks,
+                                 const CostTable& table,
+                                 const SwitchCost& switch_cost,
+                                 std::size_t initial_rate) {
+  check_inputs(tasks, table, switch_cost, initial_rate);
+  DVFS_REQUIRE(tasks.size() <= 10, "brute force limited to 10 tasks");
+  const std::size_t n = tasks.size();
+  const std::size_t num_rates = table.model().num_rates();
+  const std::vector<std::size_t> order = sorted_order(tasks);
+
+  CorePlan best;
+  Money best_cost = std::numeric_limits<Money>::infinity();
+  std::vector<std::size_t> rates(n, 0);
+  while (true) {
+    CorePlan candidate;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Task& t = tasks[order[i]];
+      candidate.sequence.push_back(ScheduledTask{t.id, t.cycles, rates[i]});
+    }
+    const Money cost = evaluate_single_with_switch_cost(
+                           candidate, table, switch_cost, initial_rate)
+                           .total();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(candidate);
+    }
+    std::size_t digit = 0;
+    while (digit < n && ++rates[digit] == num_rates) {
+      rates[digit] = 0;
+      ++digit;
+    }
+    if (digit == n || n == 0) break;
+  }
+  return best;
+}
+
+}  // namespace dvfs::core

@@ -1,0 +1,71 @@
+#include "dvfs/core/cost_model.h"
+
+#include <algorithm>
+
+namespace dvfs::core {
+
+CostTable::CostTable(EnergyModel model, CostParams params)
+    : model_(std::move(model)), params_(params) {
+  DVFS_REQUIRE(params_.valid(), "Re and Rt must be positive");
+
+  // Each rate p_i induces the line f_i(k) = Re*E(p_i) + (Rt*T(p_i)) * k.
+  // Rates ascend => T descends => slopes strictly decrease, and E ascends
+  // => intercepts strictly increase, which is exactly what
+  // lower_envelope_integer requires.
+  std::vector<ds::Line> lines;
+  lines.reserve(model_.num_rates());
+  for (std::size_t i = 0; i < model_.num_rates(); ++i) {
+    lines.push_back(ds::Line{params_.rt * model_.time_per_cycle(i),
+                             params_.re * model_.energy_per_cycle(i), i});
+  }
+  const ds::EnvelopeResult env = ds::lower_envelope_integer(lines);
+
+  for (const std::size_t idx : env.active) {
+    ranges_.push_back(DominatingRange{idx, env.range_of[idx]});
+    active_rates_.push_back(idx);
+  }
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const DominatingRange& a, const DominatingRange& b) {
+              return a.range.lo < b.range.lo;
+            });
+
+  // Positions up to a modest bound are answered from a flat table; beyond
+  // it the per-lookup binary search over <= |P| ranges is already cheap.
+  const std::size_t cache_limit = std::min<std::size_t>(
+      4096, ranges_.back().range.lo + 64);
+  small_k_cache_.reserve(cache_limit);
+  for (std::size_t k = 1; k <= cache_limit; ++k) {
+    auto it = std::partition_point(
+        ranges_.begin(), ranges_.end(), [&](const DominatingRange& r) {
+          return !r.range.unbounded() && r.range.hi < k;
+        });
+    small_k_cache_.push_back(it->rate_idx);
+  }
+}
+
+std::size_t CostTable::best_rate(std::size_t k) const {
+  DVFS_REQUIRE(k >= 1, "backward positions are 1-based");
+  if (k <= small_k_cache_.size()) return small_k_cache_[k - 1];
+  auto it = std::partition_point(
+      ranges_.begin(), ranges_.end(), [&](const DominatingRange& r) {
+        return !r.range.unbounded() && r.range.hi < k;
+      });
+  DVFS_REQUIRE(it != ranges_.end(), "ranges must cover [1, inf)");
+  return it->rate_idx;
+}
+
+std::size_t CostTable::best_rate_naive(std::size_t k) const {
+  DVFS_REQUIRE(k >= 1, "backward positions are 1-based");
+  std::size_t best = 0;
+  double best_cost = backward_cost(k, 0);
+  for (std::size_t i = 1; i < model_.num_rates(); ++i) {
+    const double c = backward_cost(k, i);
+    if (c <= best_cost) {  // ties toward the higher rate
+      best_cost = c;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dvfs::core

@@ -1,0 +1,290 @@
+#include "dvfs/core/deadline.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <numeric>
+
+namespace dvfs::core {
+namespace {
+
+// EDF order is optimal for single-core feasibility: in any feasible
+// schedule, swapping two adjacent tasks that violate deadline order keeps
+// both finish times feasible (classic exchange argument), and energy is
+// order-independent. So the solvers fix EDF order and search rates only.
+std::vector<std::size_t> edf_order(std::span<const Task> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].deadline != tasks[b].deadline)
+      return tasks[a].deadline < tasks[b].deadline;
+    return tasks[a].id < tasks[b].id;
+  });
+  return order;
+}
+
+void check_deadline_instance(const DeadlineInstance& inst) {
+  DVFS_REQUIRE(!inst.tasks.empty(), "instance has no tasks");
+  for (const Task& t : inst.tasks) {
+    DVFS_REQUIRE(is_valid(t), "invalid task");
+    DVFS_REQUIRE(t.arrival == 0.0, "batch tasks arrive at time 0");
+    DVFS_REQUIRE(t.has_deadline(), "deadline instances need finite deadlines");
+  }
+  DVFS_REQUIRE(inst.energy_budget > 0.0, "energy budget must be positive");
+}
+
+struct ExactSearch {
+  const DeadlineInstance& inst;
+  std::vector<std::size_t> order;       // EDF
+  std::vector<double> fast_prefix;      // cumulative time at max rate
+  std::vector<double> time_bound;       // max elapsed admissible at depth d
+  std::vector<double> energy_floor;     // min energy for suffix from depth d
+  std::vector<std::size_t> chosen;      // rate index per depth
+  std::size_t n = 0;
+
+  explicit ExactSearch(const DeadlineInstance& instance) : inst(instance) {
+    order = edf_order(inst.tasks);
+    n = order.size();
+    const EnergyModel& m = inst.model;
+    const std::size_t fastest = m.rates().highest_index();
+
+    fast_prefix.assign(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      fast_prefix[i + 1] =
+          fast_prefix[i] + m.task_time(inst.tasks[order[i]].cycles, fastest);
+    }
+    // time_bound[d]: largest elapsed time at depth d from which the suffix
+    // can still meet every deadline even at the fastest rate.
+    time_bound.assign(n + 1, std::numeric_limits<double>::infinity());
+    double suffix_min = std::numeric_limits<double>::infinity();
+    for (std::size_t i = n; i-- > 0;) {
+      suffix_min = std::min(suffix_min,
+                            inst.tasks[order[i]].deadline - fast_prefix[i + 1]);
+      time_bound[i] = suffix_min + fast_prefix[i];
+    }
+    energy_floor.assign(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      energy_floor[i] =
+          energy_floor[i + 1] + m.task_energy(inst.tasks[order[i]].cycles, 0);
+    }
+    chosen.assign(n, 0);
+  }
+
+  // Depth-first over rate choices, cheapest-energy-first, returning the
+  // first witness. Both prunes are exact bounds, so "no witness" is a
+  // proof of infeasibility.
+  bool dfs(std::size_t depth, double elapsed, double energy) {
+    if (energy + energy_floor[depth] > inst.energy_budget * (1 + 1e-12)) {
+      return false;
+    }
+    if (elapsed > time_bound[depth] * (1 + 1e-12)) return false;
+    if (depth == n) return true;
+    const Task& t = inst.tasks[order[depth]];
+    const EnergyModel& m = inst.model;
+    for (std::size_t r = 0; r < m.num_rates(); ++r) {
+      const double finish = elapsed + m.task_time(t.cycles, r);
+      if (finish > t.deadline * (1 + 1e-12)) continue;
+      chosen[depth] = r;
+      if (dfs(depth + 1, finish, energy + m.task_energy(t.cycles, r))) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+DeadlineSolution materialize(const DeadlineInstance& inst,
+                             std::span<const std::size_t> order,
+                             std::span<const std::size_t> rates) {
+  DeadlineSolution sol;
+  const EnergyModel& m = inst.model;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Task& t = inst.tasks[order[i]];
+    sol.plan.sequence.push_back(ScheduledTask{t.id, t.cycles, rates[i]});
+    sol.energy += m.task_energy(t.cycles, rates[i]);
+    sol.finish += m.task_time(t.cycles, rates[i]);
+  }
+  return sol;
+}
+
+}  // namespace
+
+std::optional<DeadlineSolution> solve_deadline_single_exact(
+    const DeadlineInstance& instance) {
+  check_deadline_instance(instance);
+  DVFS_REQUIRE(instance.tasks.size() <= 24,
+               "exact solver limited to 24 tasks (exponential search)");
+  ExactSearch search(instance);
+  if (!search.dfs(0, 0.0, 0.0)) return std::nullopt;
+  return materialize(instance, search.order, search.chosen);
+}
+
+std::optional<DeadlineSolution> solve_deadline_single_heuristic(
+    const DeadlineInstance& instance) {
+  check_deadline_instance(instance);
+  const EnergyModel& m = instance.model;
+  const std::vector<std::size_t> order = edf_order(instance.tasks);
+  const std::size_t n = order.size();
+  std::vector<std::size_t> rates(n, 0);  // start everything at the slowest
+
+  auto first_violation = [&]() -> std::size_t {
+    double elapsed = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      elapsed += m.task_time(instance.tasks[order[i]].cycles, rates[i]);
+      if (elapsed > instance.tasks[order[i]].deadline * (1 + 1e-12)) return i;
+    }
+    return n;  // feasible
+  };
+
+  std::size_t violated = first_violation();
+  while (violated < n) {
+    // Lifting any task at or before the violation shrinks the violated
+    // finish time. Choose the lift with the best seconds-saved per extra
+    // joule; one rate step at a time keeps energy growth minimal.
+    std::size_t best_i = n;
+    double best_ratio = -1.0;
+    for (std::size_t i = 0; i <= violated; ++i) {
+      const std::size_t r = rates[i];
+      if (r + 1 >= m.num_rates()) continue;
+      const Cycles cycles = instance.tasks[order[i]].cycles;
+      const double saved =
+          m.task_time(cycles, r) - m.task_time(cycles, r + 1);
+      const double extra =
+          m.task_energy(cycles, r + 1) - m.task_energy(cycles, r);
+      const double ratio = saved / extra;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_i = i;
+      }
+    }
+    if (best_i == n) return std::nullopt;  // everything already at max rate
+    ++rates[best_i];
+    violated = first_violation();
+  }
+
+  DeadlineSolution sol = materialize(instance, order, rates);
+  if (sol.energy > instance.energy_budget * (1 + 1e-12)) return std::nullopt;
+  return sol;
+}
+
+DeadlineInstance partition_to_deadline_single(
+    std::span<const std::uint64_t> values) {
+  DVFS_REQUIRE(!values.empty(), "partition instance is empty");
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) {
+    DVFS_REQUIRE(v > 0, "partition values must be positive");
+    total += v;
+  }
+  const double s = static_cast<double>(total);
+  DeadlineInstance inst{.tasks = {},
+                        .model = EnergyModel::partition_gadget(),
+                        .energy_budget = 2.5 * s};
+  inst.tasks.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    inst.tasks.push_back(Task{.id = i,
+                              .cycles = values[i],
+                              .arrival = 0.0,
+                              .deadline = 1.5 * s,
+                              .klass = TaskClass::kBatch});
+  }
+  return inst;
+}
+
+std::optional<std::vector<std::size_t>> solve_partition_via_scheduler(
+    std::span<const std::uint64_t> values) {
+  const DeadlineInstance inst = partition_to_deadline_single(values);
+  const auto sol = solve_deadline_single_exact(inst);
+  if (!sol.has_value()) return std::nullopt;
+  // Theorem 1: in any witness the high-rate tasks sum to exactly S/2; they
+  // form one side of the partition.
+  std::vector<std::size_t> subset;
+  for (const ScheduledTask& st : sol->plan.sequence) {
+    if (st.rate_idx == 1) subset.push_back(static_cast<std::size_t>(st.task_id));
+  }
+  return subset;
+}
+
+DeadlineMultiInstance partition_to_deadline_multi(
+    std::span<const std::uint64_t> values) {
+  DVFS_REQUIRE(!values.empty(), "partition instance is empty");
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) {
+    DVFS_REQUIRE(v > 0, "partition values must be positive");
+    total += v;
+  }
+  const double s = static_cast<double>(total);
+  // Single rate p = 1 with T(p) = 1 and (immaterial) E(p) = 1.
+  DeadlineMultiInstance inst{
+      .tasks = {},
+      .model = EnergyModel(RateSet({1.0}), {1.0}, {1.0}),
+      .num_cores = 2};
+  inst.tasks.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    inst.tasks.push_back(Task{.id = i,
+                              .cycles = values[i],
+                              .arrival = 0.0,
+                              .deadline = s / 2.0,
+                              .klass = TaskClass::kBatch});
+  }
+  return inst;
+}
+
+std::optional<Plan> solve_deadline_multi_exact(
+    const DeadlineMultiInstance& instance) {
+  DVFS_REQUIRE(instance.num_cores == 2,
+               "multi-core exact solver covers the 2-core Theorem 2 gadget");
+  DVFS_REQUIRE(instance.tasks.size() <= 28,
+               "exact solver limited to 28 tasks (exponential search)");
+  DVFS_REQUIRE(instance.model.num_rates() == 1,
+               "gadget uses a single processing rate");
+  const std::size_t n = instance.tasks.size();
+  for (const Task& t : instance.tasks) {
+    DVFS_REQUIRE(is_valid(t) && t.has_deadline(), "invalid gadget task");
+  }
+
+  // Heaviest-first DFS over core assignment with load pruning and first-
+  // task symmetry breaking.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.tasks[a].cycles > instance.tasks[b].cycles;
+  });
+
+  std::vector<int> assign(n, -1);
+  std::array<double, 2> load = {0.0, 0.0};
+
+  auto deadline_for = [&](std::size_t i) {
+    return instance.tasks[order[i]].deadline;
+  };
+  auto time_for = [&](std::size_t i) {
+    return instance.model.task_time(instance.tasks[order[i]].cycles, 0);
+  };
+
+  auto dfs = [&](auto&& self, std::size_t depth) -> bool {
+    if (depth == n) return true;
+    const double t = time_for(depth);
+    const std::size_t end = (depth == 0) ? 1 : 2;  // symmetry breaking
+    for (std::size_t c = 0; c < end; ++c) {
+      if (load[c] + t <= deadline_for(depth) * (1 + 1e-12)) {
+        load[c] += t;
+        assign[depth] = static_cast<int>(c);
+        if (self(self, depth + 1)) return true;
+        load[c] -= t;
+        assign[depth] = -1;
+      }
+    }
+    return false;
+  };
+  if (!dfs(dfs, 0)) return std::nullopt;
+
+  Plan plan;
+  plan.cores.resize(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = instance.tasks[order[i]];
+    plan.cores[static_cast<std::size_t>(assign[i])].sequence.push_back(
+        ScheduledTask{t.id, t.cycles, 0});
+  }
+  return plan;
+}
+
+}  // namespace dvfs::core

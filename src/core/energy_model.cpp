@@ -1,0 +1,69 @@
+#include "dvfs/core/energy_model.h"
+
+namespace dvfs::core {
+
+EnergyModel::EnergyModel(RateSet rates, std::vector<double> energy_per_cycle,
+                         std::vector<double> time_per_cycle)
+    : rates_(std::move(rates)),
+      epc_(std::move(energy_per_cycle)),
+      tpc_(std::move(time_per_cycle)) {
+  DVFS_REQUIRE(epc_.size() == rates_.size(),
+               "one E(p) entry per rate required");
+  DVFS_REQUIRE(tpc_.size() == rates_.size(),
+               "one T(p) entry per rate required");
+  DVFS_REQUIRE(epc_.front() > 0.0, "E(p) must be positive");
+  DVFS_REQUIRE(tpc_.back() > 0.0, "T(p) must be positive");
+  for (std::size_t i = 1; i < rates_.size(); ++i) {
+    DVFS_REQUIRE(epc_[i] > epc_[i - 1],
+                 "E(p) must be strictly increasing in rate (Sec. II-C)");
+    DVFS_REQUIRE(tpc_[i] < tpc_[i - 1],
+                 "T(p) must be strictly decreasing in rate (Sec. II-C)");
+  }
+}
+
+EnergyModel EnergyModel::restricted(std::size_t keep_lowest) const {
+  DVFS_REQUIRE(keep_lowest >= 1 && keep_lowest <= rates_.size(),
+               "must keep between 1 and |P| rates");
+  std::vector<Rate> r(rates_.rates().begin(),
+                      rates_.rates().begin() + static_cast<long>(keep_lowest));
+  std::vector<double> e(epc_.begin(),
+                        epc_.begin() + static_cast<long>(keep_lowest));
+  std::vector<double> t(tpc_.begin(),
+                        tpc_.begin() + static_cast<long>(keep_lowest));
+  return EnergyModel(RateSet(std::move(r)), std::move(e), std::move(t));
+}
+
+EnergyModel EnergyModel::icpp2014_table2() {
+  // Table II values are per-cycle figures in nano units: T(1.6 GHz) =
+  // 0.625 ns = 1/1.6 GHz exactly, and E(p)/T(p) gives 5.4 W (1.6 GHz) to
+  // 21.5 W (3.0 GHz) of active per-core power, consistent with an i7-950.
+  constexpr double nano = 1e-9;
+  return EnergyModel(
+      RateSet::i7_950(),
+      {3.375 * nano, 4.22 * nano, 5.0 * nano, 6.0 * nano, 7.1 * nano},
+      {0.625 * nano, 0.5 * nano, 0.42 * nano, 0.36 * nano, 0.33 * nano});
+}
+
+EnergyModel EnergyModel::cubic(const RateSet& rates, double kappa_nj_per_ghz2,
+                               double static_nj) {
+  DVFS_REQUIRE(kappa_nj_per_ghz2 > 0.0, "kappa must be positive");
+  DVFS_REQUIRE(static_nj >= 0.0, "static energy must be non-negative");
+  constexpr double nano = 1e-9;
+  std::vector<double> e;
+  std::vector<double> t;
+  e.reserve(rates.size());
+  t.reserve(rates.size());
+  for (const Rate p : rates.rates()) {
+    e.push_back((kappa_nj_per_ghz2 * p * p + static_nj) * nano);
+    t.push_back(nano / p);  // p in GHz => 1/p ns per cycle
+  }
+  return EnergyModel(rates, std::move(e), std::move(t));
+}
+
+EnergyModel EnergyModel::partition_gadget() {
+  // Rates 0.5 and 1.0 (abstract units) so that T = 1/p gives exactly the
+  // proof's T(pl) = 2, T(ph) = 1; E follows the proof's 1 and 4.
+  return EnergyModel(RateSet({0.5, 1.0}), {1.0, 4.0}, {2.0, 1.0});
+}
+
+}  // namespace dvfs::core

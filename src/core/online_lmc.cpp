@@ -1,0 +1,100 @@
+#include "dvfs/core/online_lmc.h"
+
+#include <limits>
+
+namespace dvfs::core {
+
+LmcScheduler::LmcScheduler(std::vector<CostTable> tables) {
+  DVFS_REQUIRE(!tables.empty(), "need at least one core");
+  queues_.reserve(tables.size());
+  for (CostTable& t : tables) {
+    queues_.emplace_back(std::move(t));
+  }
+}
+
+LmcScheduler::Placement LmcScheduler::place_non_interactive(Cycles cycles,
+                                                            TaskId id) {
+  return place_non_interactive(cycles, id, {});
+}
+
+LmcScheduler::Placement LmcScheduler::place_non_interactive(
+    Cycles cycles, TaskId id, std::span<const Money> extra_cost) {
+  DVFS_REQUIRE(cycles > 0, "tasks need a positive cycle count");
+  DVFS_REQUIRE(extra_cost.empty() || extra_cost.size() == queues_.size(),
+               "extra_cost must have one entry per core");
+  // Evaluate every core's exact marginal cost analytically (no structure
+  // mutation); ties keep the lowest core index so runs are deterministic.
+  std::size_t best_core = 0;
+  Money best_marginal = 0.0;
+  for (std::size_t j = 0; j < queues_.size(); ++j) {
+    Money m = queues_[j].peek_marginal_insert_cost(cycles);
+    if (!extra_cost.empty()) m += extra_cost[j];
+    if (j == 0 || m < best_marginal) {
+      best_marginal = m;
+      best_core = j;
+    }
+  }
+  const auto ref = queues_[best_core].insert(cycles, id);
+  return Placement{best_core, ref, best_marginal};
+}
+
+std::size_t LmcScheduler::choose_interactive_core(
+    Cycles cycles, std::span<const std::size_t> extra_waiting) const {
+  DVFS_REQUIRE(cycles > 0, "tasks need a positive cycle count");
+  DVFS_REQUIRE(extra_waiting.empty() || extra_waiting.size() == queues_.size(),
+               "extra_waiting must have one entry per core");
+  std::size_t best = 0;
+  Money best_cost = std::numeric_limits<Money>::infinity();
+  for (std::size_t j = 0; j < queues_.size(); ++j) {
+    const std::size_t waiting =
+        queues_[j].size() + (extra_waiting.empty() ? 0 : extra_waiting[j]);
+    const Money c = interactive_marginal_cost(j, cycles, waiting);
+    if (c < best_cost) {
+      best_cost = c;
+      best = j;
+    }
+  }
+  return best;
+}
+
+Money LmcScheduler::interactive_marginal_cost(std::size_t core, Cycles cycles,
+                                              std::size_t waiting) const {
+  DVFS_REQUIRE(core < queues_.size(), "core index out of range");
+  const CostTable& t = queues_[core].table();
+  const EnergyModel& m = t.model();
+  const std::size_t pm = m.rates().highest_index();
+  const double l = static_cast<double>(cycles);
+  // Eq. 27: own energy cost + own time cost + delay inflicted on the
+  // `waiting` tasks already queued behind this core.
+  return t.params().re * l * m.energy_per_cycle(pm) +
+         t.params().rt * l * m.time_per_cycle(pm) +
+         t.params().rt * l * m.time_per_cycle(pm) *
+             static_cast<double>(waiting);
+}
+
+std::optional<LmcScheduler::Dispatched> LmcScheduler::pop_next(
+    std::size_t core) {
+  DVFS_REQUIRE(core < queues_.size(), "core index out of range");
+  DynamicSingleCoreScheduler& q = queues_[core];
+  if (q.empty()) return std::nullopt;
+  const auto ref = q.front();  // fewest cycles; backward position == size
+  Dispatched d{DynamicSingleCoreScheduler::id_of(ref),
+               DynamicSingleCoreScheduler::cycles_of(ref),
+               q.table().best_rate(q.size())};
+  q.erase(ref);
+  return d;
+}
+
+void LmcScheduler::erase(std::size_t core,
+                         DynamicSingleCoreScheduler::TaskRef ref) {
+  DVFS_REQUIRE(core < queues_.size(), "core index out of range");
+  queues_[core].erase(ref);
+}
+
+Money LmcScheduler::total_queue_cost() const {
+  Money c = 0.0;
+  for (const DynamicSingleCoreScheduler& q : queues_) c += q.total_cost();
+  return c;
+}
+
+}  // namespace dvfs::core

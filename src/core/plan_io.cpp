@@ -1,0 +1,102 @@
+#include "dvfs/core/plan_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace dvfs::core {
+namespace {
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  DVFS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+               std::string("bad unsigned integer in ") + what);
+  return v;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+void write_plan_csv(const Plan& plan, std::ostream& os) {
+  os << "core,position,task_id,cycles,rate_idx\n";
+  for (std::size_t j = 0; j < plan.cores.size(); ++j) {
+    for (std::size_t k = 0; k < plan.cores[j].sequence.size(); ++k) {
+      const ScheduledTask& st = plan.cores[j].sequence[k];
+      os << j << ',' << (k + 1) << ',' << st.task_id << ',' << st.cycles
+         << ',' << st.rate_idx << '\n';
+    }
+  }
+}
+
+void write_plan_csv_file(const Plan& plan, const std::string& path) {
+  std::ofstream os(path);
+  DVFS_REQUIRE(os.good(), "cannot open plan file for writing: " + path);
+  write_plan_csv(plan, os);
+  DVFS_REQUIRE(os.good(), "write failed: " + path);
+}
+
+Plan read_plan_csv(std::istream& is) {
+  std::string line;
+  DVFS_REQUIRE(static_cast<bool>(std::getline(is, line)),
+               "empty plan stream");
+  DVFS_REQUIRE(line == "core,position,task_id,cycles,rate_idx",
+               "missing plan CSV header");
+  // core -> position -> task; validated for duplicates and gaps below.
+  std::map<std::size_t, std::map<std::size_t, ScheduledTask>> rows;
+  std::size_t max_core = 0;
+  bool any = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    DVFS_REQUIRE(fields.size() == 5, "plan CSV row must have 5 fields");
+    const std::size_t core = parse_u64(fields[0], "core");
+    const std::size_t position = parse_u64(fields[1], "position");
+    DVFS_REQUIRE(position >= 1, "positions are 1-based");
+    ScheduledTask st;
+    st.task_id = parse_u64(fields[2], "task_id");
+    st.cycles = parse_u64(fields[3], "cycles");
+    st.rate_idx = parse_u64(fields[4], "rate_idx");
+    DVFS_REQUIRE(rows[core].emplace(position, st).second,
+                 "duplicate (core, position) in plan CSV");
+    max_core = std::max(max_core, core);
+    any = true;
+  }
+  Plan plan;
+  if (!any) return plan;
+  plan.cores.resize(max_core + 1);
+  for (const auto& [core, by_pos] : rows) {
+    std::size_t expect = 1;
+    for (const auto& [position, st] : by_pos) {
+      DVFS_REQUIRE(position == expect,
+                   "gap in plan positions for core " + std::to_string(core));
+      ++expect;
+      plan.cores[core].sequence.push_back(st);
+    }
+  }
+  return plan;
+}
+
+Plan read_plan_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  DVFS_REQUIRE(is.good(), "cannot open plan file for reading: " + path);
+  return read_plan_csv(is);
+}
+
+}  // namespace dvfs::core

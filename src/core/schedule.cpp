@@ -1,0 +1,73 @@
+#include "dvfs/core/schedule.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dvfs::core {
+namespace {
+
+void accumulate_core(const CorePlan& core, const CostTable& table,
+                     PlanCost& acc) {
+  const EnergyModel& m = table.model();
+  Seconds clock = 0.0;
+  for (const ScheduledTask& st : core.sequence) {
+    DVFS_REQUIRE(st.rate_idx < m.num_rates(), "rate index out of range");
+    const Seconds run = m.task_time(st.cycles, st.rate_idx);
+    clock += run;  // turnaround = waiting for predecessors + own run time
+    acc.energy += m.task_energy(st.cycles, st.rate_idx);
+    acc.total_turnaround += clock;
+  }
+  acc.makespan = std::max(acc.makespan, clock);
+}
+
+}  // namespace
+
+PlanCost evaluate_plan(const Plan& plan, const CostTable& table) {
+  PlanCost acc;
+  for (const CorePlan& core : plan.cores) accumulate_core(core, table, acc);
+  acc.energy_cost = table.params().re * acc.energy;
+  acc.time_cost = table.params().rt * acc.total_turnaround;
+  return acc;
+}
+
+PlanCost evaluate_plan(const Plan& plan, std::span<const CostTable> tables) {
+  DVFS_REQUIRE(plan.cores.size() == tables.size(),
+               "one cost table per core required");
+  DVFS_REQUIRE(!tables.empty(), "need at least one core");
+  // All tables must share the same Re/Rt: cost weights are a property of
+  // the operator, not of a core.
+  for (const CostTable& t : tables) {
+    DVFS_REQUIRE(almost_equal(t.params().re, tables[0].params().re) &&
+                     almost_equal(t.params().rt, tables[0].params().rt),
+                 "cost weights must agree across cores");
+  }
+  PlanCost acc;
+  for (std::size_t j = 0; j < plan.cores.size(); ++j) {
+    accumulate_core(plan.cores[j], tables[j], acc);
+  }
+  acc.energy_cost = tables[0].params().re * acc.energy;
+  acc.time_cost = tables[0].params().rt * acc.total_turnaround;
+  return acc;
+}
+
+bool plan_is_permutation_of(const Plan& plan, std::span<const Task> tasks,
+                            std::span<const CostTable> tables) {
+  if (plan.cores.size() != tables.size()) return false;
+  std::map<TaskId, Cycles> expected;
+  for (const Task& t : tasks) {
+    if (!expected.emplace(t.id, t.cycles).second) return false;  // dup id
+  }
+  std::size_t seen = 0;
+  for (std::size_t j = 0; j < plan.cores.size(); ++j) {
+    for (const ScheduledTask& st : plan.cores[j].sequence) {
+      auto it = expected.find(st.task_id);
+      if (it == expected.end() || it->second != st.cycles) return false;
+      expected.erase(it);
+      ++seen;
+      if (st.rate_idx >= tables[j].model().num_rates()) return false;
+    }
+  }
+  return seen == tasks.size() && expected.empty();
+}
+
+}  // namespace dvfs::core

@@ -1,0 +1,76 @@
+#include "dvfs/cpufreq/governor_daemon.h"
+
+#include <algorithm>
+
+namespace dvfs::cpufreq {
+namespace {
+
+/// Index of `khz` in the (ascending) table; the value is known-member.
+std::size_t index_of(const std::vector<KHz>& table, KHz khz) {
+  const auto it = std::find(table.begin(), table.end(), khz);
+  DVFS_REQUIRE(it != table.end(), "current frequency not in the table");
+  return static_cast<std::size_t>(it - table.begin());
+}
+
+}  // namespace
+
+GovernorDaemon::GovernorDaemon(CpufreqBackend& backend)
+    : GovernorDaemon(backend, Config{}) {}
+
+GovernorDaemon::GovernorDaemon(CpufreqBackend& backend, Config config)
+    : backend_(backend), config_(config) {
+  DVFS_REQUIRE(config_.ondemand_threshold > 0.0 &&
+                   config_.ondemand_threshold <= 1.0,
+               "ondemand threshold must be in (0, 1]");
+  DVFS_REQUIRE(config_.conservative_down >= 0.0 &&
+                   config_.conservative_down < config_.conservative_up &&
+                   config_.conservative_up <= 1.0,
+               "conservative thresholds must satisfy 0 <= down < up <= 1");
+}
+
+void GovernorDaemon::transition(std::size_t cpu, KHz target) {
+  if (backend_.current_khz(cpu) != target) {
+    backend_.driver_set_speed(cpu, target);
+  }
+}
+
+void GovernorDaemon::tick(std::span<const double> load_per_cpu) {
+  DVFS_REQUIRE(load_per_cpu.size() == backend_.num_cpus(),
+               "one load sample per cpu required");
+  for (std::size_t cpu = 0; cpu < load_per_cpu.size(); ++cpu) {
+    const double load = load_per_cpu[cpu];
+    DVFS_REQUIRE(load >= 0.0 && load <= 1.0, "load must be in [0, 1]");
+    const std::vector<KHz> table = backend_.available_khz(cpu);
+    const std::size_t cur = index_of(table, backend_.current_khz(cpu));
+
+    switch (backend_.governor(cpu)) {
+      case GovernorKind::kUserspace:
+        break;  // the userspace scheduler owns this core
+      case GovernorKind::kPerformance:
+        transition(cpu, table.back());
+        break;
+      case GovernorKind::kPowersave:
+        transition(cpu, table.front());
+        break;
+      case GovernorKind::kOndemand:
+        // Section V-A3: above the threshold jump straight to the top;
+        // below it, back off one level per sampling period.
+        if (load > config_.ondemand_threshold) {
+          transition(cpu, table.back());
+        } else if (cur > 0) {
+          transition(cpu, table[cur - 1]);
+        }
+        break;
+      case GovernorKind::kConservative:
+        // Gradual in both directions with a hysteresis band.
+        if (load > config_.conservative_up && cur + 1 < table.size()) {
+          transition(cpu, table[cur + 1]);
+        } else if (load < config_.conservative_down && cur > 0) {
+          transition(cpu, table[cur - 1]);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace dvfs::cpufreq

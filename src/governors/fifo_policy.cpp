@@ -1,0 +1,155 @@
+#include "dvfs/governors/fifo_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dvfs::governors {
+
+void FifoPolicy::attach(sim::Engine& engine) {
+  per_core_.assign(engine.num_cores(), CoreQueues{});
+  rr_next_ = 0;
+  // Resolve the cap against each core's model; heterogeneous cores may
+  // have different rate counts, so clamp per core at use. The stored cap
+  // is validated against the smallest model.
+  std::size_t min_rates = std::numeric_limits<std::size_t>::max();
+  for (std::size_t j = 0; j < engine.num_cores(); ++j) {
+    min_rates = std::min(min_rates, engine.model(j).num_rates());
+  }
+  cap_ = (config_.rate_cap == static_cast<std::size_t>(-1))
+             ? min_rates - 1
+             : config_.rate_cap;
+  DVFS_REQUIRE(cap_ < min_rates, "rate cap exceeds a core's rate count");
+  // Ondemand on an idle machine has decayed to the lowest frequency; the
+  // governor ramps up only after the first above-threshold sample.
+  for (CoreQueues& q : per_core_) q.level = 0;
+  DVFS_REQUIRE(config_.load_threshold > 0.0 && config_.load_threshold <= 1.0,
+               "load threshold must be in (0, 1]");
+  DVFS_REQUIRE(config_.conservative_down >= 0.0 &&
+                   config_.conservative_down < config_.load_threshold,
+               "conservative band must satisfy 0 <= down < up threshold");
+  DVFS_REQUIRE(config_.sample_interval > 0.0,
+               "sample interval must be positive");
+}
+
+std::size_t FifoPolicy::choose_core(const sim::Engine& engine,
+                                    const core::Task& task) {
+  (void)task;
+  if (config_.placement == Placement::kRoundRobin) {
+    const std::size_t core = rr_next_;
+    rr_next_ = (rr_next_ + 1) % per_core_.size();
+    return core;
+  }
+  // Earliest ready-to-execute time: pending work divided by the core's
+  // cap-rate speed (OLB keeps frequencies maximal, so this is the true
+  // drain time on a homogeneous platform and a faithful proxy otherwise).
+  std::size_t best = 0;
+  double best_ready = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < per_core_.size(); ++j) {
+    const double ready =
+        per_core_[j].backlog_cycles * engine.model(j).time_per_cycle(cap_);
+    if (ready < best_ready) {
+      best_ready = ready;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::size_t FifoPolicy::start_rate(std::size_t core) const {
+  return config_.freq == FreqMode::kMax ? cap_ : per_core_[core].level;
+}
+
+void FifoPolicy::start_next(sim::Engine& engine, std::size_t core) {
+  CoreQueues& q = per_core_[core];
+  if (engine.busy(core)) return;
+  if (!q.interactive.empty()) {
+    const Queued next = q.interactive.front();
+    q.interactive.pop_front();
+    engine.start(core, next.id, next.remaining_cycles, start_rate(core));
+  } else if (!q.preempted.empty()) {
+    const Queued next = q.preempted.back();
+    q.preempted.pop_back();
+    engine.start(core, next.id, next.remaining_cycles, start_rate(core));
+  } else if (!q.non_interactive.empty()) {
+    const Queued next = q.non_interactive.front();
+    q.non_interactive.pop_front();
+    engine.start(core, next.id, next.remaining_cycles, start_rate(core));
+  }
+}
+
+void FifoPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
+  const std::size_t core = choose_core(engine, task);
+  CoreQueues& q = per_core_[core];
+  q.backlog_cycles += static_cast<double>(task.cycles);
+
+  const Queued entry{task.id, static_cast<double>(task.cycles)};
+  if (task.priority() > 0) {
+    // Interactive: preempt a running lower-priority task, else queue FIFO
+    // behind same-priority work.
+    if (engine.busy(core)) {
+      const core::TaskId running = engine.running_task(core);
+      if (engine.record(running).klass == core::TaskClass::kInteractive) {
+        q.interactive.push_back(entry);
+        return;
+      }
+      const sim::Engine::Preempted p = engine.preempt(core);
+      q.preempted.push_back(Queued{p.task, p.remaining_cycles});
+    }
+    engine.start(core, task.id, entry.remaining_cycles, start_rate(core));
+    return;
+  }
+  if (engine.busy(core)) {
+    q.non_interactive.push_back(entry);
+  } else {
+    engine.start(core, task.id, entry.remaining_cycles, start_rate(core));
+  }
+}
+
+void FifoPolicy::on_complete(sim::Engine& engine, std::size_t core,
+                             core::TaskId task) {
+  CoreQueues& q = per_core_[core];
+  q.backlog_cycles -= static_cast<double>(engine.record(task).cycles);
+  if (q.backlog_cycles < 0.0) q.backlog_cycles = 0.0;  // float dust
+  start_next(engine, core);
+}
+
+void FifoPolicy::on_timer(sim::Engine& engine) {
+  // Sample each core's loading over the last period and apply the
+  // governor rule: ondemand (Section V-A3) jumps to the cap above the
+  // threshold and steps down below it; conservative steps one level in
+  // either direction with a hysteresis band.
+  for (std::size_t j = 0; j < per_core_.size(); ++j) {
+    CoreQueues& q = per_core_[j];
+    const Seconds busy_now = engine.cumulative_busy_seconds(j);
+    const double load = (busy_now - q.busy_sample) / config_.sample_interval;
+    q.busy_sample = busy_now;
+    if (config_.freq == FreqMode::kOndemand) {
+      if (load > config_.load_threshold) {
+        q.level = cap_;
+      } else if (q.level > 0) {
+        q.level -= 1;
+      }
+    } else if (config_.freq == FreqMode::kConservative) {
+      if (load > config_.load_threshold && q.level < cap_) {
+        q.level += 1;
+      } else if (load < config_.conservative_down && q.level > 0) {
+        q.level -= 1;
+      }
+    }
+    if (engine.busy(j)) {
+      engine.set_rate(j, q.level);
+    }
+  }
+}
+
+bool FifoPolicy::idle() const {
+  for (const CoreQueues& q : per_core_) {
+    if (!q.interactive.empty() || !q.non_interactive.empty() ||
+        !q.preempted.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dvfs::governors

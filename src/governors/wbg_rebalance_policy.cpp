@@ -1,0 +1,165 @@
+#include "dvfs/governors/wbg_rebalance_policy.h"
+
+#include <limits>
+
+namespace dvfs::governors {
+
+WbgRebalancePolicy::WbgRebalancePolicy(std::vector<core::CostTable> tables,
+                                       Cycles migration_penalty_cycles)
+    : tables_(std::move(tables)), penalty_(migration_penalty_cycles) {
+  DVFS_REQUIRE(!tables_.empty(), "need at least one core");
+}
+
+void WbgRebalancePolicy::attach(sim::Engine& engine) {
+  DVFS_REQUIRE(engine.num_cores() == tables_.size(),
+               "one cost table per engine core required");
+  for (std::size_t j = 0; j < engine.num_cores(); ++j) {
+    DVFS_REQUIRE(tables_[j].model().num_rates() ==
+                     engine.model(j).num_rates(),
+                 "cost table and engine model disagree on the rate set");
+  }
+  per_core_.assign(tables_.size(), CoreState{});
+  queued_.clear();
+  migrations_ = 0;
+  replans_ = 0;
+}
+
+void WbgRebalancePolicy::replan(const std::vector<core::Task>& extra) {
+  // Gather every queued (not running) non-interactive task plus arrivals.
+  std::vector<core::Task> tasks;
+  tasks.reserve(queued_.size() + extra.size());
+  for (const auto& [id, q] : queued_) {
+    tasks.push_back(core::Task{.id = id, .cycles = q.cycles});
+  }
+  for (const core::Task& t : extra) {
+    tasks.push_back(core::Task{.id = t.id, .cycles = t.cycles});
+  }
+  const core::Plan plan = core::workload_based_greedy(tasks, tables_);
+  ++replans_;
+
+  for (std::size_t j = 0; j < per_core_.size(); ++j) {
+    per_core_[j].plan.assign(plan.cores[j].sequence.begin(),
+                             plan.cores[j].sequence.end());
+    for (const core::ScheduledTask& st : plan.cores[j].sequence) {
+      auto it = queued_.find(st.task_id);
+      if (it == queued_.end()) {
+        // Newly arrived task: first placement is free.
+        queued_.emplace(st.task_id, QueuedTask{st.cycles, j});
+      } else if (it->second.home != j) {
+        // Migration: charge the penalty to the moved task's future run.
+        ++migrations_;
+        it->second.home = j;
+        it->second.cycles += penalty_;
+      }
+    }
+  }
+}
+
+std::size_t WbgRebalancePolicy::choose_interactive_core(Cycles cycles) const {
+  std::size_t best = 0;
+  Money best_cost = std::numeric_limits<Money>::infinity();
+  for (std::size_t j = 0; j < per_core_.size(); ++j) {
+    const core::CostTable& t = tables_[j];
+    const core::EnergyModel& m = t.model();
+    const std::size_t pm = m.rates().highest_index();
+    const std::size_t waiting = per_core_[j].plan.size() +
+                                per_core_[j].pending_interactive.size() +
+                                per_core_[j].preempted.size();
+    const double l = static_cast<double>(cycles);
+    const Money c = t.params().re * l * m.energy_per_cycle(pm) +
+                    t.params().rt * l * m.time_per_cycle(pm) *
+                        static_cast<double>(1 + waiting);
+    if (c < best_cost) {
+      best_cost = c;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void WbgRebalancePolicy::adjust_running_rate(sim::Engine& engine,
+                                             std::size_t core) {
+  if (!engine.busy(core)) return;
+  const core::TaskId running = engine.running_task(core);
+  if (engine.record(running).klass == core::TaskClass::kInteractive) return;
+  engine.set_rate(core,
+                  tables_[core].best_rate(per_core_[core].plan.size() + 1));
+}
+
+void WbgRebalancePolicy::start_next(sim::Engine& engine, std::size_t core) {
+  if (engine.busy(core)) return;
+  CoreState& st = per_core_[core];
+  const std::size_t pm = tables_[core].model().rates().highest_index();
+  if (!st.pending_interactive.empty()) {
+    const Pending next = st.pending_interactive.front();
+    st.pending_interactive.pop_front();
+    engine.start(core, next.id, next.remaining_cycles, pm);
+    return;
+  }
+  if (!st.preempted.empty()) {
+    const Pending next = st.preempted.back();
+    st.preempted.pop_back();
+    engine.start(core, next.id, next.remaining_cycles,
+                 tables_[core].best_rate(st.plan.size() + 1));
+    return;
+  }
+  if (!st.plan.empty()) {
+    const core::ScheduledTask head = st.plan.front();
+    st.plan.pop_front();
+    const auto it = queued_.find(head.task_id);
+    DVFS_REQUIRE(it != queued_.end(), "planned task not in the queued set");
+    const Cycles cycles = it->second.cycles;  // includes penalties
+    queued_.erase(it);
+    engine.start(core, head.task_id, static_cast<double>(cycles),
+                 head.rate_idx);
+  }
+}
+
+void WbgRebalancePolicy::on_arrival(sim::Engine& engine,
+                                    const core::Task& task) {
+  if (task.klass == core::TaskClass::kInteractive) {
+    const std::size_t core = choose_interactive_core(task.cycles);
+    CoreState& st = per_core_[core];
+    const std::size_t pm = tables_[core].model().rates().highest_index();
+    if (!engine.busy(core)) {
+      engine.start(core, task.id, static_cast<double>(task.cycles), pm);
+      return;
+    }
+    const core::TaskId running = engine.running_task(core);
+    if (engine.record(running).klass == core::TaskClass::kInteractive) {
+      st.pending_interactive.push_back(
+          Pending{task.id, static_cast<double>(task.cycles)});
+      return;
+    }
+    const sim::Engine::Preempted p = engine.preempt(core);
+    st.preempted.push_back(Pending{p.task, p.remaining_cycles});
+    engine.start(core, task.id, static_cast<double>(task.cycles), pm);
+    return;
+  }
+
+  DVFS_REQUIRE(task.klass == core::TaskClass::kNonInteractive,
+               "online traces contain interactive/non-interactive tasks");
+  replan({task});
+  for (std::size_t j = 0; j < per_core_.size(); ++j) {
+    start_next(engine, j);
+    adjust_running_rate(engine, j);
+  }
+}
+
+void WbgRebalancePolicy::on_complete(sim::Engine& engine, std::size_t core,
+                                     core::TaskId task) {
+  (void)task;
+  start_next(engine, core);
+}
+
+bool WbgRebalancePolicy::idle() const {
+  for (const CoreState& st : per_core_) {
+    if (!st.plan.empty() || !st.pending_interactive.empty() ||
+        !st.preempted.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dvfs::governors

@@ -1,0 +1,55 @@
+#include "dvfs/parallel/seed_sweep.h"
+
+#include <algorithm>
+
+namespace dvfs::parallel {
+
+Stats summarize(const std::vector<double>& samples) {
+  DVFS_REQUIRE(!samples.empty(), "no samples to summarize");
+  Stats s;
+  s.n = samples.size();
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double sq = 0.0;
+    for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+std::map<std::string, Stats> sweep_seeds(
+    ThreadPool& pool, std::size_t replications, std::uint64_t first_seed,
+    const std::function<MetricMap(std::uint64_t seed)>& measure) {
+  DVFS_REQUIRE(replications >= 1, "need at least one replication");
+  std::vector<MetricMap> results(replications);
+  pool.parallel_for(replications, [&](std::size_t i) {
+    results[i] = measure(first_seed + i);
+  });
+
+  std::map<std::string, std::vector<double>> columns;
+  for (const auto& [name, value] : results[0]) {
+    columns[name].reserve(replications);
+    (void)value;
+  }
+  for (const MetricMap& r : results) {
+    DVFS_REQUIRE(r.size() == columns.size(),
+                 "replications must report identical metric sets");
+    for (const auto& [name, value] : r) {
+      const auto it = columns.find(name);
+      DVFS_REQUIRE(it != columns.end(),
+                   "metric missing from a replication: " + name);
+      it->second.push_back(value);
+    }
+  }
+  std::map<std::string, Stats> out;
+  for (const auto& [name, samples] : columns) {
+    out.emplace(name, summarize(samples));
+  }
+  return out;
+}
+
+}  // namespace dvfs::parallel

@@ -1,0 +1,151 @@
+#include "dvfs/rt/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dvfs::rt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Seconds seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// CPU-bound mixing kernel. The state dependency chain defeats both
+// vectorization and dead-code elimination (the result is returned and
+// eventually stored by the caller).
+std::uint64_t kernel(std::uint64_t state, std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    state += 0x9e3779b97f4a7c15ULL;
+  }
+  return state;
+}
+
+void try_pin_to_cpu(std::size_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::max(1u, std::thread::hardware_concurrency()), &set);
+  // Best-effort: a sandbox may forbid affinity changes; correctness does
+  // not depend on placement, only timing fidelity does.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+SpinCalibrator::SpinCalibrator(double calibration_seconds) {
+  DVFS_REQUIRE(calibration_seconds > 0.0,
+               "calibration duration must be positive");
+  // Warm up, then measure.
+  std::uint64_t sink = kernel(1, 200'000);
+  const auto t0 = Clock::now();
+  std::uint64_t iterations = 0;
+  constexpr std::uint64_t kChunk = 100'000;
+  while (seconds_since(t0) < calibration_seconds) {
+    sink = kernel(sink, kChunk);
+    iterations += kChunk;
+  }
+  const double elapsed = seconds_since(t0);
+  ips_ = static_cast<double>(iterations) / elapsed;
+  DVFS_REQUIRE(ips_ > 0.0 && sink != 0, "calibration failed");
+}
+
+std::uint64_t SpinCalibrator::spin_for(Seconds seconds, double ips) {
+  DVFS_REQUIRE(seconds >= 0.0, "cannot spin for negative time");
+  DVFS_REQUIRE(ips > 0.0, "invalid calibration");
+  const auto t0 = Clock::now();
+  std::uint64_t sink = 0x243f6a8885a308d3ULL;
+  // Chunks cap at ~200 us between clock checks but shrink near the target
+  // so short spins do not overshoot by a whole chunk.
+  const std::uint64_t max_chunk =
+      std::max<std::uint64_t>(1'000, static_cast<std::uint64_t>(ips * 2e-4));
+  while (true) {
+    const double remaining = seconds - seconds_since(t0);
+    if (remaining <= 0.0) break;
+    const auto want = static_cast<std::uint64_t>(remaining * ips);
+    sink = kernel(sink, std::clamp<std::uint64_t>(want, 256, max_chunk));
+  }
+  return sink;
+}
+
+double RtResult::worst_relative_drift() const {
+  double worst = 0.0;
+  for (const RtTaskRecord& t : tasks) {
+    if (t.planned_seconds <= 0.0) continue;
+    const double drift =
+        std::fabs((t.finish - t.start) - t.planned_seconds) /
+        t.planned_seconds;
+    worst = std::max(worst, drift);
+  }
+  return worst;
+}
+
+RealtimeExecutor::RealtimeExecutor(core::EnergyModel model, Config config)
+    : model_(std::move(model)), config_(config) {
+  DVFS_REQUIRE(config_.time_scale > 0.0, "time scale must be positive");
+}
+
+RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
+  for (const core::CorePlan& c : plan.cores) {
+    for (const core::ScheduledTask& st : c.sequence) {
+      DVFS_REQUIRE(st.rate_idx < model_.num_rates(),
+                   "plan uses a rate the model lacks");
+    }
+  }
+
+  RtResult result;
+  std::mutex result_mutex;
+  const auto t0 = Clock::now();
+  const double ips = calibrator_.iterations_per_second();
+
+  std::vector<std::thread> workers;
+  workers.reserve(plan.cores.size());
+  for (std::size_t j = 0; j < plan.cores.size(); ++j) {
+    workers.emplace_back([&, j] {
+      if (config_.pin_threads) try_pin_to_cpu(j);
+      std::uint64_t sink = 0;
+      for (const core::ScheduledTask& st : plan.cores[j].sequence) {
+        RtTaskRecord rec;
+        rec.id = st.task_id;
+        rec.core = j;
+        rec.rate_idx = st.rate_idx;
+        rec.planned_seconds =
+            model_.task_time(st.cycles, st.rate_idx) * config_.time_scale;
+        rec.model_energy = model_.task_energy(st.cycles, st.rate_idx);
+        rec.start = seconds_since(t0);
+        sink += SpinCalibrator::spin_for(rec.planned_seconds, ips);
+        rec.finish = seconds_since(t0);
+        {
+          const std::scoped_lock lock(result_mutex);
+          result.tasks.push_back(rec);
+        }
+      }
+      // Keep the kernel's work observable without polluting records.
+      DVFS_REQUIRE(sink != 1, "unreachable");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  result.wall_makespan = seconds_since(t0);
+  for (const RtTaskRecord& t : result.tasks) {
+    result.model_energy += t.model_energy;
+  }
+  return result;
+}
+
+}  // namespace dvfs::rt

@@ -1,0 +1,358 @@
+#include "dvfs/sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dvfs/sim/metrics.h"
+
+namespace dvfs::sim {
+
+namespace {
+// A task is complete once less than half a cycle remains (floating-point
+// progress integration can leave ulp-scale residue at the completion
+// event's exact timestamp).
+constexpr double kCompletionEpsilonCycles = 0.5;
+}  // namespace
+
+Seconds SimResult::busy_seconds(std::size_t core) const {
+  DVFS_REQUIRE(core < rate_residency.size(), "core index out of range");
+  Seconds s = 0.0;
+  for (const Seconds r : rate_residency[core]) s += r;
+  return s;
+}
+
+std::vector<double> SimResult::rate_share() const {
+  std::size_t rates = 0;
+  for (const auto& row : rate_residency) rates = std::max(rates, row.size());
+  std::vector<double> share(rates, 0.0);
+  Seconds total = 0.0;
+  for (const auto& row : rate_residency) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      share[i] += row[i];
+      total += row[i];
+    }
+  }
+  if (total <= 0.0) return {};
+  for (double& s : share) s /= total;
+  return share;
+}
+
+double SimResult::utilization(std::size_t core) const {
+  if (end_time <= 0.0) return 0.0;
+  return busy_seconds(core) / end_time;
+}
+
+std::size_t SimResult::completed_count() const {
+  std::size_t n = 0;
+  for (const TaskRecord& t : tasks) {
+    if (t.completed()) ++n;
+  }
+  return n;
+}
+
+Seconds SimResult::total_turnaround() const {
+  Seconds s = 0.0;
+  for (const TaskRecord& t : tasks) {
+    if (t.completed()) s += t.turnaround();
+  }
+  return s;
+}
+
+Seconds SimResult::total_turnaround(core::TaskClass klass) const {
+  Seconds s = 0.0;
+  for (const TaskRecord& t : tasks) {
+    if (t.klass == klass && t.completed()) s += t.turnaround();
+  }
+  return s;
+}
+
+std::size_t SimResult::deadline_misses(core::TaskClass klass) const {
+  std::size_t n = 0;
+  for (const TaskRecord& t : tasks) {
+    if (t.klass == klass && t.missed_deadline()) ++n;
+  }
+  return n;
+}
+
+Seconds SimResult::turnaround_percentile(core::TaskClass klass,
+                                         double p) const {
+  DVFS_REQUIRE(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
+  std::vector<Seconds> values;
+  for (const TaskRecord& t : tasks) {
+    if (t.klass == klass && t.completed()) values.push_back(t.turnaround());
+  }
+  DVFS_REQUIRE(!values.empty(), "no completed tasks of that class");
+  std::sort(values.begin(), values.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+Seconds SimResult::mean_turnaround(core::TaskClass klass) const {
+  Seconds s = 0.0;
+  std::size_t n = 0;
+  for (const TaskRecord& t : tasks) {
+    if (t.klass == klass && t.completed()) {
+      s += t.turnaround();
+      ++n;
+    }
+  }
+  DVFS_REQUIRE(n > 0, "no completed tasks of that class");
+  return s / static_cast<double>(n);
+}
+
+Engine::Engine(std::vector<core::EnergyModel> models,
+               ContentionModel contention, double idle_watts,
+               Seconds dvfs_transition_latency)
+    : models_(std::move(models)),
+      contention_(contention),
+      idle_watts_(idle_watts),
+      transition_latency_(dvfs_transition_latency) {
+  DVFS_REQUIRE(!models_.empty(), "need at least one core");
+  DVFS_REQUIRE(idle_watts_ >= 0.0, "idle power cannot be negative");
+  DVFS_REQUIRE(transition_latency_ >= 0.0,
+               "transition latency cannot be negative");
+  cores_.resize(models_.size());
+}
+
+void Engine::charge_transition(CoreState& c, std::size_t new_rate) {
+  if (transition_latency_ > 0.0 && c.last_rate != kNoRate &&
+      c.last_rate != new_rate) {
+    c.stall_remaining += transition_latency_;
+  }
+  c.last_rate = new_rate;
+}
+
+void Engine::check_core(std::size_t core) const {
+  DVFS_REQUIRE(core < cores_.size(), "core index out of range");
+}
+
+const core::EnergyModel& Engine::model(std::size_t core) const {
+  check_core(core);
+  return models_[core];
+}
+
+bool Engine::busy(std::size_t core) const {
+  check_core(core);
+  return cores_[core].busy;
+}
+
+core::TaskId Engine::running_task(std::size_t core) const {
+  check_core(core);
+  DVFS_REQUIRE(cores_[core].busy, "core is idle");
+  return result_.tasks[cores_[core].record_idx].id;
+}
+
+std::size_t Engine::current_rate(std::size_t core) const {
+  check_core(core);
+  DVFS_REQUIRE(cores_[core].busy, "core is idle");
+  return cores_[core].rate_idx;
+}
+
+double Engine::remaining_cycles(std::size_t core) const {
+  check_core(core);
+  DVFS_REQUIRE(cores_[core].busy, "core is idle");
+  return cores_[core].remaining;
+}
+
+Seconds Engine::cumulative_busy_seconds(std::size_t core) const {
+  check_core(core);
+  return cores_[core].busy_seconds;
+}
+
+const TaskRecord& Engine::record(core::TaskId task) const {
+  return result_.tasks[record_index(task)];
+}
+
+std::size_t Engine::record_index(core::TaskId task) const {
+  const auto it = record_of_.find(task);
+  DVFS_REQUIRE(it != record_of_.end(), "unknown task id");
+  return it->second;
+}
+
+void Engine::sync_to(Seconds t) {
+  DVFS_REQUIRE(t >= now_ - 1e-9, "time cannot go backwards");
+  const Seconds dt = std::max(0.0, t - now_);
+  if (dt > 0.0) {
+    const double factor = contention_.factor(busy_count_);
+    for (std::size_t j = 0; j < cores_.size(); ++j) {
+      CoreState& c = cores_[j];
+      if (!c.busy) {
+        result_.idle_energy += idle_watts_ * dt;
+        continue;
+      }
+      const core::EnergyModel& m = models_[j];
+      const double tpc = m.time_per_cycle(c.rate_idx);
+      // A pending DVFS transition stalls the core (busy power, no
+      // progress) before execution resumes.
+      const Seconds stalled = std::min(dt, c.stall_remaining);
+      c.stall_remaining -= stalled;
+      const double executed = (dt - stalled) / (tpc * factor);
+      c.remaining = std::max(0.0, c.remaining - executed);
+      const Joules joules = m.busy_power(c.rate_idx) * dt;
+      result_.busy_energy += joules;
+      result_.tasks[c.record_idx].energy += joules;
+      result_.rate_residency[j][c.rate_idx] += dt;
+      c.busy_seconds += dt;
+    }
+  }
+  now_ = std::max(now_, t);
+}
+
+void Engine::reschedule_completions() {
+  const double factor = contention_.factor(busy_count_);
+  for (std::size_t j = 0; j < cores_.size(); ++j) {
+    CoreState& c = cores_[j];
+    if (!c.busy) continue;
+    const double tpc = models_[j].time_per_cycle(c.rate_idx);
+    const Seconds eta =
+        now_ + c.stall_remaining + c.remaining * tpc * factor;
+    if (c.completion_event == ds::IndexedHeap<std::size_t>::kNullHandle ||
+        !events_.contains(c.completion_event)) {
+      c.completion_event = events_.push(eta, Event{EventKind::kCompletion, j});
+    } else {
+      events_.update_key(c.completion_event, eta);
+    }
+  }
+}
+
+void Engine::start(std::size_t core, core::TaskId task,
+                   double remaining_cycles, std::size_t rate_idx) {
+  check_core(core);
+  DVFS_REQUIRE(running_, "start() is only valid during run()");
+  DVFS_REQUIRE(!cores_[core].busy, "core already busy");
+  DVFS_REQUIRE(remaining_cycles > 0.0, "nothing to execute");
+  DVFS_REQUIRE(rate_idx < models_[core].num_rates(), "rate index out of range");
+
+  const std::size_t idx = record_index(task);
+  TaskRecord& rec = result_.tasks[idx];
+  DVFS_REQUIRE(!rec.completed(), "task already completed");
+  if (!rec.started()) rec.first_start = now_;
+
+  CoreState& c = cores_[core];
+  c.busy = true;
+  c.record_idx = idx;
+  c.remaining = remaining_cycles;
+  c.rate_idx = rate_idx;
+  charge_transition(c, rate_idx);
+  ++busy_count_;
+  reschedule_completions();
+}
+
+Engine::Preempted Engine::preempt(std::size_t core) {
+  check_core(core);
+  DVFS_REQUIRE(running_, "preempt() is only valid during run()");
+  CoreState& c = cores_[core];
+  DVFS_REQUIRE(c.busy, "core is idle");
+  TaskRecord& rec = result_.tasks[c.record_idx];
+  rec.preemptions += 1;
+  // A preemption racing the task's own completion instant can observe a
+  // ~zero remainder; keep it strictly positive (start() requires work to
+  // do) but negligible, so cycle conservation holds to float precision.
+  Preempted out{rec.id, std::max(c.remaining, 1e-9)};
+  c.stall_remaining = 0.0;
+  c.busy = false;
+  --busy_count_;
+  if (events_.contains(c.completion_event)) {
+    (void)events_.erase(c.completion_event);
+  }
+  c.completion_event = ds::IndexedHeap<std::size_t>::kNullHandle;
+  reschedule_completions();
+  return out;
+}
+
+void Engine::set_rate(std::size_t core, std::size_t rate_idx) {
+  check_core(core);
+  DVFS_REQUIRE(running_, "set_rate() is only valid during run()");
+  CoreState& c = cores_[core];
+  DVFS_REQUIRE(c.busy, "core is idle");
+  DVFS_REQUIRE(rate_idx < models_[core].num_rates(), "rate index out of range");
+  if (c.rate_idx == rate_idx) return;
+  c.rate_idx = rate_idx;
+  charge_transition(c, rate_idx);
+  reschedule_completions();
+}
+
+SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
+  DVFS_REQUIRE(!running_, "engine is already running");
+  // Reset per-run state.
+  result_ = SimResult{};
+  result_.rate_residency.resize(models_.size());
+  for (std::size_t j = 0; j < models_.size(); ++j) {
+    result_.rate_residency[j].assign(models_[j].num_rates(), 0.0);
+  }
+  record_of_.clear();
+  events_.clear();
+  for (CoreState& c : cores_) c = CoreState{};
+  busy_count_ = 0;
+  now_ = 0.0;
+  running_ = true;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    events_.push(trace[i].arrival, Event{EventKind::kArrival, i});
+  }
+  std::size_t arrivals_pending = trace.size();
+
+  const Seconds tick = policy.timer_interval();
+  DVFS_REQUIRE(tick >= 0.0, "timer interval cannot be negative");
+  if (tick > 0.0) {
+    events_.push(tick, Event{EventKind::kTimer, 0});
+  }
+
+  policy.attach(*this);
+
+  while (!events_.empty()) {
+    const Seconds t = events_.top_key();
+    const Event ev = events_.pop();
+    sync_to(t);
+
+    switch (ev.kind) {
+      case EventKind::kArrival: {
+        const core::Task& task = trace[ev.index];
+        const std::size_t idx = result_.tasks.size();
+        DVFS_REQUIRE(record_of_.emplace(task.id, idx).second,
+                     "duplicate task id in trace");
+        result_.tasks.push_back(TaskRecord{.id = task.id,
+                                           .klass = task.klass,
+                                           .cycles = task.cycles,
+                                           .arrival = task.arrival,
+                                           .deadline = task.deadline});
+        --arrivals_pending;
+        policy.on_arrival(*this, task);
+        break;
+      }
+      case EventKind::kCompletion: {
+        const std::size_t core = ev.index;
+        CoreState& c = cores_[core];
+        DVFS_REQUIRE(c.busy, "completion event for idle core");
+        DVFS_REQUIRE(c.remaining <= kCompletionEpsilonCycles,
+                     "completion event fired early");
+        c.remaining = 0.0;
+        c.busy = false;
+        --busy_count_;
+        c.completion_event = ds::IndexedHeap<std::size_t>::kNullHandle;
+        TaskRecord& rec = result_.tasks[c.record_idx];
+        rec.finish = now_;
+        reschedule_completions();
+        policy.on_complete(*this, core, rec.id);
+        break;
+      }
+      case EventKind::kTimer: {
+        policy.on_timer(*this);
+        const bool work_left =
+            arrivals_pending > 0 || busy_count_ > 0 || !policy.idle();
+        if (work_left) {
+          events_.push(now_ + tick, Event{EventKind::kTimer, 0});
+        }
+        break;
+      }
+    }
+  }
+
+  result_.end_time = now_;
+  running_ = false;
+  return std::move(result_);
+}
+
+}  // namespace dvfs::sim

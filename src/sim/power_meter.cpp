@@ -1,0 +1,79 @@
+#include "dvfs/sim/power_meter.h"
+
+#include <algorithm>
+
+namespace dvfs::sim {
+
+PowerTracingPolicy::PowerTracingPolicy(Policy& inner,
+                                       double idle_watts_per_core)
+    : inner_(inner), idle_watts_(idle_watts_per_core) {
+  DVFS_REQUIRE(idle_watts_per_core >= 0.0, "idle power cannot be negative");
+}
+
+void PowerTracingPolicy::attach(Engine& engine) {
+  num_cores_ = engine.num_cores();
+  trace_.clear();
+  inner_.attach(engine);
+  sample(engine);  // t = 0 baseline (all idle unless arrivals at 0 follow)
+}
+
+void PowerTracingPolicy::sample(Engine& engine) {
+  double watts = 0.0;
+  for (std::size_t j = 0; j < num_cores_; ++j) {
+    if (engine.busy(j)) {
+      watts += engine.model(j).busy_power(engine.current_rate(j));
+    } else {
+      watts += idle_watts_;
+    }
+  }
+  // Coalesce same-timestamp samples: the last state at a timestamp wins
+  // (events at equal times resolve before time advances).
+  if (!trace_.empty() && trace_.back().t == engine.now()) {
+    trace_.back().watts = watts;
+    return;
+  }
+  trace_.push_back(PowerSample{engine.now(), watts});
+}
+
+void PowerTracingPolicy::on_arrival(Engine& engine, const core::Task& task) {
+  inner_.on_arrival(engine, task);
+  sample(engine);
+}
+
+void PowerTracingPolicy::on_complete(Engine& engine, std::size_t core,
+                                     core::TaskId task) {
+  inner_.on_complete(engine, core, task);
+  sample(engine);
+}
+
+void PowerTracingPolicy::on_timer(Engine& engine) {
+  inner_.on_timer(engine);
+  sample(engine);
+}
+
+Seconds PowerTracingPolicy::timer_interval() const {
+  return inner_.timer_interval();
+}
+
+bool PowerTracingPolicy::idle() const { return inner_.idle(); }
+
+Joules PowerTracingPolicy::integrate(Seconds end) const {
+  DVFS_REQUIRE(end >= 0.0, "integration end must be non-negative");
+  Joules joules = 0.0;
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    const Seconds from = trace_[i].t;
+    if (from >= end) break;
+    const Seconds to =
+        (i + 1 < trace_.size()) ? std::min(trace_[i + 1].t, end) : end;
+    if (to > from) joules += trace_[i].watts * (to - from);
+  }
+  return joules;
+}
+
+Joules PowerTracingPolicy::integrate_idle_deducted(Seconds end) const {
+  const Joules baseline =
+      static_cast<double>(num_cores_) * idle_watts_ * end;
+  return integrate(end) - baseline;
+}
+
+}  // namespace dvfs::sim

@@ -1,0 +1,81 @@
+#include "dvfs/util/args.h"
+
+#include <charconv>
+
+namespace dvfs::util {
+
+Args::Args(int argc, const char* const* argv,
+           const std::set<std::string>& known_flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.resize(eq);
+      has_value = true;
+    }
+    DVFS_REQUIRE(known_flags.contains(name), "unknown flag: --" + name);
+    DVFS_REQUIRE(!values_.contains(name), "duplicate flag: --" + name);
+    if (!has_value && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    values_.emplace(name, has_value ? value : "");
+  }
+}
+
+std::string Args::get_string(const std::string& flag) const {
+  const auto it = values_.find(flag);
+  DVFS_REQUIRE(it != values_.end(), "missing required flag: --" + flag);
+  DVFS_REQUIRE(!it->second.empty(), "flag --" + flag + " needs a value");
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& flag,
+                             const std::string& fallback) const {
+  return has(flag) ? get_string(flag) : fallback;
+}
+
+std::uint64_t Args::get_u64(const std::string& flag) const {
+  const std::string s = get_string(flag);
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  DVFS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+               "flag --" + flag + " needs an unsigned integer, got " + s);
+  return v;
+}
+
+std::uint64_t Args::get_u64(const std::string& flag,
+                            std::uint64_t fallback) const {
+  return has(flag) ? get_u64(flag) : fallback;
+}
+
+double Args::get_double(const std::string& flag) const {
+  const std::string s = get_string(flag);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    DVFS_REQUIRE(used == s.size(),
+                 "flag --" + flag + " needs a number, got " + s);
+    return v;
+  } catch (const std::invalid_argument&) {
+    DVFS_REQUIRE(false, "flag --" + flag + " needs a number, got " + s);
+  } catch (const std::out_of_range&) {
+    DVFS_REQUIRE(false, "flag --" + flag + " value out of range: " + s);
+  }
+  return 0.0;  // unreachable
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  return has(flag) ? get_double(flag) : fallback;
+}
+
+}  // namespace dvfs::util

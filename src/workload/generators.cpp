@@ -1,0 +1,148 @@
+#include "dvfs/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace dvfs::workload {
+namespace {
+
+Cycles lognormal_cycles(std::mt19937_64& rng, double log_mean,
+                        double log_sigma, Cycles min_cycles) {
+  std::lognormal_distribution<double> dist(log_mean, log_sigma);
+  const double v = dist(rng);
+  if (v < static_cast<double>(min_cycles)) return min_cycles;
+  if (v >= 9.0e18) return static_cast<Cycles>(9'000'000'000'000'000'000ULL);
+  return static_cast<Cycles>(v);
+}
+
+/// Samples an arrival time on [0, duration) whose density grows linearly
+/// from 1 at t=0 to `burstiness` at t=duration (inverse-CDF of the
+/// trapezoidal density). burstiness == 1 degenerates to uniform.
+Seconds burst_arrival(std::mt19937_64& rng, Seconds duration,
+                      double burstiness) {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const double u = u01(rng);
+  if (burstiness == 1.0) return u * duration;
+  // Density f(x) ~ 1 + (b-1)x on x in [0,1]; CDF F(x) = (x + (b-1)x^2/2)
+  // normalized by (1 + (b-1)/2). Solve F(x) = u for x via the quadratic.
+  const double a = (burstiness - 1.0) / 2.0;
+  const double norm = 1.0 + a;
+  const double c = -u * norm;
+  const double x = (-1.0 + std::sqrt(1.0 - 4.0 * a * c)) / (2.0 * a);
+  return std::clamp(x, 0.0, 1.0) * duration;
+}
+
+}  // namespace
+
+Trace generate_poisson(const PoissonConfig& cfg, std::uint64_t seed) {
+  DVFS_REQUIRE(cfg.arrivals_per_second > 0.0, "rate must be positive");
+  DVFS_REQUIRE(cfg.duration > 0.0, "duration must be positive");
+  DVFS_REQUIRE(cfg.min_cycles > 0, "min_cycles must be positive");
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(cfg.arrivals_per_second);
+
+  std::vector<core::Task> tasks;
+  core::TaskId id = cfg.first_id;
+  Seconds t = gap(rng);
+  while (t < cfg.duration) {
+    tasks.push_back(core::Task{
+        .id = id++,
+        .cycles = lognormal_cycles(rng, cfg.log_mean_cycles, cfg.log_sigma,
+                                   cfg.min_cycles),
+        .arrival = t,
+        .klass = cfg.klass});
+    t += gap(rng);
+  }
+  return Trace(std::move(tasks));
+}
+
+Trace generate_judgegirl(const JudgegirlConfig& cfg, std::uint64_t seed) {
+  DVFS_REQUIRE(cfg.duration > 0.0, "duration must be positive");
+  DVFS_REQUIRE(cfg.num_problems >= 1, "need at least one problem");
+  DVFS_REQUIRE(cfg.burstiness >= 1.0, "burstiness must be >= 1");
+  DVFS_REQUIRE(cfg.base_judge_cycles >= 1.0, "judge cost must be positive");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> problem(0, cfg.num_problems - 1);
+
+  std::vector<core::Task> tasks;
+  tasks.reserve(cfg.non_interactive_tasks + cfg.interactive_tasks);
+  core::TaskId id = 0;
+
+  // Code submissions: judged asynchronously, no strict deadline.
+  for (std::size_t i = 0; i < cfg.non_interactive_tasks; ++i) {
+    const std::size_t p = problem(rng);
+    const double mean =
+        cfg.base_judge_cycles *
+        (1.0 + static_cast<double>(p) * cfg.problem_spread);
+    // lognormal with the requested arithmetic mean: mu = ln(mean) - s^2/2.
+    const double mu =
+        std::log(mean) - cfg.judge_log_sigma * cfg.judge_log_sigma / 2.0;
+    tasks.push_back(core::Task{
+        .id = id++,
+        .cycles = lognormal_cycles(rng, mu, cfg.judge_log_sigma, 1'000),
+        .arrival = burst_arrival(rng, cfg.duration, cfg.burstiness),
+        .klass = core::TaskClass::kNonInteractive});
+  }
+
+  // Score queries / problem views: tiny, interactive, same burst shape.
+  DVFS_REQUIRE(cfg.interactive_deadline > 0.0,
+               "interactive deadline must be positive");
+  for (std::size_t i = 0; i < cfg.interactive_tasks; ++i) {
+    const double mu = std::log(cfg.interactive_mean_cycles) -
+                      cfg.interactive_log_sigma * cfg.interactive_log_sigma /
+                          2.0;
+    const Seconds arrival = burst_arrival(rng, cfg.duration, cfg.burstiness);
+    tasks.push_back(core::Task{
+        .id = id++,
+        .cycles = lognormal_cycles(rng, mu, cfg.interactive_log_sigma, 1'000),
+        .arrival = arrival,
+        .deadline = arrival + cfg.interactive_deadline,
+        .klass = core::TaskClass::kInteractive});
+  }
+  return Trace(std::move(tasks));
+}
+
+std::vector<core::Task> generate_batch(const BatchConfig& cfg,
+                                       std::uint64_t seed) {
+  DVFS_REQUIRE(cfg.min_cycles >= 1, "min_cycles must be positive");
+  DVFS_REQUIRE(cfg.max_cycles >= cfg.min_cycles,
+               "max_cycles must be >= min_cycles");
+  std::mt19937_64 rng(seed);
+  std::vector<core::Task> tasks;
+  tasks.reserve(cfg.num_tasks);
+
+  const double lo = static_cast<double>(cfg.min_cycles);
+  const double hi = static_cast<double>(cfg.max_cycles);
+  for (std::size_t i = 0; i < cfg.num_tasks; ++i) {
+    Cycles c = cfg.min_cycles;
+    switch (cfg.shape) {
+      case BatchShape::kUniform: {
+        std::uniform_real_distribution<double> d(lo, hi);
+        c = static_cast<Cycles>(d(rng));
+        break;
+      }
+      case BatchShape::kLognormal: {
+        const double mu = (std::log(lo) + std::log(hi)) / 2.0;
+        const double sigma = (std::log(hi) - std::log(lo)) / 6.0;
+        c = lognormal_cycles(rng, mu, std::max(sigma, 1e-9), cfg.min_cycles);
+        if (c > cfg.max_cycles) c = cfg.max_cycles;
+        break;
+      }
+      case BatchShape::kBimodal: {
+        std::bernoulli_distribution heavy(0.3);
+        const double center = heavy(rng) ? 0.9 : 0.1;
+        std::normal_distribution<double> d(lo + center * (hi - lo),
+                                           (hi - lo) * 0.05);
+        const double v = std::clamp(d(rng), lo, hi);
+        c = static_cast<Cycles>(v);
+        break;
+      }
+    }
+    tasks.push_back(
+        core::Task{.id = static_cast<core::TaskId>(i), .cycles = c});
+  }
+  return tasks;
+}
+
+}  // namespace dvfs::workload

@@ -1,0 +1,70 @@
+#include "dvfs/workload/spec2006int.h"
+
+#include <array>
+#include <cmath>
+
+namespace dvfs::workload {
+namespace {
+
+// The frequency the paper profiles at (lowest i7-950 step), in Hz.
+constexpr double kProfileHz = 1.6e9;
+
+// Table I of the paper, verbatim (seconds).
+constexpr std::array<SpecWorkload, 24> kTable1 = {{
+    {"perlbench", SpecInput::kTrain, 43.516},
+    {"perlbench", SpecInput::kRef, 749.624},
+    {"bzip", SpecInput::kTrain, 98.683},
+    {"bzip", SpecInput::kRef, 1297.587},
+    {"gcc", SpecInput::kTrain, 1.63},
+    {"gcc", SpecInput::kRef, 552.611},
+    {"mcf", SpecInput::kTrain, 17.568},
+    {"mcf", SpecInput::kRef, 397.782},
+    {"gobmk", SpecInput::kTrain, 189.218},
+    {"gobmk", SpecInput::kRef, 993.54},
+    {"hmmer", SpecInput::kTrain, 109.44},
+    {"hmmer", SpecInput::kRef, 1106.88},
+    {"sjeng", SpecInput::kTrain, 224.398},
+    {"sjeng", SpecInput::kRef, 1074.126},
+    {"libquantum", SpecInput::kTrain, 5.146},
+    {"libquantum", SpecInput::kRef, 1092.185},
+    {"h264ref", SpecInput::kTrain, 218.285},
+    {"h264ref", SpecInput::kRef, 1549.734},
+    {"omnetpp", SpecInput::kTrain, 108.661},
+    {"omnetpp", SpecInput::kRef, 439.393},
+    {"astar", SpecInput::kTrain, 191.073},
+    {"astar", SpecInput::kRef, 880.951},
+    {"xalancbmk", SpecInput::kTrain, 142.344},
+    {"xalancbmk", SpecInput::kRef, 453.463},
+}};
+
+}  // namespace
+
+std::span<const SpecWorkload> spec2006int() { return kTable1; }
+
+Cycles spec_cycles(const SpecWorkload& w) {
+  return static_cast<Cycles>(std::llround(w.avg_seconds_at_1_6ghz * kProfileHz));
+}
+
+std::vector<core::Task> spec_batch_tasks() {
+  std::vector<core::Task> tasks;
+  tasks.reserve(kTable1.size());
+  core::TaskId id = 0;
+  for (const SpecWorkload& w : kTable1) {
+    tasks.push_back(core::Task{.id = id++, .cycles = spec_cycles(w)});
+  }
+  return tasks;
+}
+
+std::vector<core::Task> spec_batch_tasks(SpecInput input) {
+  std::vector<core::Task> tasks;
+  core::TaskId id = 0;
+  for (const SpecWorkload& w : kTable1) {
+    if (w.input == input) {
+      tasks.push_back(core::Task{.id = id, .cycles = spec_cycles(w)});
+    }
+    ++id;  // ids stay aligned with Table I row numbers
+  }
+  return tasks;
+}
+
+}  // namespace dvfs::workload

@@ -1,0 +1,82 @@
+#include "dvfs/workload/stats.h"
+
+#include <algorithm>
+
+namespace dvfs::workload {
+namespace {
+
+ClassStats summarize_class(std::vector<Cycles>& cycles) {
+  ClassStats s;
+  s.count = cycles.size();
+  if (cycles.empty()) return s;
+  std::sort(cycles.begin(), cycles.end());
+  s.min_cycles = cycles.front();
+  s.max_cycles = cycles.back();
+  for (const Cycles c : cycles) s.total_cycles += c;
+  s.mean_cycles =
+      static_cast<double>(s.total_cycles) / static_cast<double>(s.count);
+  auto percentile = [&](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(cycles.size() - 1) + 0.5);
+    return cycles[std::min(idx, cycles.size() - 1)];
+  };
+  s.p50_cycles = percentile(0.50);
+  s.p95_cycles = percentile(0.95);
+  s.p99_cycles = percentile(0.99);
+  return s;
+}
+
+}  // namespace
+
+TraceStats analyze(const Trace& trace) {
+  TraceStats stats;
+  stats.horizon = trace.horizon();
+  std::vector<Cycles> interactive;
+  std::vector<Cycles> non_interactive;
+  std::vector<Cycles> batch;
+  for (const core::Task& t : trace.tasks()) {
+    switch (t.klass) {
+      case core::TaskClass::kInteractive: interactive.push_back(t.cycles); break;
+      case core::TaskClass::kNonInteractive:
+        non_interactive.push_back(t.cycles);
+        break;
+      case core::TaskClass::kBatch: batch.push_back(t.cycles); break;
+    }
+  }
+  stats.interactive = summarize_class(interactive);
+  stats.non_interactive = summarize_class(non_interactive);
+  stats.batch = summarize_class(batch);
+  return stats;
+}
+
+double offered_load(const Trace& trace, const core::EnergyModel& model,
+                    std::size_t rate_idx, std::size_t cores) {
+  DVFS_REQUIRE(cores >= 1, "need at least one core");
+  if (trace.empty() || trace.horizon() <= 0.0) return 0.0;
+  const Seconds demand =
+      model.task_time(trace.total_cycles(), rate_idx);
+  return demand / (trace.horizon() * static_cast<double>(cores));
+}
+
+double peak_offered_load(const Trace& trace, const core::EnergyModel& model,
+                         std::size_t rate_idx, std::size_t cores,
+                         Seconds window) {
+  DVFS_REQUIRE(cores >= 1, "need at least one core");
+  DVFS_REQUIRE(window > 0.0, "window must be positive");
+  if (trace.empty()) return 0.0;
+  // Two-pointer sweep over the arrival-sorted tasks.
+  double best = 0.0;
+  Seconds work = 0.0;  // execution seconds demanded inside the window
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < trace.size(); ++hi) {
+    work += model.task_time(trace[hi].cycles, rate_idx);
+    while (trace[hi].arrival - trace[lo].arrival > window) {
+      work -= model.task_time(trace[lo].cycles, rate_idx);
+      ++lo;
+    }
+    best = std::max(best, work / (window * static_cast<double>(cores)));
+  }
+  return best;
+}
+
+}  // namespace dvfs::workload

@@ -1,0 +1,69 @@
+#include "dvfs/util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace dvfs::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv,
+           const std::set<std::string>& known) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data(), known);
+}
+
+TEST(Args, SpaceAndEqualsForms) {
+  const Args a = parse({"--name", "x", "--count=7"}, {"name", "count"});
+  EXPECT_EQ(a.get_string("name"), "x");
+  EXPECT_EQ(a.get_u64("count"), 7u);
+}
+
+TEST(Args, BooleanFlagsAndPresence) {
+  const Args a = parse({"--verbose", "--out", "f"}, {"verbose", "out"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+  EXPECT_EQ(a.get_string("out"), "f");
+}
+
+TEST(Args, Positional) {
+  const Args a = parse({"input.csv", "--n", "1", "more"}, {"n"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.csv");
+  EXPECT_EQ(a.positional()[1], "more");
+}
+
+TEST(Args, Defaults) {
+  const Args a = parse({}, {"n", "x", "s"});
+  EXPECT_EQ(a.get_u64("n", 42), 42u);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(a.get_string("s", "d"), "d");
+}
+
+TEST(Args, UnknownDuplicateAndMissing) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"n"}), PreconditionError);
+  EXPECT_THROW(parse({"--n", "1", "--n", "2"}, {"n"}), PreconditionError);
+  const Args a = parse({}, {"n"});
+  EXPECT_THROW((void)a.get_string("n"), PreconditionError);
+  EXPECT_THROW((void)a.get_u64("n"), PreconditionError);
+}
+
+TEST(Args, MalformedNumbers) {
+  const Args a = parse({"--n", "12x", "--x", "abc"}, {"n", "x"});
+  EXPECT_THROW((void)a.get_u64("n"), PreconditionError);
+  EXPECT_THROW((void)a.get_double("x"), PreconditionError);
+}
+
+TEST(Args, ValuelessFlagRejectsValueAccess) {
+  const Args a = parse({"--dry-run"}, {"dry-run"});
+  EXPECT_TRUE(a.has("dry-run"));
+  EXPECT_THROW((void)a.get_string("dry-run"), PreconditionError);
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "--x -3" would look like a flag; the = form carries negatives.
+  const Args a = parse({"--x=-3.5"}, {"x"});
+  EXPECT_DOUBLE_EQ(a.get_double("x"), -3.5);
+}
+
+}  // namespace
+}  // namespace dvfs::util

@@ -1,0 +1,142 @@
+#include "dvfs/core/batch_single.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace dvfs::core {
+namespace {
+
+CostTable table2(Money re = 0.1, Money rt = 0.4) {
+  return CostTable(EnergyModel::icpp2014_table2(), CostParams{re, rt});
+}
+
+std::vector<Task> make_tasks(std::initializer_list<Cycles> cycles) {
+  std::vector<Task> tasks;
+  TaskId id = 0;
+  for (const Cycles c : cycles) {
+    tasks.push_back(Task{.id = id++, .cycles = c});
+  }
+  return tasks;
+}
+
+TEST(LongestTaskLast, EmptyInputYieldsEmptyPlan) {
+  const CostTable t = table2();
+  const CorePlan plan = longest_task_last({}, t);
+  EXPECT_TRUE(plan.sequence.empty());
+  EXPECT_DOUBLE_EQ(evaluate_single(plan, t).total(), 0.0);
+}
+
+TEST(LongestTaskLast, OrdersNonDecreasingCycles) {
+  const CostTable t = table2();
+  const std::vector<Task> tasks =
+      make_tasks({5'000'000'000, 1'000'000'000, 3'000'000'000});
+  const CorePlan plan = longest_task_last(tasks, t);
+  ASSERT_EQ(plan.sequence.size(), 3u);
+  EXPECT_LE(plan.sequence[0].cycles, plan.sequence[1].cycles);
+  EXPECT_LE(plan.sequence[1].cycles, plan.sequence[2].cycles);
+}
+
+TEST(LongestTaskLast, RatesComeFromDominatingRanges) {
+  const CostTable t = table2();
+  const std::vector<Task> tasks = make_tasks(
+      {1'000'000'000, 2'000'000'000, 3'000'000'000, 4'000'000'000});
+  const CorePlan plan = longest_task_last(tasks, t);
+  const std::size_t n = plan.sequence.size();
+  for (std::size_t k = 1; k <= n; ++k) {
+    EXPECT_EQ(plan.sequence[k - 1].rate_idx, t.best_rate(n - k + 1))
+        << "forward position " << k;
+  }
+}
+
+TEST(LongestTaskLast, RejectsNonBatchArrivals) {
+  const CostTable t = table2();
+  const std::vector<Task> tasks{{.id = 0, .cycles = 10, .arrival = 1.0}};
+  EXPECT_THROW((void)longest_task_last(tasks, t), PreconditionError);
+}
+
+TEST(LongestTaskLast, RejectsInvalidTask) {
+  const CostTable t = table2();
+  const std::vector<Task> tasks{{.id = 0, .cycles = 0}};
+  EXPECT_THROW((void)longest_task_last(tasks, t), PreconditionError);
+}
+
+TEST(LongestTaskLast, TieOnCyclesBreaksById) {
+  const CostTable t = table2();
+  std::vector<Task> tasks = make_tasks({7, 7, 7});
+  const CorePlan plan = longest_task_last(tasks, t);
+  EXPECT_EQ(plan.sequence[0].task_id, 0u);
+  EXPECT_EQ(plan.sequence[1].task_id, 1u);
+  EXPECT_EQ(plan.sequence[2].task_id, 2u);
+}
+
+TEST(LongestTaskLast, MatchesFullBruteForceSmallInstances) {
+  // Exhaustive over orders AND rates: LTL must achieve the same optimum.
+  const CostTable t(EnergyModel::partition_gadget(), CostParams{1.0, 1.0});
+  const std::vector<Task> tasks = make_tasks({3, 9, 4, 6});
+  const CorePlan fast = longest_task_last(tasks, t);
+  const CorePlan ref = brute_force_single(tasks, t);
+  EXPECT_NEAR(evaluate_single(fast, t).total(), evaluate_single(ref, t).total(),
+              1e-9);
+}
+
+TEST(BruteForce, GuardsAgainstLargeInstances) {
+  const CostTable t = table2();
+  const std::vector<Task> nine(9, Task{.id = 1, .cycles = 1});
+  EXPECT_THROW((void)brute_force_single(nine, t), PreconditionError);
+  const std::vector<Task> thirteen(13, Task{.id = 1, .cycles = 1});
+  EXPECT_THROW((void)brute_force_rates_sorted(thirteen, t), PreconditionError);
+}
+
+// Property: on random instances, LTL's cost equals the sorted-order rate
+// search optimum (verifies the envelope-based rate choice), and on tiny
+// instances the full order+rate brute force too (verifies Theorem 3).
+class LtlOptimality : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LtlOptimality, MatchesRateSearchOnSortedOrder) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<Cycles> cycles_dist(1, 1'000'000);
+  std::uniform_int_distribution<int> n_dist(1, 9);
+  const CostTable t(EnergyModel::icpp2014_table2(), CostParams{0.1, 4e-9});
+  // Rt deliberately scaled so rate crossovers land within small queues:
+  // Table II positions are dominated by high rates for Rt=0.4 and tiny L.
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Task> tasks;
+    const int n = n_dist(rng);
+    for (int i = 0; i < n; ++i) {
+      tasks.push_back(
+          Task{.id = static_cast<TaskId>(i), .cycles = cycles_dist(rng)});
+    }
+    const Money fast = evaluate_single(longest_task_last(tasks, t), t).total();
+    const Money ref =
+        evaluate_single(brute_force_rates_sorted(tasks, t), t).total();
+    ASSERT_NEAR(fast, ref, 1e-12 + 1e-9 * ref);
+  }
+}
+
+TEST_P(LtlOptimality, MatchesFullBruteForceTinyInstances) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  std::uniform_int_distribution<Cycles> cycles_dist(1, 50);
+  std::uniform_int_distribution<int> n_dist(1, 5);
+  const CostTable t(EnergyModel::partition_gadget(), CostParams{0.7, 0.3});
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Task> tasks;
+    const int n = n_dist(rng);
+    for (int i = 0; i < n; ++i) {
+      tasks.push_back(
+          Task{.id = static_cast<TaskId>(i), .cycles = cycles_dist(rng)});
+    }
+    const Money fast = evaluate_single(longest_task_last(tasks, t), t).total();
+    const Money ref = evaluate_single(brute_force_single(tasks, t), t).total();
+    ASSERT_NEAR(fast, ref, 1e-12 + 1e-9 * ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LtlOptimality,
+                         ::testing::Values(3u, 5u, 7u, 11u, 13u));
+
+}  // namespace
+}  // namespace dvfs::core

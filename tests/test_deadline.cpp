@@ -1,0 +1,227 @@
+#include "dvfs/core/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace dvfs::core {
+namespace {
+
+TEST(PartitionGadget, ConstructionMatchesTheorem1) {
+  const std::vector<std::uint64_t> values{3, 1, 2};
+  const DeadlineInstance inst = partition_to_deadline_single(values);
+  ASSERT_EQ(inst.tasks.size(), 3u);
+  const double s = 6.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(inst.tasks[i].cycles, values[i]);
+    EXPECT_DOUBLE_EQ(inst.tasks[i].deadline, 1.5 * s);
+  }
+  EXPECT_DOUBLE_EQ(inst.energy_budget, 2.5 * s);
+  EXPECT_EQ(inst.model.num_rates(), 2u);
+}
+
+TEST(PartitionGadget, RejectsEmptyAndZeroValues) {
+  EXPECT_THROW((void)partition_to_deadline_single({}), PreconditionError);
+  const std::vector<std::uint64_t> zero{1, 0};
+  EXPECT_THROW((void)partition_to_deadline_single(zero), PreconditionError);
+}
+
+TEST(PartitionViaScheduler, FindsEvenSplit) {
+  const std::vector<std::uint64_t> values{3, 1, 2, 2};  // {3,1} vs {2,2}
+  const auto subset = solve_partition_via_scheduler(values);
+  ASSERT_TRUE(subset.has_value());
+  std::uint64_t sum = 0;
+  for (const std::size_t i : *subset) sum += values[i];
+  EXPECT_EQ(sum, 4u);
+}
+
+TEST(PartitionViaScheduler, RejectsOddTotal) {
+  const std::vector<std::uint64_t> values{3, 1, 1};
+  EXPECT_FALSE(solve_partition_via_scheduler(values).has_value());
+}
+
+TEST(PartitionViaScheduler, RejectsDominatedValue) {
+  // 10 > 1+2+3: no partition though the sum is even.
+  const std::vector<std::uint64_t> values{10, 1, 2, 3};
+  EXPECT_FALSE(solve_partition_via_scheduler(values).has_value());
+}
+
+TEST(PartitionViaScheduler, SingletonNeverPartitions) {
+  const std::vector<std::uint64_t> values{4};
+  EXPECT_FALSE(solve_partition_via_scheduler(values).has_value());
+}
+
+TEST(ExactSingle, WitnessRespectsDeadlinesAndBudget) {
+  const std::vector<std::uint64_t> values{5, 3, 2, 4, 2};  // S=16, split 8/8
+  const DeadlineInstance inst = partition_to_deadline_single(values);
+  const auto sol = solve_deadline_single_exact(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_LE(sol->energy, inst.energy_budget + 1e-9);
+  EXPECT_LE(sol->finish, 1.5 * 16.0 + 1e-9);
+  // Walk the witness and re-check every deadline.
+  Seconds clock = 0.0;
+  for (const ScheduledTask& st : sol->plan.sequence) {
+    clock += inst.model.task_time(st.cycles, st.rate_idx);
+    EXPECT_LE(clock, inst.tasks[st.task_id].deadline + 1e-9);
+  }
+}
+
+TEST(ExactSingle, TightBudgetInfeasible) {
+  // One task, 10 cycles, deadline only reachable at the fast rate (10 s),
+  // but the budget only affords the slow rate (10 J < 40 J).
+  DeadlineInstance inst{
+      .tasks = {Task{.id = 0, .cycles = 10, .arrival = 0.0, .deadline = 10.0}},
+      .model = EnergyModel::partition_gadget(),
+      .energy_budget = 10.0};
+  EXPECT_FALSE(solve_deadline_single_exact(inst).has_value());
+  inst.energy_budget = 40.0;
+  const auto sol = solve_deadline_single_exact(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->plan.sequence[0].rate_idx, 1u);
+}
+
+TEST(ExactSingle, StaggersDeadlinesViaEdf) {
+  // Two tasks where only the EDF order is feasible.
+  DeadlineInstance inst{
+      .tasks = {Task{.id = 0, .cycles = 4, .arrival = 0.0, .deadline = 100.0},
+                Task{.id = 1, .cycles = 4, .arrival = 0.0, .deadline = 4.0}},
+      .model = EnergyModel::partition_gadget(),
+      .energy_budget = 1e9};
+  const auto sol = solve_deadline_single_exact(inst);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->plan.sequence[0].task_id, 1u) << "EDF runs task 1 first";
+}
+
+TEST(ExactSingle, RejectsOversizeAndMalformedInstances) {
+  DeadlineInstance inst{.tasks = {},
+                        .model = EnergyModel::partition_gadget(),
+                        .energy_budget = 1.0};
+  EXPECT_THROW((void)solve_deadline_single_exact(inst), PreconditionError);
+  inst.tasks.assign(25, Task{.id = 0, .cycles = 1, .deadline = 100.0});
+  EXPECT_THROW((void)solve_deadline_single_exact(inst), PreconditionError);
+  inst.tasks.assign(2, Task{.id = 0, .cycles = 1});  // missing deadline
+  EXPECT_THROW((void)solve_deadline_single_exact(inst), PreconditionError);
+}
+
+TEST(HeuristicSingle, SoundOnFeasibleInstance) {
+  const std::vector<std::uint64_t> values{5, 3, 2, 4, 2};
+  const DeadlineInstance inst = partition_to_deadline_single(values);
+  const auto sol = solve_deadline_single_heuristic(inst);
+  if (sol.has_value()) {  // heuristic is incomplete but must be sound
+    Seconds clock = 0.0;
+    Joules energy = 0.0;
+    for (const ScheduledTask& st : sol->plan.sequence) {
+      clock += inst.model.task_time(st.cycles, st.rate_idx);
+      energy += inst.model.task_energy(st.cycles, st.rate_idx);
+      EXPECT_LE(clock, inst.tasks[st.task_id].deadline + 1e-9);
+    }
+    EXPECT_LE(energy, inst.energy_budget + 1e-9);
+  }
+}
+
+TEST(HeuristicSingle, DetectsHopelessDeadline) {
+  DeadlineInstance inst{
+      .tasks = {Task{.id = 0, .cycles = 100, .arrival = 0.0, .deadline = 1.0}},
+      .model = EnergyModel::partition_gadget(),
+      .energy_budget = 1e9};
+  EXPECT_FALSE(solve_deadline_single_heuristic(inst).has_value());
+}
+
+TEST(HeuristicSingle, NeverBeatsExactFeasibility) {
+  // Heuristic feasible => exact feasible (soundness cross-check).
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> v(1, 20);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 6; ++i) values.push_back(v(rng));
+    const DeadlineInstance inst = partition_to_deadline_single(values);
+    const bool heuristic_ok =
+        solve_deadline_single_heuristic(inst).has_value();
+    const bool exact_ok = solve_deadline_single_exact(inst).has_value();
+    if (heuristic_ok) {
+      ASSERT_TRUE(exact_ok) << "heuristic found a plan on an infeasible "
+                               "instance (unsound)";
+    }
+  }
+}
+
+TEST(MultiGadget, FeasibleExactlyWhenPartitionExists) {
+  {
+    const std::vector<std::uint64_t> values{2, 2, 3, 3};  // {2,3}/{2,3}
+    const auto plan =
+        solve_deadline_multi_exact(partition_to_deadline_multi(values));
+    ASSERT_TRUE(plan.has_value());
+    // Both cores must finish by S/2 = 5.
+    for (const CorePlan& core : plan->cores) {
+      double load = 0.0;
+      for (const ScheduledTask& st : core.sequence) {
+        load += static_cast<double>(st.cycles);
+      }
+      EXPECT_LE(load, 5.0 + 1e-9);
+    }
+  }
+  {
+    const std::vector<std::uint64_t> values{2, 2, 3};  // S=7 odd
+    EXPECT_FALSE(
+        solve_deadline_multi_exact(partition_to_deadline_multi(values))
+            .has_value());
+  }
+}
+
+TEST(MultiGadget, GuardsOversizeInstances) {
+  DeadlineMultiInstance inst =
+      partition_to_deadline_multi(std::vector<std::uint64_t>{1, 1});
+  inst.tasks.assign(29, Task{.id = 0, .cycles = 1, .deadline = 100.0});
+  EXPECT_THROW((void)solve_deadline_multi_exact(inst), PreconditionError);
+}
+
+// Property: the scheduler-based Partition decision agrees with subset-sum.
+class PartitionEquivalence : public ::testing::TestWithParam<std::uint32_t> {};
+
+bool partition_exists_subset_sum(const std::vector<std::uint64_t>& values) {
+  const std::uint64_t total =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  if (total % 2 != 0) return false;
+  const std::uint64_t half = total / 2;
+  std::vector<char> reachable(half + 1, 0);
+  reachable[0] = 1;
+  for (const std::uint64_t v : values) {
+    for (std::uint64_t s = half; s + 1 >= v + 1; --s) {
+      if (reachable[s - v]) reachable[s] = 1;
+    }
+  }
+  return reachable[half] != 0;
+}
+
+TEST_P(PartitionEquivalence, SchedulerDecisionMatchesSubsetSum) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::uint64_t> v(1, 15);
+  std::uniform_int_distribution<int> n_dist(1, 10);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::uint64_t> values;
+    const int n = n_dist(rng);
+    for (int i = 0; i < n; ++i) values.push_back(v(rng));
+    const auto via_sched = solve_partition_via_scheduler(values);
+    const bool expected = partition_exists_subset_sum(values);
+    ASSERT_EQ(via_sched.has_value(), expected) << "trial " << trial;
+    if (via_sched.has_value()) {
+      std::uint64_t total = 0;
+      std::uint64_t sum = 0;
+      for (const std::uint64_t x : values) total += x;
+      for (const std::size_t i : *via_sched) sum += values[i];
+      ASSERT_EQ(2 * sum, total);
+    }
+    // Theorem 2 gadget must agree as well.
+    const auto multi =
+        solve_deadline_multi_exact(partition_to_deadline_multi(values));
+    ASSERT_EQ(multi.has_value(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionEquivalence,
+                         ::testing::Values(1u, 9u, 17u, 25u, 33u));
+
+}  // namespace
+}  // namespace dvfs::core

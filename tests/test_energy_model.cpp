@@ -1,0 +1,112 @@
+#include "dvfs/core/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dvfs::core {
+namespace {
+
+TEST(EnergyModel, Table2ValuesRoundTrip) {
+  const EnergyModel m = EnergyModel::icpp2014_table2();
+  ASSERT_EQ(m.num_rates(), 5u);
+  EXPECT_DOUBLE_EQ(m.energy_per_cycle(0), 3.375e-9);
+  EXPECT_DOUBLE_EQ(m.energy_per_cycle(4), 7.1e-9);
+  EXPECT_DOUBLE_EQ(m.time_per_cycle(0), 0.625e-9);
+  EXPECT_DOUBLE_EQ(m.time_per_cycle(4), 0.33e-9);
+}
+
+TEST(EnergyModel, Table2TimeMatchesFrequencyInverse) {
+  // T(1.6 GHz) = 1/1.6 ns and T(2.0 GHz) = 1/2.0 ns exactly in Table II.
+  const EnergyModel m = EnergyModel::icpp2014_table2();
+  EXPECT_NEAR(m.time_per_cycle(0), 1e-9 / 1.6, 1e-15);
+  EXPECT_NEAR(m.time_per_cycle(1), 1e-9 / 2.0, 1e-15);
+}
+
+TEST(EnergyModel, BusyPowerIsPlausibleForI7) {
+  const EnergyModel m = EnergyModel::icpp2014_table2();
+  // E/T: 5.4 W at 1.6 GHz up to ~21.5 W at 3.0 GHz per core.
+  EXPECT_NEAR(m.busy_power(0), 5.4, 0.01);
+  EXPECT_NEAR(m.busy_power(4), 21.5, 0.1);
+  // Busy power must increase with rate.
+  for (std::size_t i = 1; i < m.num_rates(); ++i) {
+    EXPECT_GT(m.busy_power(i), m.busy_power(i - 1));
+  }
+}
+
+TEST(EnergyModel, TaskEnergyAndTimeScaleLinearly) {
+  const EnergyModel m = EnergyModel::icpp2014_table2();
+  const Cycles l = 1'000'000'000;  // 1e9 cycles
+  EXPECT_DOUBLE_EQ(m.task_energy(l, 0), 3.375);
+  EXPECT_DOUBLE_EQ(m.task_time(l, 0), 0.625);
+  EXPECT_DOUBLE_EQ(m.task_energy(2 * l, 0), 2 * m.task_energy(l, 0));
+}
+
+TEST(EnergyModel, RejectsMismatchedVectorLengths) {
+  EXPECT_THROW(EnergyModel(RateSet({1.0, 2.0}), {1.0}, {1.0, 0.5}),
+               PreconditionError);
+  EXPECT_THROW(EnergyModel(RateSet({1.0, 2.0}), {1.0, 2.0}, {1.0}),
+               PreconditionError);
+}
+
+TEST(EnergyModel, RejectsNonMonotoneEnergy) {
+  EXPECT_THROW(EnergyModel(RateSet({1.0, 2.0}), {2.0, 2.0}, {1.0, 0.5}),
+               PreconditionError);
+  EXPECT_THROW(EnergyModel(RateSet({1.0, 2.0}), {2.0, 1.0}, {1.0, 0.5}),
+               PreconditionError);
+}
+
+TEST(EnergyModel, RejectsNonMonotoneTime) {
+  EXPECT_THROW(EnergyModel(RateSet({1.0, 2.0}), {1.0, 2.0}, {0.5, 0.5}),
+               PreconditionError);
+  EXPECT_THROW(EnergyModel(RateSet({1.0, 2.0}), {1.0, 2.0}, {0.5, 1.0}),
+               PreconditionError);
+}
+
+TEST(EnergyModel, RejectsNonPositiveValues) {
+  EXPECT_THROW(EnergyModel(RateSet({1.0}), {0.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(EnergyModel(RateSet({1.0}), {1.0}, {0.0}), PreconditionError);
+}
+
+TEST(EnergyModel, RestrictedKeepsLowestRates) {
+  const EnergyModel m = EnergyModel::icpp2014_table2();
+  const EnergyModel r = m.restricted(3);
+  ASSERT_EQ(r.num_rates(), 3u);
+  EXPECT_DOUBLE_EQ(r.rates().highest(), 2.4);
+  EXPECT_DOUBLE_EQ(r.energy_per_cycle(2), m.energy_per_cycle(2));
+  EXPECT_THROW((void)m.restricted(0), PreconditionError);
+  EXPECT_THROW((void)m.restricted(6), PreconditionError);
+}
+
+TEST(EnergyModel, CubicModelHasExpectedShape) {
+  const RateSet p = RateSet::exynos_4412();
+  const EnergyModel m = EnergyModel::cubic(p, 1.0, 0.5);
+  ASSERT_EQ(m.num_rates(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(m.energy_per_cycle(i), (p[i] * p[i] + 0.5) * 1e-9, 1e-18);
+    EXPECT_NEAR(m.time_per_cycle(i), 1e-9 / p[i], 1e-18);
+  }
+}
+
+TEST(EnergyModel, CubicRejectsBadParameters) {
+  EXPECT_THROW((void)EnergyModel::cubic(RateSet({1.0}), 0.0),
+               PreconditionError);
+  EXPECT_THROW((void)EnergyModel::cubic(RateSet({1.0}), 1.0, -0.1),
+               PreconditionError);
+}
+
+TEST(EnergyModel, PartitionGadgetMatchesTheorem1) {
+  const EnergyModel g = EnergyModel::partition_gadget();
+  ASSERT_EQ(g.num_rates(), 2u);
+  EXPECT_DOUBLE_EQ(g.time_per_cycle(0), 2.0);   // T(pl) = 2
+  EXPECT_DOUBLE_EQ(g.time_per_cycle(1), 1.0);   // T(ph) = 1
+  EXPECT_DOUBLE_EQ(g.energy_per_cycle(0), 1.0); // E(pl) = 1
+  EXPECT_DOUBLE_EQ(g.energy_per_cycle(1), 4.0); // E(ph) = 4
+}
+
+TEST(EnergyModel, IndexOutOfRangeThrows) {
+  const EnergyModel m = EnergyModel::partition_gadget();
+  EXPECT_THROW((void)m.energy_per_cycle(2), PreconditionError);
+  EXPECT_THROW((void)m.time_per_cycle(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dvfs::core

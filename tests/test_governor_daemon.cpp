@@ -1,0 +1,146 @@
+#include "dvfs/cpufreq/governor_daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+namespace dvfs::cpufreq {
+namespace {
+
+const std::vector<KHz> kFreqs = {1'600'000, 2'000'000, 2'400'000,
+                                 2'800'000, 3'000'000};
+
+TEST(GovernorDaemon, ConfigValidation) {
+  SimulatedCpufreq be(1, kFreqs);
+  EXPECT_THROW(GovernorDaemon(be, {.ondemand_threshold = 0.0}),
+               PreconditionError);
+  EXPECT_THROW(GovernorDaemon(be, {.ondemand_threshold = 1.5}),
+               PreconditionError);
+  EXPECT_THROW(GovernorDaemon(be, {.conservative_up = 0.1,
+                                   .conservative_down = 0.2}),
+               PreconditionError);
+}
+
+TEST(GovernorDaemon, TickValidatesInput) {
+  SimulatedCpufreq be(2, kFreqs);
+  GovernorDaemon daemon(be);
+  const std::vector<double> wrong_size{0.5};
+  EXPECT_THROW(daemon.tick(wrong_size), PreconditionError);
+  const std::vector<double> out_of_range{0.5, 1.5};
+  EXPECT_THROW(daemon.tick(out_of_range), PreconditionError);
+}
+
+TEST(GovernorDaemon, OndemandJumpsUpStepsDown) {
+  SimulatedCpufreq be(1, kFreqs);
+  GovernorDaemon daemon(be);
+  // Starts at the top (kernel default); idle ticks decay one level each.
+  ASSERT_EQ(be.governor(0), GovernorKind::kOndemand);
+  const std::vector<double> idle{0.1};
+  daemon.tick(idle);
+  EXPECT_EQ(be.current_khz(0), 2'800'000u);
+  daemon.tick(idle);
+  EXPECT_EQ(be.current_khz(0), 2'400'000u);
+  daemon.tick(idle);
+  daemon.tick(idle);
+  daemon.tick(idle);
+  EXPECT_EQ(be.current_khz(0), 1'600'000u);
+  daemon.tick(idle);  // floor holds
+  EXPECT_EQ(be.current_khz(0), 1'600'000u);
+  // Load above 85% jumps straight to the top.
+  const std::vector<double> busy{0.9};
+  daemon.tick(busy);
+  EXPECT_EQ(be.current_khz(0), 3'000'000u);
+}
+
+TEST(GovernorDaemon, OndemandThresholdIsExclusive) {
+  SimulatedCpufreq be(1, kFreqs);
+  GovernorDaemon daemon(be);
+  // Exactly at the threshold does NOT ramp ("higher than 85%").
+  const std::vector<double> at{0.85};
+  daemon.tick(at);
+  EXPECT_EQ(be.current_khz(0), 2'800'000u);  // stepped down instead
+}
+
+TEST(GovernorDaemon, ConservativeMovesOneStepEachWay) {
+  SimulatedCpufreq be(1, kFreqs);
+  be.set_governor(0, GovernorKind::kConservative);
+  be.driver_set_speed(0, 2'400'000);
+  GovernorDaemon daemon(be);
+  const std::vector<double> high{0.95};
+  daemon.tick(high);
+  EXPECT_EQ(be.current_khz(0), 2'800'000u);  // one step, not a jump
+  daemon.tick(high);
+  EXPECT_EQ(be.current_khz(0), 3'000'000u);
+  daemon.tick(high);  // ceiling holds
+  EXPECT_EQ(be.current_khz(0), 3'000'000u);
+  const std::vector<double> low{0.05};
+  daemon.tick(low);
+  EXPECT_EQ(be.current_khz(0), 2'800'000u);
+  // Mid-band load is hysteresis: no movement either way.
+  const std::vector<double> mid{0.5};
+  daemon.tick(mid);
+  EXPECT_EQ(be.current_khz(0), 2'800'000u);
+}
+
+TEST(GovernorDaemon, StaticGovernorsPin) {
+  SimulatedCpufreq be(2, kFreqs);
+  be.set_governor(0, GovernorKind::kPowersave);
+  be.set_governor(1, GovernorKind::kPerformance);
+  be.driver_set_speed(0, 2'400'000);  // perturb
+  be.driver_set_speed(1, 2'400'000);
+  GovernorDaemon daemon(be);
+  const std::vector<double> load{0.5, 0.5};
+  daemon.tick(load);
+  EXPECT_EQ(be.current_khz(0), kFreqs.front());
+  EXPECT_EQ(be.current_khz(1), kFreqs.back());
+}
+
+TEST(GovernorDaemon, UserspaceIsNeverTouched) {
+  SimulatedCpufreq be(1, kFreqs);
+  be.set_governor(0, GovernorKind::kUserspace);
+  be.set_speed(0, 2'000'000);
+  GovernorDaemon daemon(be);
+  const std::vector<double> busy{1.0};
+  daemon.tick(busy);
+  daemon.tick(busy);
+  EXPECT_EQ(be.current_khz(0), 2'000'000u)
+      << "the paper's setup depends on this: userspace disables the daemon";
+}
+
+TEST(GovernorDaemon, PerCoreGovernorsAreIndependent) {
+  SimulatedCpufreq be(3, kFreqs);
+  be.set_governor(0, GovernorKind::kOndemand);
+  be.set_governor(1, GovernorKind::kUserspace);
+  be.set_governor(2, GovernorKind::kConservative);
+  be.set_speed(1, 1'600'000);
+  be.driver_set_speed(2, 1'600'000);
+  GovernorDaemon daemon(be);
+  const std::vector<double> load{0.95, 0.95, 0.95};
+  daemon.tick(load);
+  EXPECT_EQ(be.current_khz(0), 3'000'000u);  // ondemand jumped
+  EXPECT_EQ(be.current_khz(1), 1'600'000u);  // userspace untouched
+  EXPECT_EQ(be.current_khz(2), 2'000'000u);  // conservative stepped once
+}
+
+TEST(GovernorDaemon, WorksOverFakeSysfsTree) {
+  const std::string root = ::testing::TempDir() + "/dvfs_daemon_tree";
+  std::filesystem::remove_all(root);
+  make_fake_sysfs_tree(root, 2, kFreqs);
+  SysfsCpufreq be(root);
+  GovernorDaemon daemon(be);
+  const std::vector<double> load{0.1, 0.95};
+  daemon.tick(load);
+  EXPECT_EQ(be.current_khz(0), 2'800'000u);  // stepped down on disk
+  EXPECT_EQ(be.current_khz(1), 3'000'000u);  // stayed at the top
+  std::filesystem::remove_all(root);
+}
+
+TEST(DriverSetSpeed, RejectsUnsupportedFrequency) {
+  SimulatedCpufreq be(1, kFreqs);
+  EXPECT_THROW(be.driver_set_speed(0, 1'234'567), PreconditionError);
+  EXPECT_THROW(be.driver_set_speed(1, 1'600'000), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dvfs::cpufreq

@@ -1,0 +1,162 @@
+#include "dvfs/ds/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace dvfs::ds {
+namespace {
+
+TEST(IndexedHeap, EmptyHeapRejectsAccess) {
+  IndexedHeap<int> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_THROW((void)h.top(), PreconditionError);
+  EXPECT_THROW((void)h.top_key(), PreconditionError);
+  EXPECT_THROW((void)h.pop(), PreconditionError);
+}
+
+TEST(IndexedHeap, PopsInKeyOrder) {
+  IndexedHeap<int> h;
+  h.push(3.0, 30);
+  h.push(1.0, 10);
+  h.push(2.0, 20);
+  EXPECT_EQ(h.pop(), 10);
+  EXPECT_EQ(h.pop(), 20);
+  EXPECT_EQ(h.pop(), 30);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, EqualKeysPopInInsertionOrder) {
+  IndexedHeap<int> h;
+  h.push(1.0, 1);
+  h.push(1.0, 2);
+  h.push(1.0, 3);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 3);
+}
+
+TEST(IndexedHeap, EraseByHandle) {
+  IndexedHeap<int> h;
+  const auto a = h.push(1.0, 1);
+  const auto b = h.push(2.0, 2);
+  const auto c = h.push(3.0, 3);
+  EXPECT_EQ(h.erase(b), 2);
+  EXPECT_FALSE(h.contains(b));
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_TRUE(h.contains(c));
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 3);
+}
+
+TEST(IndexedHeap, EraseTopEqualsPop) {
+  IndexedHeap<int> h;
+  h.push(5.0, 5);
+  const auto top = h.top_handle();
+  EXPECT_EQ(h.erase(top), 5);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, StaleHandleRejected) {
+  IndexedHeap<int> h;
+  const auto a = h.push(1.0, 1);
+  (void)h.pop();
+  EXPECT_FALSE(h.contains(a));
+  EXPECT_THROW((void)h.erase(a), PreconditionError);
+  EXPECT_THROW((void)h.key(a), PreconditionError);
+  EXPECT_THROW(h.update_key(a, 2.0), PreconditionError);
+}
+
+TEST(IndexedHeap, UpdateKeyBothDirections) {
+  IndexedHeap<int> h;
+  const auto a = h.push(10.0, 1);
+  const auto b = h.push(20.0, 2);
+  h.update_key(b, 5.0);  // decrease below a
+  EXPECT_EQ(h.top(), 2);
+  h.update_key(b, 50.0);  // increase above a
+  EXPECT_EQ(h.top(), 1);
+  EXPECT_DOUBLE_EQ(h.key(a), 10.0);
+  EXPECT_DOUBLE_EQ(h.key(b), 50.0);
+}
+
+TEST(IndexedHeap, HandleReuseAfterClearIsConsistent) {
+  IndexedHeap<int> h;
+  h.push(1.0, 1);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  const auto a = h.push(2.0, 2);
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_EQ(h.pop(), 2);
+}
+
+class IndexedHeapProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IndexedHeapProperty, MatchesSetReference) {
+  std::mt19937_64 rng(GetParam());
+  IndexedHeap<std::uint64_t> h;
+  // Reference ordered by (key, value). Values are assigned in push order
+  // and update_key preserves the tie-breaking age, so (key, value) order
+  // equals the heap's (key, seq) order.
+  std::set<std::pair<double, std::uint64_t>> ref;
+  std::vector<IndexedHeap<std::uint64_t>::Handle> live;
+  std::uint64_t next = 0;
+  std::uniform_real_distribution<double> key_dist(0.0, 100.0);
+
+  for (int step = 0; step < 2000; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 50 || live.empty()) {
+      const double k = key_dist(rng);
+      live.push_back(h.push(k, next));
+      ref.emplace(k, next);
+      ++next;
+    } else if (op < 75) {
+      const auto expected = ref.begin();
+      ASSERT_DOUBLE_EQ(h.top_key(), expected->first);
+      const std::uint64_t v = h.pop();
+      ASSERT_EQ(v, expected->second);
+      ref.erase(expected);
+      live.erase(std::find_if(live.begin(), live.end(),
+                              [&](auto hd) { return !h.contains(hd); }));
+    } else if (op < 90) {
+      const std::size_t pick = rng() % live.size();
+      const auto hd = live[pick];
+      const std::uint64_t v = h.value(hd);
+      const double k = h.key(hd);
+      ASSERT_EQ(ref.erase({k, v}), 1u);
+      h.erase(hd);
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      const std::size_t pick = rng() % live.size();
+      const auto hd = live[pick];
+      const std::uint64_t v = h.value(hd);
+      const double old_k = h.key(hd);
+      const double new_k = key_dist(rng);
+      ASSERT_EQ(ref.erase({old_k, v}), 1u);
+      ref.emplace(new_k, v);
+      h.update_key(hd, new_k);
+    }
+    ASSERT_EQ(h.size(), ref.size());
+    if (step % 100 == 0) {
+      ASSERT_TRUE(h.validate());
+    }
+  }
+  // Drain: all pops must come out in non-decreasing key order.
+  double prev = -1.0;
+  while (!h.empty()) {
+    const double k = h.top_key();
+    ASSERT_GE(k, prev);
+    prev = k;
+    (void)h.pop();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapProperty,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+}  // namespace
+}  // namespace dvfs::ds

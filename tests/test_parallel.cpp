@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "dvfs/parallel/seed_sweep.h"
+#include "dvfs/parallel/thread_pool.h"
+
+namespace dvfs::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+  auto f = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f.get(), "ok");
+}
+
+TEST(ThreadPool, ExceptionsTravelThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+  // The pool must survive a throwing task.
+  auto g = pool.submit([] { return 7; });
+  EXPECT_EQ(g.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("unlucky");
+                                   }
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ManySmallTasksActuallyRunConcurrently) {
+  // Not a timing assertion (flaky); checks that more than one worker id
+  // shows up across tasks.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.parallel_for(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::scoped_lock lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, DestructorJoinsWithoutRunningPendingWork) {
+  // Submit long-running tasks and destroy the pool immediately: running
+  // tasks finish, pending ones are abandoned, and destruction does not
+  // hang or crash. (Behavioral smoke test for the shutdown path.)
+  std::atomic<int> ran{0};
+  std::future<void> first;
+  {
+    ThreadPool pool(1);
+    first = pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 8; ++i) {
+      (void)pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ran.fetch_add(1);
+      });
+    }
+    first.get();  // the first task is definitely executing or done
+  }
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 9);
+}
+
+TEST(Summarize, HandComputedStats) {
+  const Stats s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci95(), 1.96 * s.stddev / 2.0, 1e-12);
+}
+
+TEST(Summarize, SingleSampleHasZeroSpread) {
+  const Stats s = summarize({5.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+  EXPECT_THROW((void)summarize({}), PreconditionError);
+}
+
+TEST(SeedSweep, DeterministicAcrossRuns) {
+  ThreadPool pool(4);
+  auto measure = [](std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return MetricMap{{"x", d(rng)}, {"y", d(rng) * 2}};
+  };
+  const auto a = sweep_seeds(pool, 16, 100, measure);
+  const auto b = sweep_seeds(pool, 16, 100, measure);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.at("x").mean, b.at("x").mean);
+  EXPECT_DOUBLE_EQ(a.at("y").stddev, b.at("y").stddev);
+  EXPECT_EQ(a.at("x").n, 16u);
+}
+
+TEST(SeedSweep, SeedsAreDistinct) {
+  ThreadPool pool(8);
+  const auto stats = sweep_seeds(pool, 32, 7, [](std::uint64_t seed) {
+    return MetricMap{{"seed", static_cast<double>(seed)}};
+  });
+  // Seeds 7..38 => mean 22.5, min 7, max 38.
+  EXPECT_DOUBLE_EQ(stats.at("seed").mean, 22.5);
+  EXPECT_DOUBLE_EQ(stats.at("seed").min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.at("seed").max, 38.0);
+}
+
+TEST(SeedSweep, MismatchedMetricSetsRejected) {
+  ThreadPool pool(2);
+  EXPECT_THROW((void)sweep_seeds(pool, 4, 0,
+                                 [](std::uint64_t seed) {
+                                   MetricMap m{{"a", 1.0}};
+                                   if (seed == 2) m.emplace("b", 2.0);
+                                   return m;
+                                 }),
+               PreconditionError);
+  EXPECT_THROW((void)sweep_seeds(pool, 0, 0,
+                                 [](std::uint64_t) { return MetricMap{}; }),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dvfs::parallel

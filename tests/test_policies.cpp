@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/governors/planned_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+
+namespace dvfs::governors {
+namespace {
+
+using sim::ContentionModel;
+using sim::Engine;
+using sim::SimResult;
+
+std::vector<core::EnergyModel> homogeneous(std::size_t cores) {
+  return std::vector<core::EnergyModel>(cores,
+                                        core::EnergyModel::icpp2014_table2());
+}
+
+std::vector<core::CostTable> online_tables(std::size_t cores) {
+  return std::vector<core::CostTable>(
+      cores, core::CostTable(core::EnergyModel::icpp2014_table2(),
+                             core::CostParams{0.4, 0.1}));
+}
+
+workload::Trace small_online_trace() {
+  std::vector<core::Task> tasks;
+  core::TaskId id = 0;
+  // A few chunky submissions...
+  for (const double arrival : {0.0, 0.3, 0.8, 2.0, 2.1, 4.5}) {
+    tasks.push_back(core::Task{.id = id++,
+                               .cycles = 4'000'000'000,
+                               .arrival = arrival,
+                               .klass = core::TaskClass::kNonInteractive});
+  }
+  // ... and a burst of tiny interactive queries.
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(core::Task{.id = id++,
+                               .cycles = 3'000'000,
+                               .arrival = 0.1 * i + 0.05,
+                               .klass = core::TaskClass::kInteractive});
+  }
+  return workload::Trace(std::move(tasks));
+}
+
+// ------------------------------------------------------------- FifoPolicy
+
+TEST(FifoPolicy, CompletesEverythingOlbMax) {
+  Engine eng(homogeneous(4), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kMax});
+  const workload::Trace trace = small_online_trace();
+  const SimResult r = eng.run(trace, policy);
+  EXPECT_EQ(r.completed_count(), trace.size());
+  EXPECT_TRUE(policy.idle());
+}
+
+TEST(FifoPolicy, OlbAlwaysRunsAtCapRate) {
+  // With kMax every recorded run must consume energy at the top rate:
+  // energy per task == cycles * E(p_max) exactly (single core, serial).
+  Engine eng(homogeneous(1), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kMax});
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 1'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 2'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  EXPECT_NEAR(r.tasks[0].energy, m.task_energy(1'000'000'000, 4), 1e-6);
+  EXPECT_NEAR(r.tasks[1].energy, m.task_energy(2'000'000'000, 4), 1e-6);
+}
+
+TEST(FifoPolicy, RateCapRestrictsPowerSaving) {
+  // Power Saving: cap at index 2 (2.4 GHz). A single task must run there.
+  Engine eng(homogeneous(1), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kMax,
+                     .rate_cap = 2});
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 2'400'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_NEAR(r.tasks[0].finish, 2'400'000'000 * 0.42e-9, 1e-6);
+}
+
+TEST(FifoPolicy, EarliestReadyBalancesBacklog) {
+  // Two cores; three equal tasks arriving together go 2 + 1, never 3 + 0.
+  Engine eng(homogeneous(2), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kMax});
+  std::vector<core::Task> tasks;
+  for (core::TaskId i = 0; i < 3; ++i) {
+    tasks.push_back(core::Task{.id = i,
+                               .cycles = 3'000'000'000,
+                               .arrival = 0.0,
+                               .klass = core::TaskClass::kNonInteractive});
+  }
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  const Seconds one = 3'000'000'000 * 0.33e-9;
+  // Makespan must be two serial tasks, not three.
+  EXPECT_NEAR(r.end_time, 2 * one, 1e-6);
+}
+
+TEST(FifoPolicy, RoundRobinIgnoresLoad) {
+  // Round-robin sends tasks 0,2 to core 0 and 1,3 to core 1 even when the
+  // backlog says otherwise.
+  Engine eng(homogeneous(2), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kRoundRobin,
+                     .freq = FifoPolicy::FreqMode::kMax});
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 8'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 1'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 1'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  // Task 2 waits behind the 8G-cycle task on core 0 under round robin.
+  EXPECT_GT(r.tasks[2].finish, r.tasks[0].finish - 1e-9);
+}
+
+TEST(FifoPolicy, InteractivePreemptsNonInteractive) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kMax});
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 9'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 3'000'000, .arrival = 0.5,
+       .klass = core::TaskClass::kInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_EQ(r.tasks[0].preemptions, 1u);
+  // The query finishes right after arrival, long before the big task.
+  EXPECT_NEAR(r.tasks[1].finish, 0.5 + 3'000'000 * 0.33e-9, 1e-6);
+  EXPECT_GT(r.tasks[0].finish, 2.0);
+  EXPECT_EQ(r.completed_count(), 2u);
+}
+
+TEST(FifoPolicy, OndemandStartsLowAndRampsUp) {
+  // An idle machine's ondemand governor has decayed to the lowest rate, so
+  // a long task's first sampling period runs at 1.6 GHz; once the load
+  // sample exceeds the threshold the governor jumps to 3.0 GHz. The run
+  // must therefore finish faster than all-at-1.6 but slower than
+  // all-at-3.0.
+  Engine eng(homogeneous(1), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kOndemand});
+  const Cycles big = 30'000'000'000;  // ~10 s at 3 GHz
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = big, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  const Seconds all_slow = m.task_time(big, 0);
+  const Seconds all_fast = m.task_time(big, 4);
+  EXPECT_GT(r.tasks[0].finish, all_fast + 0.3);  // paid the slow first second
+  EXPECT_LT(r.tasks[0].finish, all_slow);        // but ramped up after it
+  // Roughly: 1 s at 1.6 GHz executes 1.6e9 cycles; the rest at 3 GHz.
+  const Seconds expected = 1.0 + (static_cast<double>(big) - 1.6e9) * 0.33e-9;
+  EXPECT_NEAR(r.tasks[0].finish, expected, 0.5);
+}
+
+TEST(FifoPolicy, OndemandRampsUpUnderLoad) {
+  // A long task keeps the core >85% loaded, so the governor must have
+  // ramped to the top rate: the run finishes far sooner than an
+  // all-lowest-rate run would (the governor only had one slow second).
+  Engine eng(homogeneous(1), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kOndemand});
+  const Cycles big = 30'000'000'000;
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = big, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_EQ(r.completed_count(), 1u);
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  EXPECT_LT(r.tasks[0].finish, 0.6 * m.task_time(big, 0));
+  // After completion the idle samples decay the level back down.
+  EXPECT_LT(policy.governor_level(0), 4u);
+}
+
+TEST(FifoPolicy, ConservativeRampsGradually) {
+  // A long task under the conservative rule climbs one level per second
+  // from the bottom instead of jumping to the cap; it must finish slower
+  // than under ondemand but faster than all-at-lowest.
+  const Cycles big = 30'000'000'000;
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = big, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  auto run_mode = [&](FifoPolicy::FreqMode mode) {
+    Engine eng(homogeneous(1), ContentionModel::none());
+    FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                       .freq = mode});
+    workload::Trace trace(tasks);
+    return eng.run(trace, policy).tasks[0].finish;
+  };
+  const Seconds ondemand = run_mode(FifoPolicy::FreqMode::kOndemand);
+  const Seconds conservative = run_mode(FifoPolicy::FreqMode::kConservative);
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  EXPECT_GT(conservative, ondemand + 0.5)
+      << "four one-second climbing steps instead of one jump";
+  EXPECT_LT(conservative, m.task_time(big, 0));
+  // Expected: 1s@1.6 + 1s@2.0 + 1s@2.4 + 1s@2.8 then 3.0 GHz.
+  const double climbed = (1.6 + 2.0 + 2.4 + 2.8) * 1e9;
+  const Seconds expected =
+      4.0 + (static_cast<double>(big) - climbed) * 0.33e-9;
+  EXPECT_NEAR(conservative, expected, 0.5);
+}
+
+TEST(FifoPolicy, ConservativeStepsDownInHysteresisBand) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  FifoPolicy policy({.placement = FifoPolicy::Placement::kEarliestReady,
+                     .freq = FifoPolicy::FreqMode::kConservative});
+  // Short task then a long idle stretch keeps load below the down
+  // threshold: the level must decay back to 0 by the end.
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 20'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 1'000'000, .arrival = 30.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_EQ(r.completed_count(), 2u);
+  EXPECT_EQ(policy.governor_level(0), 0u);
+}
+
+TEST(FifoPolicy, ConfigValidation) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  {
+    FifoPolicy bad({.rate_cap = 9});
+    workload::Trace empty;
+    EXPECT_THROW((void)eng.run(empty, bad), PreconditionError);
+  }
+  {
+    FifoPolicy bad({.freq = FifoPolicy::FreqMode::kOndemand,
+                    .load_threshold = 1.5});
+    workload::Trace empty;
+    EXPECT_THROW((void)eng.run(empty, bad), PreconditionError);
+  }
+}
+
+// -------------------------------------------------------------- LmcPolicy
+
+TEST(LmcPolicy, CompletesMixedTrace) {
+  Engine eng(homogeneous(4), ContentionModel::none());
+  LmcPolicy policy(online_tables(4));
+  const workload::Trace trace = small_online_trace();
+  const SimResult r = eng.run(trace, policy);
+  EXPECT_EQ(r.completed_count(), trace.size());
+  EXPECT_TRUE(policy.idle());
+}
+
+TEST(LmcPolicy, InteractiveGetsImmediateService) {
+  Engine eng(homogeneous(2), ContentionModel::none());
+  LmcPolicy policy(online_tables(2));
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 9'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 9'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 3'000'000, .arrival = 1.0,
+       .klass = core::TaskClass::kInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  // Both cores busy with submissions; the query must still complete almost
+  // immediately (preemption at max frequency).
+  EXPECT_LT(r.tasks[2].turnaround(), 0.01);
+  EXPECT_EQ(r.completed_count(), 3u);
+  // Exactly one submission was preempted and later resumed to completion.
+  EXPECT_EQ(r.tasks[0].preemptions + r.tasks[1].preemptions, 1u);
+}
+
+TEST(LmcPolicy, ShortestNonInteractiveRunsFirst) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  LmcPolicy policy(online_tables(1));
+  // Three submissions pile up while the first (long) one runs; among the
+  // queued ones the shortest must complete first (Theorem 3 queue order).
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 5'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 4'000'000'000, .arrival = 0.1,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 1'000'000'000, .arrival = 0.2,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_LT(r.tasks[2].finish, r.tasks[1].finish);
+  EXPECT_EQ(r.completed_count(), 3u);
+}
+
+TEST(LmcPolicy, TableCountMustMatchCores) {
+  Engine eng(homogeneous(3), ContentionModel::none());
+  LmcPolicy policy(online_tables(2));
+  workload::Trace empty;
+  EXPECT_THROW((void)eng.run(empty, policy), PreconditionError);
+}
+
+TEST(LmcPolicy, HandlesJudgegirlScaleTrace) {
+  // A shrunk Judgegirl trace exercises bursts, preemption and queue churn.
+  workload::JudgegirlConfig cfg;
+  cfg.duration = 120.0;
+  cfg.non_interactive_tasks = 60;
+  cfg.interactive_tasks = 1500;
+  const workload::Trace trace = workload::generate_judgegirl(cfg, 99);
+  Engine eng(homogeneous(4), ContentionModel::none());
+  LmcPolicy policy(online_tables(4));
+  const SimResult r = eng.run(trace, policy);
+  EXPECT_EQ(r.completed_count(), trace.size());
+  // Interactive mean turnaround must be tiny compared to judging work.
+  EXPECT_LT(r.mean_turnaround(core::TaskClass::kInteractive),
+            r.mean_turnaround(core::TaskClass::kNonInteractive));
+}
+
+TEST(LmcPolicy, EstimatorDrivesDecisionsButActualCyclesExecute) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  // Estimator wildly underestimates task 0 and overestimates task 1, so
+  // the queue order flips relative to the oracle; execution must still
+  // charge the true cycles.
+  LmcPolicy policy(online_tables(1), [](const core::Task& t) {
+    return t.id == 0 ? Cycles{1'000} : Cycles{10'000'000'000};
+  });
+  std::vector<core::Task> tasks{
+      {.id = 9, .cycles = 20'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},  // keeps the core busy
+      {.id = 0, .cycles = 6'000'000'000, .arrival = 0.1,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 1'000'000'000, .arrival = 0.2,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_EQ(r.completed_count(), 3u);
+  // "Shortest estimated first": task 0 (estimated tiny) finishes before
+  // task 1 despite actually being 6x bigger.
+  EXPECT_LT(r.tasks[1].finish, r.tasks[2].finish);
+  // Energy reflects ACTUAL cycles (within min/max per-cycle bounds).
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  EXPECT_GE(r.tasks[1].energy, 6e9 * m.energy_per_cycle(0) * 0.99);
+}
+
+TEST(LmcPolicy, CompletionHookObservesActualCycles) {
+  Engine eng(homogeneous(2), ContentionModel::none());
+  std::vector<std::pair<core::TaskId, Cycles>> seen;
+  LmcPolicy policy(
+      online_tables(2), [](const core::Task& t) { return t.cycles; },
+      [&](core::TaskId id, Cycles actual) { seen.emplace_back(id, actual); });
+  std::vector<core::Task> tasks{
+      {.id = 5, .cycles = 2'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 6, .cycles = 3'000'000, .arrival = 0.1,
+       .klass = core::TaskClass::kInteractive}};  // hook skips interactive
+  (void)eng.run(workload::Trace(std::move(tasks)), policy);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 5u);
+  EXPECT_EQ(seen[0].second, 2'000'000'000u);
+}
+
+TEST(LmcPolicy, ZeroEstimateRejected) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  LmcPolicy policy(online_tables(1),
+                   [](const core::Task&) { return Cycles{0}; });
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 100, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  EXPECT_THROW((void)eng.run(workload::Trace(std::move(tasks)), policy),
+               PreconditionError);
+}
+
+TEST(LmcPolicy, NullEstimatorRejected) {
+  EXPECT_THROW(LmcPolicy(online_tables(1), LmcPolicy::Estimator{}),
+               PreconditionError);
+}
+
+// ------------------------------------------------------ PlannedBatchPolicy
+
+TEST(PlannedPolicy, RejectsMismatchedPlan) {
+  Engine eng(homogeneous(2), ContentionModel::none());
+  core::Plan plan;
+  plan.cores.resize(3);  // wrong core count
+  PlannedBatchPolicy policy(plan);
+  workload::Trace empty;
+  EXPECT_THROW((void)eng.run(empty, policy), PreconditionError);
+}
+
+TEST(PlannedPolicy, RejectsDuplicateTaskInPlan) {
+  core::Plan plan;
+  plan.cores.resize(1);
+  plan.cores[0].sequence = {core::ScheduledTask{1, 10, 0},
+                            core::ScheduledTask{1, 10, 0}};
+  EXPECT_THROW(PlannedBatchPolicy{plan}, PreconditionError);
+}
+
+TEST(PlannedPolicy, ExecutesSequencesInOrder) {
+  Engine eng(homogeneous(2), ContentionModel::none());
+  core::Plan plan;
+  plan.cores.resize(2);
+  plan.cores[0].sequence = {core::ScheduledTask{0, 1'000'000'000, 4},
+                            core::ScheduledTask{1, 1'000'000'000, 0}};
+  plan.cores[1].sequence = {core::ScheduledTask{2, 2'000'000'000, 4}};
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 1'000'000'000},
+      {.id = 1, .cycles = 1'000'000'000},
+      {.id = 2, .cycles = 2'000'000'000}};
+  PlannedBatchPolicy policy(plan);
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_EQ(r.completed_count(), 3u);
+  EXPECT_LT(r.tasks[0].finish, r.tasks[1].finish);
+  // Task 0 at 3.0 GHz (0.33 s); task 1 after it at 1.6 GHz (0.625 s).
+  EXPECT_NEAR(r.tasks[0].finish, 0.33, 1e-6);
+  EXPECT_NEAR(r.tasks[1].finish, 0.33 + 0.625, 1e-6);
+  EXPECT_TRUE(policy.idle());
+}
+
+}  // namespace
+}  // namespace dvfs::governors

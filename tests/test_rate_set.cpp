@@ -1,0 +1,75 @@
+#include "dvfs/core/rate_set.h"
+
+#include <gtest/gtest.h>
+
+namespace dvfs::core {
+namespace {
+
+TEST(RateSet, BasicAccessors) {
+  const RateSet p{1.6, 2.0, 3.0};
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.lowest(), 1.6);
+  EXPECT_DOUBLE_EQ(p.highest(), 3.0);
+  EXPECT_EQ(p.highest_index(), 2u);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+TEST(RateSet, RejectsEmpty) {
+  EXPECT_THROW(RateSet(std::vector<Rate>{}), PreconditionError);
+}
+
+TEST(RateSet, RejectsNonIncreasing) {
+  EXPECT_THROW(RateSet({1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(RateSet({2.0, 1.0}), PreconditionError);
+}
+
+TEST(RateSet, RejectsNonPositive) {
+  EXPECT_THROW(RateSet({0.0, 1.0}), PreconditionError);
+  EXPECT_THROW(RateSet({-1.0, 1.0}), PreconditionError);
+}
+
+TEST(RateSet, IndexOutOfRangeThrows) {
+  const RateSet p{1.0};
+  EXPECT_THROW((void)p[1], PreconditionError);
+}
+
+TEST(RateSet, FloorIndexClampsAndSelects) {
+  const RateSet p{1.6, 2.0, 2.4};
+  EXPECT_EQ(p.floor_index(1.0), 0u);  // below range clamps to lowest
+  EXPECT_EQ(p.floor_index(1.6), 0u);
+  EXPECT_EQ(p.floor_index(1.99), 0u);
+  EXPECT_EQ(p.floor_index(2.0), 1u);
+  EXPECT_EQ(p.floor_index(9.0), 2u);
+}
+
+TEST(RateSet, IndexOfExactMember) {
+  const RateSet p = RateSet::i7_950();
+  EXPECT_EQ(p.index_of(1.6), 0u);
+  EXPECT_EQ(p.index_of(3.0), 4u);
+  EXPECT_THROW((void)p.index_of(2.5), PreconditionError);
+}
+
+TEST(RateSet, LowerHalfMatchesPaperPowerSaving) {
+  // The paper's Power Saving baseline limits the i7-950 to 1.6/2.0/2.4 GHz.
+  const RateSet half = RateSet::i7_950().lower_half();
+  ASSERT_EQ(half.size(), 3u);
+  EXPECT_DOUBLE_EQ(half[0], 1.6);
+  EXPECT_DOUBLE_EQ(half[1], 2.0);
+  EXPECT_DOUBLE_EQ(half[2], 2.4);
+}
+
+TEST(RateSet, LowerHalfOfSingleton) {
+  const RateSet one{2.0};
+  EXPECT_EQ(one.lower_half().size(), 1u);
+}
+
+TEST(RateSet, PresetsAreValid) {
+  EXPECT_EQ(RateSet::i7_950().size(), 5u);
+  EXPECT_EQ(RateSet::i7_950_full().size(), 12u);
+  EXPECT_EQ(RateSet::exynos_4412().size(), 16u);
+  EXPECT_DOUBLE_EQ(RateSet::exynos_4412().lowest(), 0.2);
+  EXPECT_DOUBLE_EQ(RateSet::exynos_4412().highest(), 1.7);
+}
+
+}  // namespace
+}  // namespace dvfs::core

@@ -1,0 +1,143 @@
+#include "dvfs/rt/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "dvfs/core/batch_multi.h"
+
+namespace dvfs::rt {
+namespace {
+
+core::EnergyModel table2() { return core::EnergyModel::icpp2014_table2(); }
+
+TEST(SpinCalibrator, MeasuresPositiveRate) {
+  const SpinCalibrator cal(0.02);
+  EXPECT_GT(cal.iterations_per_second(), 1e6)
+      << "even a slow machine spins millions of kernel rounds per second";
+  EXPECT_THROW(SpinCalibrator(0.0), PreconditionError);
+}
+
+TEST(SpinCalibrator, SpinForRespectsDuration) {
+  const SpinCalibrator cal(0.02);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)SpinCalibrator::spin_for(0.05, cal.iterations_per_second());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.05);
+  EXPECT_LT(elapsed, 0.2);  // generous: CI boxes stall
+  EXPECT_THROW((void)SpinCalibrator::spin_for(-1.0, 1e6), PreconditionError);
+  EXPECT_THROW((void)SpinCalibrator::spin_for(1.0, 0.0), PreconditionError);
+}
+
+TEST(RealtimeExecutor, ConfigAndPlanValidation) {
+  EXPECT_THROW(RealtimeExecutor(table2(), {.time_scale = 0.0}),
+               PreconditionError);
+  RealtimeExecutor exec(table2(), {.time_scale = 1e-3});
+  core::Plan bad;
+  bad.cores.resize(1);
+  bad.cores[0].sequence = {core::ScheduledTask{0, 100, 99}};
+  EXPECT_THROW((void)exec.execute(bad), PreconditionError);
+}
+
+TEST(RealtimeExecutor, ExecutesPlanInOrderWithModelTiming) {
+  // Two cores, tasks sized for ~30-90 ms of wall time at scale 1e-4.
+  // (cycles * T(p) = seconds; 1e9 cycles at 1.6 GHz = 0.625 s model time.)
+  core::Plan plan;
+  plan.cores.resize(2);
+  plan.cores[0].sequence = {core::ScheduledTask{0, 1'000'000'000, 0},
+                            core::ScheduledTask{1, 1'000'000'000, 4}};
+  plan.cores[1].sequence = {core::ScheduledTask{2, 2'000'000'000, 4}};
+  RealtimeExecutor exec(table2(), {.time_scale = 1e-4});
+  const RtResult r = exec.execute(plan);
+
+  ASSERT_EQ(r.tasks.size(), 3u);
+  std::map<core::TaskId, RtTaskRecord> by_id;
+  for (const RtTaskRecord& t : r.tasks) by_id[t.id] = t;
+  // In-order on core 0.
+  EXPECT_LE(by_id[0].finish, by_id[1].start + 1e-6);
+  // Planned durations follow the model exactly.
+  EXPECT_NEAR(by_id[0].planned_seconds, 0.625e-4 * 1e9 * 1e-9 * 1e9 / 1e9,
+              1e-12);
+  EXPECT_NEAR(by_id[0].planned_seconds, 1'000'000'000 * 0.625e-9 * 1e-4,
+              1e-12);
+  // Wall durations at least the planned duration, within loose overshoot.
+  for (const auto& [id, t] : by_id) {
+    const double wall = t.finish - t.start;
+    EXPECT_GE(wall, t.planned_seconds * 0.95) << "task " << id;
+    EXPECT_LE(wall, t.planned_seconds + 0.1) << "task " << id;
+  }
+  // Model energy charged per cycles and rate.
+  EXPECT_NEAR(by_id[0].model_energy, 1e9 * 3.375e-9, 1e-9);
+  EXPECT_NEAR(r.model_energy,
+              1e9 * 3.375e-9 + 1e9 * 7.1e-9 + 2e9 * 7.1e-9, 1e-9);
+  EXPECT_GT(r.wall_makespan, 0.0);
+  EXPECT_LT(r.worst_relative_drift(), 1.0);
+}
+
+TEST(RealtimeExecutor, CoresRunConcurrently) {
+  // Two cores each spin ~80 ms; serial would be ~160 ms. Allow generous
+  // noise but require visible overlap.
+  core::Plan plan;
+  plan.cores.resize(2);
+  plan.cores[0].sequence = {core::ScheduledTask{0, 1'280'000'000, 0}};
+  plan.cores[1].sequence = {core::ScheduledTask{1, 1'280'000'000, 0}};
+  RealtimeExecutor exec(table2(), {.time_scale = 1e-4});
+  const RtResult r = exec.execute(plan);
+  EXPECT_LT(r.wall_makespan, 0.150);
+}
+
+TEST(RealtimeExecutor, PinningIsBestEffortAndHarmless) {
+  core::Plan plan;
+  plan.cores.resize(2);
+  plan.cores[0].sequence = {core::ScheduledTask{0, 160'000'000, 0}};
+  plan.cores[1].sequence = {core::ScheduledTask{1, 160'000'000, 4}};
+  RealtimeExecutor exec(table2(), {.time_scale = 1e-3, .pin_threads = true});
+  const RtResult r = exec.execute(plan);
+  EXPECT_EQ(r.tasks.size(), 2u);
+}
+
+TEST(RealtimeExecutor, RateEmulationOrdersDurations) {
+  // The same cycles at 1.6 vs 3.0 GHz must take visibly different wall
+  // time — the executor's whole point. Durations are ~60-120 ms so that
+  // an oversubscribed machine's scheduling quantum cannot flip the ratio.
+  core::Plan plan;
+  plan.cores.resize(2);
+  plan.cores[0].sequence = {core::ScheduledTask{0, 1'000'000'000, 0}};  // slow
+  plan.cores[1].sequence = {core::ScheduledTask{1, 1'000'000'000, 4}};  // fast
+  RealtimeExecutor exec(table2(), {.time_scale = 2e-1});
+  const RtResult r = exec.execute(plan);
+  std::map<core::TaskId, RtTaskRecord> by_id;
+  for (const RtTaskRecord& t : r.tasks) by_id[t.id] = t;
+  const double slow = by_id[0].finish - by_id[0].start;
+  const double fast = by_id[1].finish - by_id[1].start;
+  EXPECT_GT(slow, fast * 1.3)
+      << "0.625/0.33 ns per cycle should be a ~1.9x wall-time ratio";
+}
+
+TEST(RealtimeExecutor, WbgPlanEndToEnd) {
+  // The full pipeline: WBG plan -> real threads -> wall-clock makespan in
+  // the right ballpark of the model's (time-scaled) makespan.
+  const core::CostTable table(table2(), core::CostParams{0.1, 0.4});
+  const std::vector<core::CostTable> tables(2, table);
+  std::vector<core::Task> tasks;
+  for (core::TaskId i = 0; i < 6; ++i) {
+    tasks.push_back(core::Task{.id = i, .cycles = (i + 1) * 200'000'000});
+  }
+  const core::Plan plan = core::workload_based_greedy(tasks, tables);
+  const core::PlanCost model_cost = core::evaluate_plan(plan, tables);
+
+  RealtimeExecutor exec(table2(), {.time_scale = 2e-4});
+  const RtResult r = exec.execute(plan);
+  EXPECT_EQ(r.tasks.size(), 6u);
+  const double expected_makespan = model_cost.makespan * 2e-4;
+  EXPECT_GE(r.wall_makespan, expected_makespan * 0.9);
+  EXPECT_LE(r.wall_makespan, expected_makespan * 2.0 + 0.1);
+  EXPECT_NEAR(r.model_energy, model_cost.energy, 1e-6 * model_cost.energy);
+}
+
+}  // namespace
+}  // namespace dvfs::rt

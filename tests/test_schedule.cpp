@@ -1,0 +1,150 @@
+#include "dvfs/core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dvfs::core {
+namespace {
+
+CostTable gadget_table() {
+  // T = {2, 1}, E = {1, 4}; Re = Rt = 1 makes arithmetic exact.
+  return CostTable(EnergyModel::partition_gadget(), CostParams{1.0, 1.0});
+}
+
+TEST(EvaluatePlan, EmptyPlanCostsNothing) {
+  Plan plan;
+  plan.cores.resize(2);
+  const PlanCost c = evaluate_plan(plan, gadget_table());
+  EXPECT_DOUBLE_EQ(c.total(), 0.0);
+  EXPECT_DOUBLE_EQ(c.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy, 0.0);
+}
+
+TEST(EvaluatePlan, SingleTaskHandArithmetic) {
+  // One task, 10 cycles, slow rate: time = 20 s, energy = 10 J.
+  Plan plan;
+  plan.cores.push_back(CorePlan{{ScheduledTask{1, 10, 0}}});
+  const PlanCost c = evaluate_plan(plan, gadget_table());
+  EXPECT_DOUBLE_EQ(c.energy, 10.0);
+  EXPECT_DOUBLE_EQ(c.total_turnaround, 20.0);
+  EXPECT_DOUBLE_EQ(c.energy_cost, 10.0);
+  EXPECT_DOUBLE_EQ(c.time_cost, 20.0);
+  EXPECT_DOUBLE_EQ(c.total(), 30.0);
+  EXPECT_DOUBLE_EQ(c.makespan, 20.0);
+}
+
+TEST(EvaluatePlan, TurnaroundAccumulatesAlongQueue) {
+  // Two tasks on one core, both at the fast rate (T = 1): runs of 3 s and
+  // 5 s; turnarounds 3 and 8.
+  Plan plan;
+  plan.cores.push_back(
+      CorePlan{{ScheduledTask{1, 3, 1}, ScheduledTask{2, 5, 1}}});
+  const PlanCost c = evaluate_plan(plan, gadget_table());
+  EXPECT_DOUBLE_EQ(c.total_turnaround, 3.0 + 8.0);
+  EXPECT_DOUBLE_EQ(c.energy, 4.0 * (3 + 5));
+  EXPECT_DOUBLE_EQ(c.makespan, 8.0);
+}
+
+TEST(EvaluatePlan, MakespanIsMaxOverCores) {
+  Plan plan;
+  plan.cores.push_back(CorePlan{{ScheduledTask{1, 10, 1}}});  // 10 s
+  plan.cores.push_back(CorePlan{{ScheduledTask{2, 3, 0}}});   // 6 s
+  const PlanCost c = evaluate_plan(plan, gadget_table());
+  EXPECT_DOUBLE_EQ(c.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(c.total_turnaround, 16.0);
+}
+
+TEST(EvaluatePlan, MatchesEquation9Reformulation) {
+  // Eq. 9: C = sum_k [Re*L_k*E(p_k) + (n-k+1)*Rt*L_k*T(p_k)].
+  const CostTable t = gadget_table();
+  Plan plan;
+  plan.cores.push_back(CorePlan{{ScheduledTask{1, 2, 0}, ScheduledTask{2, 4, 1},
+                                 ScheduledTask{3, 7, 0}}});
+  const PlanCost direct = evaluate_plan(plan, t);
+  const auto& seq = plan.cores[0].sequence;
+  const std::size_t n = seq.size();
+  Money eq9 = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    const ScheduledTask& st = seq[k - 1];
+    const double l = static_cast<double>(st.cycles);
+    eq9 += t.params().re * l * t.model().energy_per_cycle(st.rate_idx) +
+           static_cast<double>(n - k + 1) * t.params().rt * l *
+               t.model().time_per_cycle(st.rate_idx);
+  }
+  EXPECT_NEAR(direct.total(), eq9, 1e-12);
+}
+
+TEST(EvaluatePlan, HeterogeneousUsesPerCoreModels) {
+  const CostTable slow_core = gadget_table();
+  const CostTable fast_core(
+      EnergyModel(RateSet({2.0}), {8.0}, {0.5}), CostParams{1.0, 1.0});
+  const std::vector<CostTable> tables{slow_core, fast_core};
+  Plan plan;
+  plan.cores.push_back(CorePlan{{ScheduledTask{1, 10, 0}}});  // 20 s, 10 J
+  plan.cores.push_back(CorePlan{{ScheduledTask{2, 10, 0}}});  // 5 s, 80 J
+  const PlanCost c = evaluate_plan(plan, tables);
+  EXPECT_DOUBLE_EQ(c.energy, 90.0);
+  EXPECT_DOUBLE_EQ(c.total_turnaround, 25.0);
+  EXPECT_DOUBLE_EQ(c.makespan, 20.0);
+}
+
+TEST(EvaluatePlan, MismatchedCoreCountRejected) {
+  Plan plan;
+  plan.cores.resize(3);
+  const std::vector<CostTable> tables{gadget_table(), gadget_table()};
+  EXPECT_THROW((void)evaluate_plan(plan, tables), PreconditionError);
+}
+
+TEST(EvaluatePlan, DisagreeingCostWeightsRejected) {
+  Plan plan;
+  plan.cores.resize(2);
+  const std::vector<CostTable> tables{
+      gadget_table(),
+      CostTable(EnergyModel::partition_gadget(), CostParams{2.0, 1.0})};
+  EXPECT_THROW((void)evaluate_plan(plan, tables), PreconditionError);
+}
+
+TEST(EvaluatePlan, BadRateIndexRejected) {
+  Plan plan;
+  plan.cores.push_back(CorePlan{{ScheduledTask{1, 10, 9}}});
+  EXPECT_THROW((void)evaluate_plan(plan, gadget_table()), PreconditionError);
+}
+
+TEST(PlanPermutationCheck, AcceptsExactCover) {
+  const std::vector<Task> tasks{{.id = 1, .cycles = 5}, {.id = 2, .cycles = 7}};
+  const std::vector<CostTable> tables{gadget_table(), gadget_table()};
+  Plan plan;
+  plan.cores.resize(2);
+  plan.cores[0].sequence.push_back(ScheduledTask{2, 7, 0});
+  plan.cores[1].sequence.push_back(ScheduledTask{1, 5, 1});
+  EXPECT_TRUE(plan_is_permutation_of(plan, tasks, tables));
+}
+
+TEST(PlanPermutationCheck, RejectsMissingDuplicatedOrAlteredTasks) {
+  const std::vector<Task> tasks{{.id = 1, .cycles = 5}, {.id = 2, .cycles = 7}};
+  const std::vector<CostTable> tables{gadget_table()};
+  Plan missing;
+  missing.cores.resize(1);
+  missing.cores[0].sequence.push_back(ScheduledTask{1, 5, 0});
+  EXPECT_FALSE(plan_is_permutation_of(missing, tasks, tables));
+
+  Plan duplicated;
+  duplicated.cores.resize(1);
+  duplicated.cores[0].sequence = {ScheduledTask{1, 5, 0},
+                                  ScheduledTask{1, 5, 0}};
+  EXPECT_FALSE(plan_is_permutation_of(duplicated, tasks, tables));
+
+  Plan altered;
+  altered.cores.resize(1);
+  altered.cores[0].sequence = {ScheduledTask{1, 6, 0}, ScheduledTask{2, 7, 0}};
+  EXPECT_FALSE(plan_is_permutation_of(altered, tasks, tables));
+
+  Plan bad_rate;
+  bad_rate.cores.resize(1);
+  bad_rate.cores[0].sequence = {ScheduledTask{1, 5, 2}, ScheduledTask{2, 7, 0}};
+  EXPECT_FALSE(plan_is_permutation_of(bad_rate, tasks, tables));
+}
+
+}  // namespace
+}  // namespace dvfs::core

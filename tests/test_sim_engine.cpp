@@ -1,0 +1,712 @@
+#include "dvfs/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/governors/planned_policy.h"
+#include "dvfs/sim/contention.h"
+#include "dvfs/workload/spec2006int.h"
+
+namespace dvfs::sim {
+namespace {
+
+// Scriptable policy for unit-testing engine mechanics.
+class ScriptPolicy : public Policy {
+ public:
+  std::function<void(Engine&, const core::Task&)> arrival =
+      [](Engine&, const core::Task&) {};
+  std::function<void(Engine&, std::size_t, core::TaskId)> complete =
+      [](Engine&, std::size_t, core::TaskId) {};
+  std::function<void(Engine&)> timer = [](Engine&) {};
+  Seconds interval = 0.0;
+
+  void on_arrival(Engine& e, const core::Task& t) override { arrival(e, t); }
+  void on_complete(Engine& e, std::size_t c, core::TaskId id) override {
+    complete(e, c, id);
+  }
+  void on_timer(Engine& e) override { timer(e); }
+  [[nodiscard]] Seconds timer_interval() const override { return interval; }
+};
+
+core::EnergyModel gadget() { return core::EnergyModel::partition_gadget(); }
+
+workload::Trace one_task(Cycles cycles, Seconds arrival = 0.0) {
+  return workload::Trace(std::vector<core::Task>{
+      {.id = 1, .cycles = cycles, .arrival = arrival,
+       .klass = core::TaskClass::kNonInteractive}});
+}
+
+TEST(Engine, EmptyTraceProducesEmptyResult) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  const SimResult r = eng.run(workload::Trace{}, p);
+  EXPECT_TRUE(r.tasks.empty());
+  EXPECT_DOUBLE_EQ(r.busy_energy, 0.0);
+  EXPECT_DOUBLE_EQ(r.end_time, 0.0);
+}
+
+TEST(Engine, SingleTaskTimeAndEnergyExact) {
+  // 10 cycles at the slow rate: T = 2 s/cycle -> 20 s, E = 1 J/cycle -> 10 J.
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 0);
+  };
+  const SimResult r = eng.run(one_task(10), p);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_TRUE(r.tasks[0].completed());
+  EXPECT_NEAR(r.tasks[0].finish, 20.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].turnaround(), 20.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].energy, 10.0, 1e-9);
+  EXPECT_NEAR(r.busy_energy, 10.0, 1e-9);
+  EXPECT_NEAR(r.end_time, 20.0, 1e-9);
+}
+
+TEST(Engine, ArrivalOffsetShiftsStartNotTurnaroundBase) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 1);
+  };
+  const SimResult r = eng.run(one_task(10, 5.0), p);
+  EXPECT_NEAR(r.tasks[0].first_start, 5.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].finish, 15.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].turnaround(), 10.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].waiting(), 0.0, 1e-9);
+}
+
+TEST(Engine, IdleEnergyIntegratesSeparately) {
+  // Core 1 idles for the whole 10 s run at 0.5 W idle power.
+  Engine eng({gadget(), gadget()}, ContentionModel::none(), 0.5);
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 1);
+  };
+  const SimResult r = eng.run(one_task(10), p);
+  EXPECT_NEAR(r.busy_energy, 40.0, 1e-9);
+  EXPECT_NEAR(r.idle_energy, 0.5 * 10.0, 1e-9);  // only the idle core
+}
+
+TEST(Engine, ContentionStretchesOverlappingWork) {
+  // Both cores busy with 10 fast cycles, alpha = 0.5 -> factor 1.5.
+  Engine eng({gadget(), gadget()}, ContentionModel(0.5));
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(t.id == 1 ? 0 : 1, t.id, static_cast<double>(t.cycles), 1);
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}});
+  const SimResult r = eng.run(trace, p);
+  EXPECT_NEAR(r.tasks[0].finish, 15.0, 1e-9);
+  EXPECT_NEAR(r.tasks[1].finish, 15.0, 1e-9);
+  // Power is unchanged, so stretched time means more energy: 4 W * 15 s.
+  EXPECT_NEAR(r.tasks[0].energy, 60.0, 1e-9);
+}
+
+TEST(Engine, ContentionPhasesIntegratePiecewise) {
+  // Task A (10 cycles fast) starts at 0 alone; B (10 cycles fast) at t=5.
+  // A: 5 cycles alone (5 s), 5 cycles contended (7.5 s) -> 12.5 s.
+  // B: 5 cycles contended, then 5 alone -> finish 17.5 s.
+  Engine eng({gadget(), gadget()}, ContentionModel(0.5));
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(t.id == 1 ? 0 : 1, t.id, static_cast<double>(t.cycles), 1);
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 10, .arrival = 5.0,
+       .klass = core::TaskClass::kNonInteractive}});
+  const SimResult r = eng.run(trace, p);
+  EXPECT_NEAR(r.tasks[0].finish, 12.5, 1e-9);
+  EXPECT_NEAR(r.tasks[1].finish, 17.5, 1e-9);
+}
+
+TEST(Engine, PreemptAndResumeConservesCycles) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  std::vector<Engine::Preempted> stash;
+  p.arrival = [&](Engine& e, const core::Task& t) {
+    if (t.id == 1) {
+      e.start(0, t.id, static_cast<double>(t.cycles), 0);  // slow
+    } else {
+      stash.push_back(e.preempt(0));
+      e.start(0, t.id, static_cast<double>(t.cycles), 1);  // fast
+    }
+  };
+  p.complete = [&](Engine& e, std::size_t core, core::TaskId) {
+    if (!stash.empty()) {
+      const auto back = stash.back();
+      stash.pop_back();
+      e.start(core, back.task, back.remaining_cycles, 1);  // resume fast
+    }
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 3, .arrival = 4.0,
+       .klass = core::TaskClass::kInteractive}});
+  const SimResult r = eng.run(trace, p);
+  // Task 1: 2 cycles by t=4 (slow), preempted; task 2 runs 4..7; task 1
+  // resumes fast with 8 cycles -> finishes at 15.
+  EXPECT_NEAR(r.tasks[1].finish, 7.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].finish, 15.0, 1e-9);
+  EXPECT_EQ(r.tasks[0].preemptions, 1u);
+  // Energy: 0.5 W * 4 s + 4 W * 8 s = 34 J for task 1; 12 J for task 2.
+  EXPECT_NEAR(r.tasks[0].energy, 34.0, 1e-9);
+  EXPECT_NEAR(r.tasks[1].energy, 12.0, 1e-9);
+}
+
+TEST(Engine, SetRateMidFlight) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 0);
+  };
+  p.interval = 10.0;
+  bool switched = false;
+  p.timer = [&](Engine& e) {
+    if (!switched && e.busy(0)) {
+      EXPECT_EQ(e.current_rate(0), 0u);
+      EXPECT_NEAR(e.remaining_cycles(0), 5.0, 1e-9);
+      e.set_rate(0, 1);
+      switched = true;
+    }
+  };
+  // 10 cycles: 5 slow cycles in the first 10 s, then 5 fast -> 15 s total.
+  const SimResult r = eng.run(one_task(10), p);
+  EXPECT_TRUE(switched);
+  EXPECT_NEAR(r.tasks[0].finish, 15.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].energy, 0.5 * 10 + 4.0 * 5, 1e-9);
+}
+
+TEST(Engine, TimerTicksWhileWorkRemains) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 1);  // 10 s
+  };
+  p.interval = 1.0;
+  int ticks = 0;
+  p.timer = [&](Engine&) { ++ticks; };
+  (void)eng.run(one_task(10), p);
+  EXPECT_GE(ticks, 9);
+  EXPECT_LE(ticks, 12);
+}
+
+TEST(Engine, ControlSurfaceGuards) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    EXPECT_THROW(e.start(1, t.id, 1.0, 0), PreconditionError);  // bad core
+    EXPECT_THROW(e.start(0, t.id, 0.0, 0), PreconditionError);  // no cycles
+    EXPECT_THROW(e.start(0, t.id, 1.0, 7), PreconditionError);  // bad rate
+    EXPECT_THROW((void)e.preempt(0), PreconditionError);        // idle core
+    EXPECT_THROW(e.set_rate(0, 0), PreconditionError);          // idle core
+    e.start(0, t.id, static_cast<double>(t.cycles), 0);
+    EXPECT_THROW(e.start(0, 99, 1.0, 0), PreconditionError);    // busy core
+  };
+  (void)eng.run(one_task(5), p);
+  // Outside run() the control surface must refuse.
+  EXPECT_THROW(eng.start(0, 1, 1.0, 0), PreconditionError);
+}
+
+TEST(Engine, DuplicateTaskIdsRejected) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  std::vector<core::Task> tasks{
+      {.id = 1, .cycles = 5, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 5, .arrival = 1.0,
+       .klass = core::TaskClass::kNonInteractive}};
+  EXPECT_THROW((void)eng.run(workload::Trace(std::move(tasks)), p),
+               PreconditionError);
+}
+
+TEST(Engine, ReusableAcrossRuns) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 1);
+  };
+  const SimResult a = eng.run(one_task(10), p);
+  const SimResult b = eng.run(one_task(10), p);
+  EXPECT_NEAR(a.tasks[0].finish, b.tasks[0].finish, 1e-12);
+  EXPECT_NEAR(a.busy_energy, b.busy_energy, 1e-12);
+}
+
+// Integration: executing a WBG plan on an ideal engine must reproduce the
+// analytic plan cost exactly (the paper's "Simulation" bar of Fig. 1).
+TEST(Engine, PlannedExecutionMatchesAnalyticCost) {
+  const core::CostTable table(core::EnergyModel::icpp2014_table2(),
+                              core::CostParams{0.1, 0.4});
+  const std::vector<core::CostTable> tables(4, table);
+  const auto tasks = workload::spec_batch_tasks();
+  const core::Plan plan = core::workload_based_greedy(tasks, tables);
+  const core::PlanCost analytic = core::evaluate_plan(plan, tables);
+
+  Engine eng(std::vector<core::EnergyModel>(4,
+                                            core::EnergyModel::icpp2014_table2()),
+             ContentionModel::none());
+  governors::PlannedBatchPolicy policy(plan);
+  const SimResult r = eng.run(workload::Trace(tasks), policy);
+
+  EXPECT_EQ(r.completed_count(), tasks.size());
+  EXPECT_NEAR(r.busy_energy, analytic.energy, 1e-6 * analytic.energy);
+  EXPECT_NEAR(r.total_turnaround(), analytic.total_turnaround,
+              1e-6 * analytic.total_turnaround);
+  EXPECT_NEAR(r.end_time, analytic.makespan, 1e-6 * analytic.makespan);
+  const core::CostParams cp{0.1, 0.4};
+  EXPECT_NEAR(r.total_cost(cp), analytic.total(), 1e-6 * analytic.total());
+}
+
+TEST(Engine, ContentionRaisesPlannedExecutionCost) {
+  // The paper's Fig. 1 gap: the contended run costs more than the ideal.
+  const core::CostTable table(core::EnergyModel::icpp2014_table2(),
+                              core::CostParams{0.1, 0.4});
+  const std::vector<core::CostTable> tables(4, table);
+  const auto tasks = workload::spec_batch_tasks();
+  const core::Plan plan = core::workload_based_greedy(tasks, tables);
+
+  Engine ideal(std::vector<core::EnergyModel>(
+                   4, core::EnergyModel::icpp2014_table2()),
+               ContentionModel::none());
+  Engine real(std::vector<core::EnergyModel>(
+                  4, core::EnergyModel::icpp2014_table2()),
+              ContentionModel::icpp2014_quadcore());
+  governors::PlannedBatchPolicy p1(plan);
+  governors::PlannedBatchPolicy p2(plan);
+  const SimResult ri = ideal.run(workload::Trace(tasks), p1);
+  const SimResult rr = real.run(workload::Trace(tasks), p2);
+  const core::CostParams cp{0.1, 0.4};
+  EXPECT_GT(rr.total_cost(cp), ri.total_cost(cp));
+  const double gap = rr.total_cost(cp) / ri.total_cost(cp);
+  EXPECT_GT(gap, 1.01);
+  EXPECT_LT(gap, 1.15);  // calibrated to the paper's ~8%
+}
+
+TEST(Engine, RateResidencyTracksFrequencies) {
+  Engine eng({gadget(), gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    // Task 1: 10 cycles slow on core 0 (20 s). Task 2: 10 fast on core 1
+    // (10 s).
+    e.start(t.id == 1 ? 0 : 1, t.id, static_cast<double>(t.cycles),
+            t.id == 1 ? 0 : 1);
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}});
+  const SimResult r = eng.run(trace, p);
+  ASSERT_EQ(r.rate_residency.size(), 2u);
+  EXPECT_NEAR(r.rate_residency[0][0], 20.0, 1e-9);
+  EXPECT_NEAR(r.rate_residency[0][1], 0.0, 1e-9);
+  EXPECT_NEAR(r.rate_residency[1][1], 10.0, 1e-9);
+  EXPECT_NEAR(r.busy_seconds(0), 20.0, 1e-9);
+  EXPECT_NEAR(r.busy_seconds(1), 10.0, 1e-9);
+  EXPECT_NEAR(r.utilization(0), 1.0, 1e-9);       // busy for the whole run
+  EXPECT_NEAR(r.utilization(1), 0.5, 1e-9);       // idle after t = 10
+  const std::vector<double> share = r.rate_share();
+  ASSERT_EQ(share.size(), 2u);
+  EXPECT_NEAR(share[0], 20.0 / 30.0, 1e-9);
+  EXPECT_NEAR(share[1], 10.0 / 30.0, 1e-9);
+}
+
+TEST(Engine, SetRateSplitsResidency) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 0);
+  };
+  p.interval = 10.0;
+  p.timer = [](Engine& e) {
+    if (e.busy(0) && e.current_rate(0) == 0) e.set_rate(0, 1);
+  };
+  const SimResult r = eng.run(one_task(10), p);  // 10 s slow + 5 s fast
+  EXPECT_NEAR(r.rate_residency[0][0], 10.0, 1e-9);
+  EXPECT_NEAR(r.rate_residency[0][1], 5.0, 1e-9);
+}
+
+TEST(Engine, EmptyRunHasEmptyRateShare) {
+  Engine eng({gadget()}, ContentionModel::none());
+  ScriptPolicy p;
+  const SimResult r = eng.run(workload::Trace{}, p);
+  EXPECT_TRUE(r.rate_share().empty());
+  EXPECT_DOUBLE_EQ(r.utilization(0), 0.0);
+  EXPECT_THROW((void)r.busy_seconds(1), PreconditionError);
+}
+
+TEST(Engine, TransitionLatencyStallsRateChanges) {
+  // Latency 1 s. Task 1 (10 cycles fast): first start is free -> 10 s.
+  // Task 2 (10 cycles slow): rate change 1->0 stalls 1 s -> finishes at
+  // 10 + 1 + 20 = 31.
+  Engine eng({gadget()}, ContentionModel::none(), 0.0, 1.0);
+  ScriptPolicy p;
+  std::vector<core::Task> backlog;
+  p.arrival = [&](Engine& e, const core::Task& t) {
+    if (!e.busy(0)) {
+      e.start(0, t.id, static_cast<double>(t.cycles), t.id == 1 ? 1 : 0);
+    } else {
+      backlog.push_back(t);
+    }
+  };
+  p.complete = [&](Engine& e, std::size_t, core::TaskId) {
+    if (!backlog.empty()) {
+      const core::Task t = backlog.front();
+      backlog.erase(backlog.begin());
+      e.start(0, t.id, static_cast<double>(t.cycles), t.id == 1 ? 1 : 0);
+    }
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}});
+  const SimResult r = eng.run(trace, p);
+  EXPECT_NEAR(r.tasks[0].finish, 10.0, 1e-9) << "first rate setting is free";
+  EXPECT_NEAR(r.tasks[1].finish, 31.0, 1e-9) << "1 s stall + 20 s run";
+  // The stall burns busy power at the new (slow) rate: 0.5 W * 21 s.
+  EXPECT_NEAR(r.tasks[1].energy, 0.5 * 21.0, 1e-9);
+}
+
+TEST(Engine, TransitionLatencyAppliesToMidFlightRerating) {
+  Engine eng({gadget()}, ContentionModel::none(), 0.0, 2.0);
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 0);  // slow
+  };
+  p.interval = 10.0;
+  bool switched = false;
+  p.timer = [&](Engine& e) {
+    if (!switched && e.busy(0)) {
+      e.set_rate(0, 1);
+      switched = true;
+    }
+  };
+  // 10 cycles: 5 slow in [0,10], then 2 s stall, then 5 fast -> 17 s.
+  const SimResult r = eng.run(one_task(10), p);
+  EXPECT_NEAR(r.tasks[0].finish, 17.0, 1e-9);
+  // set_rate to the SAME rate must not stall (no-op path).
+  Engine eng2({gadget()}, ContentionModel::none(), 0.0, 2.0);
+  ScriptPolicy q;
+  q.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), 1);
+  };
+  q.interval = 3.0;
+  q.timer = [](Engine& e) {
+    if (e.busy(0)) e.set_rate(0, 1);  // same rate, free
+  };
+  const SimResult r2 = eng2.run(one_task(10), q);
+  EXPECT_NEAR(r2.tasks[0].finish, 10.0, 1e-9);
+}
+
+TEST(Engine, TimerContinuesWhileBacklogWaitsOnIdleCores) {
+  // A policy that deliberately parks the arrival and only starts it from
+  // a later timer tick: the engine must keep timers alive while
+  // Policy::idle() reports backlog even though every core is idle.
+  class DeferredStart : public Policy {
+   public:
+    void on_arrival(Engine&, const core::Task& t) override {
+      pending_.push_back(t);
+    }
+    void on_complete(Engine&, std::size_t, core::TaskId) override {}
+    void on_timer(Engine& e) override {
+      ++ticks_;
+      if (ticks_ >= 3 && !pending_.empty() && !e.busy(0)) {
+        const core::Task t = pending_.front();
+        pending_.erase(pending_.begin());
+        e.start(0, t.id, static_cast<double>(t.cycles), 1);
+      }
+    }
+    [[nodiscard]] Seconds timer_interval() const override { return 1.0; }
+    [[nodiscard]] bool idle() const override { return pending_.empty(); }
+    int ticks_ = 0;
+
+   private:
+    std::vector<core::Task> pending_;
+  };
+  Engine eng({gadget()}, ContentionModel::none());
+  DeferredStart policy;
+  const SimResult r = eng.run(one_task(4), policy);
+  ASSERT_EQ(r.completed_count(), 1u);
+  EXPECT_GE(policy.ticks_, 3);
+  EXPECT_NEAR(r.tasks[0].first_start, 3.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].finish, 7.0, 1e-9);
+}
+
+TEST(Engine, HeterogeneousCoresUsePerCoreModels) {
+  // Core 0 = gadget (T={2,1}); core 1 = a 3x faster single-rate core.
+  const core::EnergyModel fast(core::RateSet({3.0}), {9.0}, {1.0 / 3.0});
+  Engine eng({gadget(), fast}, ContentionModel::none());
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    if (t.id == 1) {
+      e.start(0, t.id, static_cast<double>(t.cycles), 1);  // 1 s/cycle
+    } else {
+      e.start(1, t.id, static_cast<double>(t.cycles), 0);  // 1/3 s/cycle
+    }
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 6, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 6, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive}});
+  const SimResult r = eng.run(trace, p);
+  EXPECT_NEAR(r.tasks[0].finish, 6.0, 1e-9);
+  EXPECT_NEAR(r.tasks[1].finish, 2.0, 1e-9);
+  EXPECT_NEAR(r.tasks[0].energy, 6 * 4.0, 1e-9);
+  EXPECT_NEAR(r.tasks[1].energy, 6 * 9.0, 1e-9);
+  // Residency rows have per-core widths (2 rates vs 1).
+  ASSERT_EQ(r.rate_residency[0].size(), 2u);
+  ASSERT_EQ(r.rate_residency[1].size(), 1u);
+}
+
+TEST(Engine, TransitionChargedAcrossIdleGap) {
+  // The core remembers its frequency across idleness: task 1 at the fast
+  // rate, a 10 s gap, then task 2 at the slow rate still pays the stall.
+  Engine eng({gadget()}, ContentionModel::none(), 0.0, 1.0);
+  ScriptPolicy p;
+  p.arrival = [](Engine& e, const core::Task& t) {
+    e.start(0, t.id, static_cast<double>(t.cycles), t.id == 1 ? 1 : 0);
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 5, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},   // 5 s fast
+      {.id = 2, .cycles = 5, .arrival = 20.0,
+       .klass = core::TaskClass::kNonInteractive}});  // slow after idle
+  const SimResult r = eng.run(trace, p);
+  EXPECT_NEAR(r.tasks[0].finish, 5.0, 1e-9);
+  EXPECT_NEAR(r.tasks[1].finish, 20.0 + 1.0 + 10.0, 1e-9);
+}
+
+TEST(Engine, PreemptDuringStallDropsIt) {
+  // Preempting a task that is still mid-transition abandons the pending
+  // stall with it; the preemptor pays its own transition instead.
+  Engine eng({gadget()}, ContentionModel::none(), 0.0, 4.0);
+  ScriptPolicy p;
+  std::vector<Engine::Preempted> stash;
+  p.arrival = [&](Engine& e, const core::Task& t) {
+    if (t.id == 1) {
+      e.start(0, t.id, static_cast<double>(t.cycles), 1);  // fast, free boot
+    } else if (t.id == 3) {
+      stash.push_back(e.preempt(0));  // task 100 is mid-stall here (t=6)
+      e.start(0, t.id, static_cast<double>(t.cycles), 0);  // same slow rate
+    }
+  };
+  p.complete = [&](Engine& e, std::size_t core, core::TaskId id) {
+    if (id == 1) {
+      e.start(core, 100, 10.0, 0);  // rate change 1->0: stall 4 s
+    } else if (id == 3 && !stash.empty()) {
+      const auto back = stash.back();
+      stash.pop_back();
+      e.start(core, back.task, back.remaining_cycles, 0);
+    }
+  };
+  workload::Trace trace(std::vector<core::Task>{
+      {.id = 1, .cycles = 5, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 100, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 3, .cycles = 2, .arrival = 6.0,
+       .klass = core::TaskClass::kInteractive}});
+  // Timeline: task1 [0,5] fast. task100 starts at 5 slow, stalls [5,9].
+  // At t=6 task3 preempts (task100 executed 0 cycles, stall dropped),
+  // task3 runs slow [6,10] (same rate as the core's last setting: no new
+  // stall), completes; task100 resumes at 10 with full 10 cycles and the
+  // same rate -> no stall -> finishes at 30.
+  const SimResult r = eng.run(trace, p);
+  ASSERT_EQ(r.completed_count(), 3u);
+  auto finish_of = [&](core::TaskId id) {
+    for (const TaskRecord& t : r.tasks) {
+      if (t.id == id) return t.finish;
+    }
+    ADD_FAILURE() << "task " << id << " missing";
+    return -1.0;
+  };
+  EXPECT_NEAR(finish_of(3), 10.0, 1e-9);
+  EXPECT_NEAR(finish_of(100), 30.0, 1e-9);
+}
+
+TEST(Engine, TransitionLatencyRejectsNegative) {
+  EXPECT_THROW(Engine({gadget()}, ContentionModel::none(), 0.0, -0.1),
+               PreconditionError);
+}
+
+// Chaos stress: a policy that takes random (but legal) actions — start on
+// random idle cores at random rates, preempt, re-rate — must leave the
+// engine's accounting consistent: every task completes exactly once,
+// per-task energy is bounded by E(p_min)/E(p_max) per cycle (exact cycle
+// conservation without contention), and busy_energy equals the sum of
+// per-task energies.
+class ChaosPolicy : public Policy {
+ public:
+  explicit ChaosPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  void on_arrival(Engine& e, const core::Task& t) override {
+    backlog_.push_back({t.id, static_cast<double>(t.cycles)});
+    act(e);
+  }
+  void on_complete(Engine& e, std::size_t, core::TaskId) override { act(e); }
+  void on_timer(Engine& e) override { act(e); }
+  [[nodiscard]] Seconds timer_interval() const override { return 0.7; }
+  [[nodiscard]] bool idle() const override { return backlog_.empty(); }
+
+ private:
+  struct Item {
+    core::TaskId id;
+    double remaining;
+  };
+
+  void act(Engine& e) {
+    // A few random legal moves per event.
+    for (int moves = 0; moves < 3; ++moves) {
+      const std::size_t core = rng_() % e.num_cores();
+      const std::size_t num_rates = e.model(core).num_rates();
+      switch (rng_() % 3) {
+        case 0:  // start something if possible
+          if (!e.busy(core) && !backlog_.empty()) {
+            const Item item = backlog_.front();
+            backlog_.erase(backlog_.begin());
+            e.start(core, item.id, item.remaining, rng_() % num_rates);
+          }
+          break;
+        case 1:  // preempt back into the backlog
+          if (e.busy(core) && rng_() % 4 == 0) {
+            const Engine::Preempted p = e.preempt(core);
+            backlog_.push_back({p.task, p.remaining_cycles});
+          }
+          break;
+        case 2:  // random re-rate
+          if (e.busy(core)) {
+            e.set_rate(core, rng_() % num_rates);
+          }
+          break;
+      }
+    }
+    // Never strand work: fill every idle core from the backlog.
+    for (std::size_t c = 0; c < e.num_cores(); ++c) {
+      if (!e.busy(c) && !backlog_.empty()) {
+        const Item item = backlog_.front();
+        backlog_.erase(backlog_.begin());
+        e.start(c, item.id, item.remaining, rng_() % e.model(c).num_rates());
+      }
+    }
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<Item> backlog_;
+};
+
+class EngineChaos : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EngineChaos, AccountingSurvivesRandomLegalActions) {
+  Engine eng({gadget(), gadget(), gadget()}, ContentionModel::none());
+  ChaosPolicy policy(GetParam());
+  std::vector<core::Task> tasks;
+  std::mt19937_64 rng(GetParam() * 7919);
+  for (core::TaskId i = 0; i < 120; ++i) {
+    tasks.push_back(core::Task{
+        .id = i,
+        .cycles = 1 + rng() % 50,
+        .arrival = static_cast<double>(rng() % 1000) / 10.0,
+        .klass = core::TaskClass::kNonInteractive});
+  }
+  const workload::Trace trace(tasks);
+  const SimResult r = eng.run(trace, policy);
+
+  ASSERT_EQ(r.completed_count(), tasks.size());
+  Joules sum_task_energy = 0.0;
+  const core::EnergyModel m = gadget();
+  for (const TaskRecord& rec : r.tasks) {
+    ASSERT_TRUE(rec.completed());
+    ASSERT_GE(rec.first_start, rec.arrival - 1e-9);
+    ASSERT_GE(rec.finish, rec.first_start);
+    // Exact cycle conservation bounds the energy: every cycle costs
+    // between E(p_min) and E(p_max) joules.
+    const double l = static_cast<double>(rec.cycles);
+    ASSERT_GE(rec.energy, l * m.energy_per_cycle(0) - 1e-6);
+    ASSERT_LE(rec.energy,
+              l * m.energy_per_cycle(m.num_rates() - 1) + 1e-6);
+    sum_task_energy += rec.energy;
+  }
+  EXPECT_NEAR(sum_task_energy, r.busy_energy, 1e-6 * r.busy_energy);
+  // Total busy seconds bounded by cycles at the slowest rate.
+  Seconds busy = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) busy += r.busy_seconds(c);
+  const double total_cycles = static_cast<double>(trace.total_cycles());
+  EXPECT_LE(busy, total_cycles * m.time_per_cycle(0) + 1e-6);
+  EXPECT_GE(busy, total_cycles * m.time_per_cycle(m.num_rates() - 1) - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineChaos,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Metrics, TurnaroundPercentiles) {
+  SimResult r;
+  for (int i = 1; i <= 100; ++i) {
+    r.tasks.push_back(TaskRecord{.id = static_cast<core::TaskId>(i),
+                                 .klass = core::TaskClass::kInteractive,
+                                 .cycles = 1,
+                                 .arrival = 0.0,
+                                 .first_start = 0.0,
+                                 .finish = static_cast<double>(i)});
+  }
+  EXPECT_NEAR(r.turnaround_percentile(core::TaskClass::kInteractive, 0.5),
+              50.0, 1.0);
+  EXPECT_NEAR(r.turnaround_percentile(core::TaskClass::kInteractive, 0.95),
+              95.0, 1.0);
+  EXPECT_DOUBLE_EQ(
+      r.turnaround_percentile(core::TaskClass::kInteractive, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(
+      r.turnaround_percentile(core::TaskClass::kInteractive, 0.0), 1.0);
+  EXPECT_THROW(
+      (void)r.turnaround_percentile(core::TaskClass::kBatch, 0.5),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)r.turnaround_percentile(core::TaskClass::kInteractive, 1.5),
+      PreconditionError);
+}
+
+TEST(Metrics, AggregatesFilterByClassAndCompletion) {
+  SimResult r;
+  r.tasks.push_back(TaskRecord{.id = 1,
+                               .klass = core::TaskClass::kInteractive,
+                               .cycles = 1,
+                               .arrival = 0.0,
+                               .first_start = 0.0,
+                               .finish = 2.0});
+  r.tasks.push_back(TaskRecord{.id = 2,
+                               .klass = core::TaskClass::kNonInteractive,
+                               .cycles = 1,
+                               .arrival = 1.0,
+                               .first_start = 1.0,
+                               .finish = 4.0});
+  r.tasks.push_back(TaskRecord{.id = 3,
+                               .klass = core::TaskClass::kNonInteractive,
+                               .cycles = 1,
+                               .arrival = 0.0});  // never completed
+  EXPECT_EQ(r.completed_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.total_turnaround(), 5.0);
+  EXPECT_DOUBLE_EQ(r.total_turnaround(core::TaskClass::kInteractive), 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_turnaround(core::TaskClass::kNonInteractive), 3.0);
+  EXPECT_THROW((void)r.mean_turnaround(core::TaskClass::kBatch),
+               PreconditionError);
+  EXPECT_THROW((void)r.tasks[2].turnaround(), PreconditionError);
+  r.busy_energy = 10.0;
+  const core::CostParams cp{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r.energy_cost(cp), 20.0);
+  EXPECT_DOUBLE_EQ(r.time_cost(cp), 15.0);
+  EXPECT_DOUBLE_EQ(r.total_cost(cp), 35.0);
+}
+
+}  // namespace
+}  // namespace dvfs::sim

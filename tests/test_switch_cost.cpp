@@ -1,0 +1,156 @@
+#include "dvfs/core/batch_switch_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+namespace dvfs::core {
+namespace {
+
+CostTable table2(Money re = 0.1, Money rt = 0.4) {
+  return CostTable(EnergyModel::icpp2014_table2(), CostParams{re, rt});
+}
+
+std::vector<Task> make_tasks(std::initializer_list<Cycles> cycles) {
+  std::vector<Task> tasks;
+  TaskId id = 0;
+  for (const Cycles c : cycles) tasks.push_back(Task{.id = id++, .cycles = c});
+  return tasks;
+}
+
+TEST(SwitchCost, FreeTransitionsReproduceLongestTaskLast) {
+  const CostTable t = table2();
+  const auto tasks = make_tasks({5'000'000'000, 1'000'000'000, 3'000'000'000,
+                                 9'000'000'000, 2'000'000'000});
+  const CorePlan dp = single_core_with_switch_cost(tasks, t, SwitchCost{});
+  const CorePlan ltl = longest_task_last(tasks, t);
+  EXPECT_NEAR(evaluate_single_with_switch_cost(dp, t, SwitchCost{}).total(),
+              evaluate_single(ltl, t).total(), 1e-9);
+  // With free switches the generalized evaluator equals the plain one.
+  EXPECT_NEAR(evaluate_single_with_switch_cost(ltl, t, SwitchCost{}).total(),
+              evaluate_single(ltl, t).total(), 1e-12);
+}
+
+TEST(SwitchCost, EmptyAndSingleTask) {
+  const CostTable t = table2();
+  EXPECT_TRUE(
+      single_core_with_switch_cost({}, t, SwitchCost{}).sequence.empty());
+  const auto one = make_tasks({7'000'000'000});
+  const CorePlan plan =
+      single_core_with_switch_cost(one, t, SwitchCost{0.01, 5.0});
+  ASSERT_EQ(plan.sequence.size(), 1u);
+  EXPECT_EQ(plan.sequence[0].rate_idx, t.best_rate(1));
+}
+
+TEST(SwitchCost, InitialRateChargesFirstSwitch) {
+  const CostTable t = table2();
+  const auto one = make_tasks({7'000'000'000});
+  const SwitchCost sc{0.0, 1000.0};  // expensive energy-only switch
+  // Core idles at 3.0 GHz (index 4); position-1 optimum is 1.6 GHz. The
+  // switch costs Re * 1000 = 100 but staying at 3.0 GHz costs far more
+  // here, so the plan still switches — and the evaluator charges it.
+  const CorePlan plan = single_core_with_switch_cost(one, t, sc, 4);
+  const PlanCost with_initial =
+      evaluate_single_with_switch_cost(plan, t, sc, 4);
+  const PlanCost without =
+      evaluate_single_with_switch_cost(plan, t, sc, kNoInitialRate);
+  if (plan.sequence[0].rate_idx != 4) {
+    EXPECT_NEAR(with_initial.total() - without.total(), 0.1 * 1000.0, 1e-9);
+  }
+  // And if the switch were absurdly expensive, the plan must stay put.
+  const SwitchCost huge{0.0, 1e12};
+  const CorePlan stay = single_core_with_switch_cost(one, t, huge, 4);
+  EXPECT_EQ(stay.sequence[0].rate_idx, 4u);
+}
+
+TEST(SwitchCost, ExpensiveSwitchesConsolidateRates) {
+  const CostTable t = table2();
+  std::vector<Task> tasks;
+  for (TaskId i = 0; i < 12; ++i) {
+    tasks.push_back(Task{.id = i, .cycles = (i + 1) * 1'000'000'000});
+  }
+  auto distinct_rates = [](const CorePlan& plan) {
+    std::set<std::size_t> rates;
+    for (const ScheduledTask& st : plan.sequence) rates.insert(st.rate_idx);
+    return rates.size();
+  };
+  const std::size_t free_rates =
+      distinct_rates(single_core_with_switch_cost(tasks, t, SwitchCost{}));
+  const std::size_t costly_rates = distinct_rates(
+      single_core_with_switch_cost(tasks, t, SwitchCost{10.0, 1e4}));
+  EXPECT_GT(free_rates, 1u);
+  EXPECT_LT(costly_rates, free_rates);
+  const std::size_t prohibitive = distinct_rates(
+      single_core_with_switch_cost(tasks, t, SwitchCost{1e6, 1e9}));
+  EXPECT_EQ(prohibitive, 1u);
+}
+
+TEST(SwitchCost, EvaluatorChargesEachTransitionOnce) {
+  const CostTable t(EnergyModel::partition_gadget(), CostParams{1.0, 1.0});
+  CorePlan plan;
+  plan.sequence = {ScheduledTask{0, 2, 0}, ScheduledTask{1, 2, 1},
+                   ScheduledTask{2, 2, 1}, ScheduledTask{3, 2, 0}};
+  const SwitchCost sc{1.0, 10.0};  // 1 s stall, 10 J per change
+  const PlanCost c = evaluate_single_with_switch_cost(plan, t, sc);
+  // Two transitions (0->1 before task 2, 1->0 before task 4).
+  // Energy: tasks 2*1 + 2*4 + 2*4 + 2*1 = 20 J, + 2 switches = 40 J.
+  EXPECT_DOUBLE_EQ(c.energy, 40.0);
+  // Times: t1 = 4; stall -> t2 = 4+1+2 = 7; t3 = 9; stall -> t4 = 9+1+4 = 14.
+  EXPECT_DOUBLE_EQ(c.total_turnaround, 4 + 7 + 9 + 14);
+  EXPECT_DOUBLE_EQ(c.makespan, 14.0);
+}
+
+TEST(SwitchCost, InputValidation) {
+  const CostTable t = table2();
+  const auto tasks = make_tasks({10});
+  EXPECT_THROW((void)single_core_with_switch_cost(tasks, t,
+                                                  SwitchCost{-1.0, 0.0}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)single_core_with_switch_cost(tasks, t, SwitchCost{}, 99),
+      PreconditionError);
+  const std::vector<Task> eleven(11, Task{.id = 1, .cycles = 1});
+  EXPECT_THROW((void)brute_force_switch_cost(eleven, t, SwitchCost{}),
+               PreconditionError);
+}
+
+// Property: the DP matches exhaustive search over rate assignments for
+// random tasks, switch costs, and initial rates.
+class SwitchCostOptimality : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SwitchCostOptimality, DpMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 5'000'000'000ull);
+  std::uniform_real_distribution<double> lat(0.0, 2.0);
+  std::uniform_real_distribution<double> nrg(0.0, 500.0);
+
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Task> tasks;
+    const std::size_t n = 1 + rng() % 7;
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks.push_back(Task{.id = i, .cycles = cyc(rng)});
+    }
+    const CostTable t = table2(0.1, 0.4);
+    const SwitchCost sc{lat(rng), nrg(rng)};
+    const std::size_t initial =
+        (rng() % 2 == 0) ? kNoInitialRate : rng() % t.model().num_rates();
+
+    const Money dp = evaluate_single_with_switch_cost(
+                         single_core_with_switch_cost(tasks, t, sc, initial),
+                         t, sc, initial)
+                         .total();
+    const Money ref = evaluate_single_with_switch_cost(
+                          brute_force_switch_cost(tasks, t, sc, initial), t,
+                          sc, initial)
+                          .total();
+    ASSERT_NEAR(dp, ref, 1e-9 * ref) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchCostOptimality,
+                         ::testing::Values(71u, 72u, 73u, 74u));
+
+}  // namespace
+}  // namespace dvfs::core

@@ -1,0 +1,151 @@
+/// Integration tests for the command-line tools: run the real binaries
+/// end to end (generate -> plan -> pin -> simulate) against a temp
+/// directory and check outputs and exit codes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dvfs/core/plan_io.h"
+#include "dvfs/cpufreq/cpufreq.h"
+#include "dvfs/workload/trace.h"
+
+#ifndef DVFS_TOOLS_DIR
+#error "DVFS_TOOLS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tool(const std::string& name) {
+  return std::string(DVFS_TOOLS_DIR) + "/" + name;
+}
+
+int run(const std::string& command) {
+  const int status = std::system((command + " > /dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+class ToolsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/dvfs_tools_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ToolsFixture, TraceGenProducesLoadableCsv) {
+  const std::string out = dir_ + "/trace.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind judgegirl --seed 5 --duration 60"
+                " --submissions 20 --interactive 200 --out " + out),
+            0);
+  const dvfs::workload::Trace trace = dvfs::workload::read_csv_file(out);
+  EXPECT_EQ(trace.size(), 220u);
+  EXPECT_EQ(trace.count(dvfs::core::TaskClass::kInteractive), 200u);
+}
+
+TEST_F(ToolsFixture, TraceGenRejectsBadFlags) {
+  EXPECT_NE(run(tool("dvfs_trace_gen") + " --kind alien --out /dev/null"), 0);
+  EXPECT_NE(run(tool("dvfs_trace_gen") + " --kind poisson"), 0);  // no --out
+  EXPECT_NE(run(tool("dvfs_trace_gen") + " --bogus 1"), 0);
+}
+
+TEST_F(ToolsFixture, PlanSpecWorkloadsRoundTrip) {
+  const std::string plan_path = dir_ + "/plan.csv";
+  ASSERT_EQ(run(tool("dvfs_plan") + " --spec --cores 4 --out " + plan_path),
+            0);
+  const dvfs::core::Plan plan = dvfs::core::read_plan_csv_file(plan_path);
+  EXPECT_EQ(plan.num_cores(), 4u);
+  EXPECT_EQ(plan.num_tasks(), 24u);
+}
+
+TEST_F(ToolsFixture, FullPipelineGeneratePlanPinSimulate) {
+  const std::string batch = dir_ + "/batch.csv";
+  {
+    // Hand-write a tiny batch trace.
+    std::ofstream os(batch);
+    os << "id,arrival,cycles,class,deadline\n";
+    for (int i = 0; i < 8; ++i) {
+      os << i << ",0," << (i + 1) * 1'000'000'000LL << ",batch,\n";
+    }
+  }
+  const std::string plan_path = dir_ + "/plan.csv";
+  ASSERT_EQ(run(tool("dvfs_plan") + " --tasks " + batch +
+                " --cores 2 --re 0.1 --rt 0.4 --out " + plan_path),
+            0);
+  // Rehearse the pinning against a fake tree the tool itself creates.
+  const std::string tree = dir_ + "/sysfs";
+  ASSERT_EQ(run(tool("dvfs_pin") + " --plan " + plan_path +
+                " --sysfs-root " + tree + " --make-fake 2"),
+            0);
+  dvfs::cpufreq::SysfsCpufreq backend(tree);
+  EXPECT_EQ(backend.governor(0), dvfs::cpufreq::GovernorKind::kUserspace);
+  // Execute the plan in the simulator.
+  ASSERT_EQ(run(tool("dvfs_simulate") + " --trace " + batch +
+                " --policy planned --plan " + plan_path +
+                " --cores 2 --re 0.1 --rt 0.4"),
+            0);
+}
+
+TEST_F(ToolsFixture, SimulateAllOnlinePolicies) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind poisson --rate 3 --duration 30 --seed 2 --out " +
+                trace),
+            0);
+  for (const std::string policy : {"lmc", "olb", "od", "ps"}) {
+    EXPECT_EQ(run(tool("dvfs_simulate") + " --trace " + trace +
+                  " --policy " + policy + " --cores 2"),
+              0)
+        << policy;
+  }
+  EXPECT_NE(run(tool("dvfs_simulate") + " --trace " + trace +
+                " --policy alien"),
+            0);
+  EXPECT_NE(run(tool("dvfs_simulate") + " --trace " + dir_ +
+                "/missing.csv --policy lmc"),
+            0);
+}
+
+TEST_F(ToolsFixture, ExecuteRunsPlanOnRealThreads) {
+  const std::string batch = dir_ + "/tiny.csv";
+  {
+    std::ofstream os(batch);
+    os << "id,arrival,cycles,class,deadline\n";
+    os << "0,0,1000000000,batch,\n1,0,2000000000,batch,\n";
+  }
+  const std::string plan_path = dir_ + "/plan.csv";
+  ASSERT_EQ(run(tool("dvfs_plan") + " --tasks " + batch +
+                " --cores 2 --out " + plan_path),
+            0);
+  ASSERT_EQ(run(tool("dvfs_execute") + " --plan " + plan_path +
+                " --time-scale 1e-4"),
+            0);
+  EXPECT_NE(run(tool("dvfs_execute") + " --plan " + plan_path +
+                " --time-scale 0"),
+            0);
+  EXPECT_NE(run(tool("dvfs_execute") + " --plan " + dir_ + "/missing.csv"),
+            0);
+}
+
+TEST_F(ToolsFixture, PinDryRunTouchesNothing) {
+  const std::string plan_path = dir_ + "/plan.csv";
+  ASSERT_EQ(run(tool("dvfs_plan") + " --spec --cores 2 --out " + plan_path),
+            0);
+  ASSERT_EQ(run(tool("dvfs_pin") + " --plan " + plan_path +
+                " --sysfs-root " + dir_ + "/nonexistent --dry-run"),
+            0)
+      << "dry run must not require the tree to exist";
+  EXPECT_FALSE(fs::exists(dir_ + "/nonexistent"));
+}
+
+}  // namespace

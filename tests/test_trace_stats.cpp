@@ -1,0 +1,155 @@
+#include "dvfs/workload/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "dvfs/workload/generators.h"
+
+namespace dvfs::workload {
+namespace {
+
+Trace tiny_trace() {
+  return Trace(std::vector<core::Task>{
+      {.id = 0, .cycles = 10, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 30, .arrival = 1.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 20, .arrival = 2.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 3, .cycles = 5, .arrival = 3.0,
+       .klass = core::TaskClass::kInteractive},
+  });
+}
+
+TEST(TraceStats, PerClassSummaries) {
+  const TraceStats s = analyze(tiny_trace());
+  EXPECT_DOUBLE_EQ(s.horizon, 3.0);
+  EXPECT_EQ(s.non_interactive.count, 3u);
+  EXPECT_EQ(s.non_interactive.total_cycles, 60u);
+  EXPECT_EQ(s.non_interactive.min_cycles, 10u);
+  EXPECT_EQ(s.non_interactive.max_cycles, 30u);
+  EXPECT_DOUBLE_EQ(s.non_interactive.mean_cycles, 20.0);
+  EXPECT_EQ(s.non_interactive.p50_cycles, 20u);
+  EXPECT_EQ(s.interactive.count, 1u);
+  EXPECT_EQ(s.interactive.p99_cycles, 5u);
+  EXPECT_EQ(s.batch.count, 0u);
+  EXPECT_EQ(s.of(core::TaskClass::kInteractive).count, 1u);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats s = analyze(Trace{});
+  EXPECT_EQ(s.interactive.count, 0u);
+  EXPECT_DOUBLE_EQ(s.horizon, 0.0);
+}
+
+TEST(TraceStats, PercentilesOnKnownDistribution) {
+  std::vector<core::Task> tasks;
+  for (core::TaskId i = 1; i <= 100; ++i) {
+    tasks.push_back(core::Task{.id = i,
+                               .cycles = i,  // 1..100
+                               .arrival = 0.0,
+                               .klass = core::TaskClass::kBatch});
+  }
+  const TraceStats s = analyze(Trace(std::move(tasks)));
+  EXPECT_NEAR(static_cast<double>(s.batch.p50_cycles), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.batch.p95_cycles), 95.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.batch.p99_cycles), 99.0, 1.0);
+}
+
+TEST(OfferedLoad, HandComputed) {
+  // 60 cycles over 3 s on the gadget machine's slow rate (2 s/cycle) and
+  // 2 cores: demand = 130 s over 6 core-seconds.
+  const core::EnergyModel m = core::EnergyModel::partition_gadget();
+  const Trace t = tiny_trace();  // 65 cycles total
+  EXPECT_NEAR(offered_load(t, m, 0, 2), 65.0 * 2.0 / (3.0 * 2.0), 1e-12);
+  EXPECT_NEAR(offered_load(t, m, 1, 2), 65.0 * 1.0 / (3.0 * 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(offered_load(Trace{}, m, 0, 2), 0.0);
+  EXPECT_THROW((void)offered_load(t, m, 0, 0), PreconditionError);
+}
+
+TEST(PeakOfferedLoad, DetectsBursts) {
+  // Two quiet tasks plus a burst of 5 at t ~ 10.
+  std::vector<core::Task> tasks;
+  core::TaskId id = 0;
+  tasks.push_back(core::Task{.id = id++, .cycles = 1, .arrival = 0.0,
+                             .klass = core::TaskClass::kNonInteractive});
+  tasks.push_back(core::Task{.id = id++, .cycles = 1, .arrival = 20.0,
+                             .klass = core::TaskClass::kNonInteractive});
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(core::Task{.id = id++, .cycles = 10,
+                               .arrival = 10.0 + 0.01 * i,
+                               .klass = core::TaskClass::kNonInteractive});
+  }
+  const Trace trace(std::move(tasks));
+  const core::EnergyModel m = core::EnergyModel::partition_gadget();
+  // Window 1 s at the fast rate (1 s/cycle), 1 core: the burst packs
+  // 50 cycles -> 50 s of work into one window.
+  const double peak = peak_offered_load(trace, m, 1, 1, 1.0);
+  EXPECT_NEAR(peak, 50.0, 1e-9);
+  const double avg = offered_load(trace, m, 1, 1);
+  EXPECT_LT(avg, peak / 10.0);
+  EXPECT_THROW((void)peak_offered_load(trace, m, 1, 1, 0.0),
+               PreconditionError);
+  EXPECT_DOUBLE_EQ(peak_offered_load(Trace{}, m, 1, 1, 1.0), 0.0);
+}
+
+TEST(PeakOfferedLoad, BurstyGeneratorShowsEndOfExamPeak) {
+  JudgegirlConfig cfg;
+  cfg.duration = 600.0;
+  cfg.non_interactive_tasks = 256;
+  cfg.interactive_tasks = 8000;
+  const Trace trace = generate_judgegirl(cfg, 31);
+  const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
+  const double avg = offered_load(trace, m, 4, 4);
+  const double peak = peak_offered_load(trace, m, 4, 4, 60.0);
+  // The exam-deadline rush must concentrate load well above the average.
+  EXPECT_GT(peak, 1.5 * avg);
+}
+
+TEST(PeakOfferedLoad, UniformArrivalsHaveFlatProfile) {
+  std::vector<core::Task> tasks;
+  for (core::TaskId i = 0; i < 1000; ++i) {
+    tasks.push_back(core::Task{.id = i, .cycles = 100,
+                               .arrival = static_cast<double>(i) * 0.1,
+                               .klass = core::TaskClass::kNonInteractive});
+  }
+  const Trace trace(std::move(tasks));
+  const core::EnergyModel m = core::EnergyModel::partition_gadget();
+  const double avg = offered_load(trace, m, 1, 1);
+  const double peak = peak_offered_load(trace, m, 1, 1, 10.0);
+  EXPECT_LT(peak, 1.1 * avg);
+}
+
+// Trace-reader fuzz lives here with the other trace tooling: corrupted
+// CSV must parse or throw, never crash.
+TEST(TraceCsvFuzz, MutationsNeverCrash) {
+  std::stringstream base;
+  write_csv(tiny_trace(), base);
+  const std::string valid = base.str();
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = valid;
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0 && !mutated.empty()) {
+      mutated.resize(rng() % mutated.size());
+    } else if (op == 1 && !mutated.empty()) {
+      mutated[rng() % mutated.size()] = static_cast<char>(rng() % 128);
+    } else if (!mutated.empty()) {
+      mutated.insert(rng() % mutated.size(), 1,
+                     static_cast<char>(rng() % 128));
+    }
+    std::stringstream ss(mutated);
+    try {
+      const Trace t = read_csv(ss);
+      (void)t;
+    } catch (const PreconditionError&) {
+      // clean rejection
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvfs::workload

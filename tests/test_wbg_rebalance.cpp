@@ -1,0 +1,129 @@
+#include "dvfs/governors/wbg_rebalance_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/workload/generators.h"
+
+namespace dvfs::governors {
+namespace {
+
+using sim::ContentionModel;
+using sim::Engine;
+using sim::SimResult;
+
+std::vector<core::EnergyModel> homogeneous(std::size_t cores) {
+  return std::vector<core::EnergyModel>(cores,
+                                        core::EnergyModel::icpp2014_table2());
+}
+
+std::vector<core::CostTable> online_tables(std::size_t cores) {
+  return std::vector<core::CostTable>(
+      cores, core::CostTable(core::EnergyModel::icpp2014_table2(),
+                             core::CostParams{0.4, 0.1}));
+}
+
+workload::Trace mixed_trace(std::uint64_t seed) {
+  workload::JudgegirlConfig cfg;
+  cfg.duration = 60.0;
+  cfg.non_interactive_tasks = 40;
+  cfg.interactive_tasks = 400;
+  return workload::generate_judgegirl(cfg, seed);
+}
+
+TEST(WbgRebalance, CompletesEverything) {
+  Engine eng(homogeneous(4), ContentionModel::none());
+  WbgRebalancePolicy policy(online_tables(4));
+  const workload::Trace trace = mixed_trace(5);
+  const SimResult r = eng.run(trace, policy);
+  EXPECT_EQ(r.completed_count(), trace.size());
+  EXPECT_TRUE(policy.idle());
+  EXPECT_EQ(policy.replans(), trace.count(core::TaskClass::kNonInteractive));
+}
+
+TEST(WbgRebalance, TableCountMustMatchCores) {
+  Engine eng(homogeneous(3), ContentionModel::none());
+  WbgRebalancePolicy policy(online_tables(2));
+  workload::Trace empty;
+  EXPECT_THROW((void)eng.run(empty, policy), PreconditionError);
+}
+
+TEST(WbgRebalance, FreeMigrationNeverLosesToLmcOnQueuedCost) {
+  // With zero migration penalty, replanning with WBG is Theorem-5 optimal
+  // for the queued set at every instant, so the end-to-end cost should be
+  // at most marginally above LMC's and usually below.
+  Engine eng(homogeneous(4), ContentionModel::none());
+  const core::CostParams cp{0.4, 0.1};
+  Money wbg_cost = 0.0;
+  Money lmc_cost = 0.0;
+  {
+    WbgRebalancePolicy policy(online_tables(4), 0);
+    wbg_cost = eng.run(mixed_trace(9), policy).total_cost(cp);
+  }
+  {
+    LmcPolicy policy(online_tables(4));
+    lmc_cost = eng.run(mixed_trace(9), policy).total_cost(cp);
+  }
+  EXPECT_LT(wbg_cost, lmc_cost * 1.10);
+}
+
+TEST(WbgRebalance, PenaltyIncreasesCostAndDiscouragesNothing) {
+  // The penalty charges cycles on migration: the run must cost more than
+  // the free-migration run (the policy itself is penalty-oblivious).
+  Engine eng(homogeneous(4), ContentionModel::none());
+  const core::CostParams cp{0.4, 0.1};
+  WbgRebalancePolicy free_policy(online_tables(4), 0);
+  const SimResult free_run = eng.run(mixed_trace(13), free_policy);
+  WbgRebalancePolicy paid_policy(online_tables(4), 500'000'000);
+  const SimResult paid_run = eng.run(mixed_trace(13), paid_policy);
+  if (free_policy.migrations() > 0) {
+    EXPECT_GT(paid_run.total_cost(cp), free_run.total_cost(cp));
+  }
+}
+
+TEST(WbgRebalance, MigrationsAreCountedConsistently) {
+  Engine eng(homogeneous(4), ContentionModel::none());
+  WbgRebalancePolicy policy(online_tables(4), 0);
+  const workload::Trace trace = mixed_trace(21);
+  (void)eng.run(trace, policy);
+  // Each replan can migrate at most the number of queued tasks; a very
+  // loose but real upper bound is replans * submissions.
+  EXPECT_LE(policy.migrations(),
+            policy.replans() * trace.count(core::TaskClass::kNonInteractive));
+}
+
+TEST(WbgRebalance, InteractiveStillPreempts) {
+  Engine eng(homogeneous(1), ContentionModel::none());
+  WbgRebalancePolicy policy(online_tables(1));
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 9'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 3'000'000, .arrival = 0.5,
+       .klass = core::TaskClass::kInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_EQ(r.tasks[0].preemptions, 1u);
+  EXPECT_LT(r.tasks[1].finish, 0.6);
+  EXPECT_EQ(r.completed_count(), 2u);
+}
+
+TEST(WbgRebalance, SingleCoreMatchesDynamicOrder) {
+  // On one core with no interactive traffic, rebalancing degenerates to
+  // the Theorem 3 order: shortest queued task runs first.
+  Engine eng(homogeneous(1), ContentionModel::none());
+  WbgRebalancePolicy policy(online_tables(1));
+  std::vector<core::Task> tasks{
+      {.id = 0, .cycles = 5'000'000'000, .arrival = 0.0,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 1, .cycles = 4'000'000'000, .arrival = 0.1,
+       .klass = core::TaskClass::kNonInteractive},
+      {.id = 2, .cycles = 1'000'000'000, .arrival = 0.2,
+       .klass = core::TaskClass::kNonInteractive}};
+  const SimResult r = eng.run(workload::Trace(std::move(tasks)), policy);
+  EXPECT_LT(r.tasks[2].finish, r.tasks[1].finish);
+  EXPECT_EQ(policy.migrations(), 0u);  // one core: nowhere to migrate
+}
+
+}  // namespace
+}  // namespace dvfs::governors

@@ -1,0 +1,240 @@
+#include "dvfs/core/yds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "dvfs/core/deadline.h"
+
+namespace dvfs::core {
+namespace {
+
+std::vector<Task> jobs(std::initializer_list<std::pair<Cycles, Seconds>> spec) {
+  std::vector<Task> tasks;
+  TaskId id = 0;
+  for (const auto& [cycles, deadline] : spec) {
+    tasks.push_back(Task{.id = id++, .cycles = cycles, .deadline = deadline});
+  }
+  return tasks;
+}
+
+TEST(Yds, SingleJobRunsAtExactlyRequiredSpeed) {
+  const auto tasks = jobs({{100, 10.0}});
+  const YdsSchedule s = yds_schedule(tasks);
+  ASSERT_EQ(s.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.segments[0].speed, 10.0);  // 100 cycles / 10 s
+  EXPECT_DOUBLE_EQ(s.segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.segments[0].end, 10.0);
+  EXPECT_TRUE(s.feasible(tasks));
+}
+
+TEST(Yds, TextbookTwoJobInstance) {
+  // Job A: 10 cycles by t=2 (tight); job B: 2 cycles by t=12 (loose).
+  // Critical interval [0,2] at speed 5; then B alone on [2,12] at 0.2.
+  const auto tasks = jobs({{10, 2.0}, {2, 12.0}});
+  const YdsSchedule s = yds_schedule(tasks);
+  ASSERT_EQ(s.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.segments[0].speed, 5.0);
+  EXPECT_DOUBLE_EQ(s.segments[0].end, 2.0);
+  EXPECT_DOUBLE_EQ(s.segments[1].speed, 0.2);
+  EXPECT_DOUBLE_EQ(s.segments[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(s.segments[1].end, 12.0);
+}
+
+TEST(Yds, EqualIntensityJobsMergeIntoOneInterval) {
+  // Two jobs of 5 cycles with deadlines 5 and 10: uniform speed 1.
+  const auto tasks = jobs({{5, 5.0}, {5, 10.0}});
+  const YdsSchedule s = yds_schedule(tasks);
+  ASSERT_EQ(s.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.segments[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(s.segments[1].speed, 1.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+}
+
+TEST(Yds, InputValidation) {
+  EXPECT_THROW((void)yds_schedule(jobs({{0, 1.0}})), PreconditionError);
+  std::vector<Task> no_deadline{{.id = 0, .cycles = 5}};
+  EXPECT_THROW((void)yds_schedule(no_deadline), PreconditionError);
+  std::vector<Task> late{{.id = 0, .cycles = 5, .arrival = 1.0,
+                          .deadline = 2.0}};
+  EXPECT_THROW((void)yds_schedule(late), PreconditionError);
+  const YdsSchedule s = yds_schedule(jobs({{1, 1.0}}));
+  EXPECT_THROW((void)s.energy(0.0, 3.0), PreconditionError);
+  EXPECT_THROW((void)s.energy(1.0, 1.0), PreconditionError);
+}
+
+TEST(Yds, EnergyIntegralHandComputed) {
+  // One segment at speed 5 for 2 s under P = 4 s^3: 4*125*2 = 1000 J.
+  const YdsSchedule s = yds_schedule(jobs({{10, 2.0}}));
+  EXPECT_DOUBLE_EQ(s.energy(4.0, 3.0), 1000.0);
+}
+
+TEST(YdsRounding, ExactSpeedStaysSingleSegment) {
+  const EnergyModel gadget = EnergyModel::partition_gadget();
+  // Speed 1.0 equals the fast rate exactly.
+  const YdsSchedule s = yds_schedule(jobs({{10, 10.0}}));
+  const YdsSchedule d = round_to_discrete(s, gadget);
+  ASSERT_EQ(d.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.segments[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(discrete_energy(d, gadget), 10.0 * 4.0);
+}
+
+TEST(YdsRounding, SplitsBetweenAdjacentRates) {
+  const EnergyModel gadget = EnergyModel::partition_gadget();
+  // 3 cycles by t=4: speed 0.75, between 0.5 and 1.0 -> half window each.
+  const YdsSchedule s = yds_schedule(jobs({{3, 4.0}}));
+  const YdsSchedule d = round_to_discrete(s, gadget);
+  ASSERT_EQ(d.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.segments[0].speed, 1.0);  // fast first
+  EXPECT_DOUBLE_EQ(d.segments[1].speed, 0.5);
+  EXPECT_NEAR(d.segments[0].end - d.segments[0].start, 2.0, 1e-12);
+  EXPECT_NEAR(d.segments[1].end - d.segments[1].start, 2.0, 1e-12);
+  // Work conserved: 2*1.0 + 2*0.5 = 3 cycles, done exactly at t=4.
+  const std::vector<Task> tasks = jobs({{3, 4.0}});
+  EXPECT_TRUE(d.feasible(tasks));
+  // Energy: 2 cycles at E=4 plus 1 cycle at E=1 = 9 J; continuous YDS at
+  // 0.75: 4*0.75^3*4 = 6.75 J (lower, as it must be).
+  EXPECT_DOUBLE_EQ(discrete_energy(d, gadget), 9.0);
+  EXPECT_NEAR(s.energy(4.0, 3.0), 6.75, 1e-12);
+}
+
+TEST(YdsRounding, ClampsBelowSlowestRate) {
+  const EnergyModel gadget = EnergyModel::partition_gadget();
+  // 1 cycle by t=10: speed 0.1 < 0.5 -> runs at 0.5, finishes at t=2.
+  const YdsSchedule s = yds_schedule(jobs({{1, 10.0}}));
+  const YdsSchedule d = round_to_discrete(s, gadget);
+  ASSERT_EQ(d.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.segments[0].speed, 0.5);
+  EXPECT_DOUBLE_EQ(d.segments[0].end, 2.0);
+}
+
+TEST(YdsRounding, RejectsSpeedsAbovePlatform) {
+  const EnergyModel gadget = EnergyModel::partition_gadget();
+  const YdsSchedule s = yds_schedule(jobs({{100, 10.0}}));  // needs speed 10
+  EXPECT_THROW((void)round_to_discrete(s, gadget), PreconditionError);
+  // And discrete_energy refuses non-platform speeds.
+  EXPECT_THROW((void)discrete_energy(s, gadget), PreconditionError);
+}
+
+class YdsProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(YdsProperty, SpeedsNonIncreasingFeasibleAndWorkConserving) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<Cycles> cyc(1, 1000);
+  std::uniform_real_distribution<double> dl(0.1, 100.0);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Task> tasks;
+    const std::size_t n = 1 + rng() % 12;
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks.push_back(Task{.id = i, .cycles = cyc(rng), .deadline = dl(rng)});
+    }
+    const YdsSchedule s = yds_schedule(tasks);
+    ASSERT_EQ(s.segments.size(), n);
+    ASSERT_TRUE(s.feasible(tasks));
+    // The YDS speed profile never increases over time.
+    for (std::size_t i = 1; i < s.segments.size(); ++i) {
+      ASSERT_LE(s.segments[i].speed, s.segments[i - 1].speed * (1 + 1e-9));
+      ASSERT_NEAR(s.segments[i].start, s.segments[i - 1].end, 1e-9);
+    }
+    // Work conservation per task.
+    for (const Task& t : tasks) {
+      double done = 0.0;
+      for (const YdsSegment& seg : s.segments) {
+        if (seg.id == t.id) done += seg.work();
+      }
+      ASSERT_NEAR(done, static_cast<double>(t.cycles),
+                  1e-9 * static_cast<double>(t.cycles) + 1e-9);
+    }
+  }
+}
+
+TEST_P(YdsProperty, LowerBoundsTheDiscreteExactSolver) {
+  // Any discrete-rate feasible schedule spends at least the YDS energy
+  // under the same power law. The partition gadget's rates {0.5, 1.0}
+  // with E = {1, 4} J/cycle follow P = 4 s^3 (energy/cycle = 4 s^2)
+  // exactly, so the comparison is apples to apples.
+  std::mt19937_64 rng(GetParam() + 500);
+  std::uniform_int_distribution<Cycles> cyc(1, 30);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Task> tasks;
+    const std::size_t n = 2 + rng() % 5;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cycles c = cyc(rng);
+      total += static_cast<double>(c);
+      tasks.push_back(Task{.id = i, .cycles = c, .deadline = 0.0});
+    }
+    // Deadlines loose enough that the all-slow discrete schedule fits.
+    Seconds horizon = 2.2 * total;
+    for (Task& t : tasks) t.deadline = horizon;
+
+    // Minimum feasible discrete energy via budget bisection.
+    const EnergyModel gadget = EnergyModel::partition_gadget();
+    double lo = 0.5;
+    double hi = 5.0 * total;  // everything fast
+    for (int it = 0; it < 40; ++it) {
+      const double mid = (lo + hi) / 2.0;
+      const DeadlineInstance inst{tasks, gadget, mid};
+      if (solve_deadline_single_exact(inst).has_value()) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    const double discrete_min = hi;
+
+    const YdsSchedule yds = yds_schedule(tasks);
+    const double continuous = yds.energy(4.0, 3.0);
+    ASSERT_LE(continuous, discrete_min * (1 + 1e-6))
+        << "YDS must lower-bound any discrete schedule";
+  }
+}
+
+TEST_P(YdsProperty, RoundingIsSandwichedBetweenBounds) {
+  // continuous YDS <= rounded discrete (preemptive) <= non-preemptive
+  // discrete minimum, on instances whose speeds fit the platform span.
+  std::mt19937_64 rng(GetParam() + 900);
+  std::uniform_int_distribution<Cycles> cyc(1, 30);
+  const EnergyModel gadget = EnergyModel::partition_gadget();
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Task> tasks;
+    const std::size_t n = 2 + rng() % 4;
+    double cum = 0.0;
+    std::uniform_real_distribution<double> target(0.55, 0.95);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cycles c = cyc(rng);
+      cum += static_cast<double>(c);
+      tasks.push_back(
+          Task{.id = i, .cycles = c, .deadline = cum / target(rng)});
+    }
+    std::sort(tasks.begin(), tasks.end(),
+              [](const Task& a, const Task& b) {
+                return a.deadline < b.deadline;
+              });
+    const YdsSchedule s = yds_schedule(tasks);
+    const YdsSchedule d = round_to_discrete(s, gadget);
+    ASSERT_TRUE(d.feasible(tasks));
+    const double continuous = s.energy(4.0, 3.0);
+    const double preemptive = discrete_energy(d, gadget);
+    ASSERT_GE(preemptive, continuous * (1 - 1e-9));
+
+    // Non-preemptive minimum via budget bisection over the exact solver.
+    double lo = 0.0;
+    double hi = 5.0 * cum;
+    for (int it = 0; it < 40; ++it) {
+      const double mid = (lo + hi) / 2.0;
+      const DeadlineInstance inst{tasks, gadget, std::max(mid, 1e-9)};
+      (solve_deadline_single_exact(inst).has_value() ? hi : lo) = mid;
+    }
+    ASSERT_LE(preemptive, hi * (1 + 1e-6))
+        << "splitting rates within a task can only help";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YdsProperty,
+                         ::testing::Values(5u, 15u, 25u, 35u));
+
+}  // namespace
+}  // namespace dvfs::core

@@ -1,0 +1,56 @@
+/// dvfs_execute: run a plan on real worker threads (dvfs::rt) and compare
+/// the wall clock against the model — the live half of the paper's
+/// evaluation, time-dilated to taste.
+///
+///   dvfs_execute --plan plan.csv --time-scale 1e-3
+///   dvfs_execute --plan plan.csv --time-scale 1e-4 --pin
+///
+/// Flags:
+///   --plan        plan CSV                                 (required)
+///   --model       table2 | cubic:<n>                       (default table2)
+///   --time-scale  wall seconds per model second            (default 1e-3)
+///   --pin         pin worker threads to CPUs (best effort)
+#include <cstdio>
+#include <set>
+
+#include "dvfs/core/plan_io.h"
+#include "dvfs/rt/executor.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dvfs;
+  return tools::run_tool([&] {
+    const util::Args args(argc, argv,
+                          {"plan", "model", "time-scale", "pin"});
+    const core::Plan plan = core::read_plan_csv_file(args.get_string("plan"));
+    const core::EnergyModel model =
+        tools::model_from_flag(args.get_string("model", "table2"));
+    const double scale = args.get_double("time-scale", 1e-3);
+
+    // Model-side expectations for the comparison lines.
+    Seconds model_makespan = 0.0;
+    for (const core::CorePlan& c : plan.cores) {
+      Seconds clock = 0.0;
+      for (const core::ScheduledTask& st : c.sequence) {
+        clock += model.task_time(st.cycles, st.rate_idx);
+      }
+      model_makespan = std::max(model_makespan, clock);
+    }
+    std::printf("executing %zu tasks on %zu worker threads "
+                "(expected wall time ~%.2f s)...\n",
+                plan.num_tasks(), plan.num_cores(), model_makespan * scale);
+
+    rt::RealtimeExecutor exec(
+        model, {.time_scale = scale, .pin_threads = args.has("pin")});
+    const rt::RtResult r = exec.execute(plan);
+
+    std::printf("done: %zu tasks, wall makespan %.3f s "
+                "(model: %.3f s, drift %+.2f%%)\n",
+                r.tasks.size(), r.wall_makespan, model_makespan * scale,
+                (r.wall_makespan / (model_makespan * scale) - 1.0) * 100.0);
+    std::printf("model energy charged: %.1f J; worst per-task duration "
+                "drift %.1f%%\n",
+                r.model_energy, r.worst_relative_drift() * 100.0);
+    return 0;
+  });
+}

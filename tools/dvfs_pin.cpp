@@ -1,0 +1,79 @@
+/// dvfs_pin: apply a plan's frequencies to a cpufreq sysfs tree — the
+/// paper's experiment-setup procedure as a command.
+///
+///   dvfs_pin --plan plan.csv --sysfs-root /sys/devices/system/cpu
+///   dvfs_pin --plan plan.csv --sysfs-root /tmp/faketree --dry-run
+///
+/// Switches every core to the userspace governor, pins each core to its
+/// first planned task's frequency, and verifies via scaling_cur_freq.
+/// Run against a fake tree (see make_fake_sysfs_tree / --make-fake) for a
+/// safe rehearsal; against the real /sys it needs root and a cpufreq
+/// driver exposing the userspace governor.
+///
+/// Flags:
+///   --plan        plan CSV                                   (required)
+///   --sysfs-root  cpufreq tree root                          (required)
+///   --model       table2 | cubic:<n> (rate-index -> GHz map) (default table2)
+///   --make-fake   first create a fake tree with <cores> cpus under the root
+///   --dry-run     print what would be written, change nothing
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "dvfs/core/plan_io.h"
+#include "dvfs/cpufreq/cpufreq.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dvfs;
+  return tools::run_tool([&] {
+    const util::Args args(
+        argc, argv, {"plan", "sysfs-root", "model", "make-fake", "dry-run"});
+    const core::Plan plan = core::read_plan_csv_file(args.get_string("plan"));
+    const std::string root = args.get_string("sysfs-root");
+    const core::EnergyModel model =
+        tools::model_from_flag(args.get_string("model", "table2"));
+
+    if (args.has("make-fake")) {
+      std::vector<cpufreq::KHz> khz;
+      for (const Rate r : model.rates().rates()) {
+        khz.push_back(cpufreq::ghz_to_khz(r));
+      }
+      cpufreq::make_fake_sysfs_tree(root, args.get_u64("make-fake"), khz);
+      std::printf("created fake cpufreq tree with %llu cpus under %s\n",
+                  static_cast<unsigned long long>(args.get_u64("make-fake")),
+                  root.c_str());
+    }
+
+    // The frequency each core starts its sequence at.
+    std::vector<std::size_t> first_rates(plan.cores.size(), 0);
+    for (std::size_t j = 0; j < plan.cores.size(); ++j) {
+      if (!plan.cores[j].sequence.empty()) {
+        first_rates[j] = plan.cores[j].sequence.front().rate_idx;
+      }
+    }
+
+    if (args.has("dry-run")) {
+      for (std::size_t j = 0; j < first_rates.size(); ++j) {
+        std::printf("cpu%zu: scaling_governor <- userspace; "
+                    "scaling_setspeed <- %llu kHz\n",
+                    j,
+                    static_cast<unsigned long long>(
+                        cpufreq::ghz_to_khz(model.rates()[first_rates[j]])));
+      }
+      return 0;
+    }
+
+    cpufreq::SysfsCpufreq backend(root);
+    DVFS_REQUIRE(backend.num_cpus() >= plan.cores.size(),
+                 "tree has fewer cpus than the plan has cores");
+    cpufreq::PlatformController controller(backend, model.rates());
+    controller.disable_automatic_scaling();
+    for (std::size_t j = 0; j < first_rates.size(); ++j) {
+      controller.pin(j, first_rates[j]);
+      std::printf("cpu%zu pinned to %llu kHz (verified)\n", j,
+                  static_cast<unsigned long long>(backend.current_khz(j)));
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,65 @@
+/// dvfs_plan: compute the optimal batch plan (Workload Based Greedy) for a
+/// set of tasks and write it as CSV.
+///
+///   dvfs_plan --tasks batch.csv --cores 4 --re 0.1 --rt 0.4 --out plan.csv
+///
+/// Flags:
+///   --tasks   input trace CSV (batch tasks: arrival 0)   (required)
+///   --out     output plan CSV                            (required)
+///   --cores   number of identical cores                  (default 4)
+///   --re      money per joule                            (default 0.1)
+///   --rt      money per second of waiting                (default 0.4)
+///   --model   table2 | cubic:<n>                         (default table2)
+///   --spec    use the paper's 24 Table I workloads instead of --tasks
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/core/plan_io.h"
+#include "dvfs/workload/spec2006int.h"
+#include "dvfs/workload/trace.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dvfs;
+  return tools::run_tool([&] {
+    const util::Args args(
+        argc, argv, {"tasks", "out", "cores", "re", "rt", "model", "spec"});
+    const std::string out = args.get_string("out");
+    const std::size_t cores = args.get_u64("cores", 4);
+    const core::CostParams cp{args.get_double("re", 0.1),
+                              args.get_double("rt", 0.4)};
+    const core::EnergyModel model =
+        tools::model_from_flag(args.get_string("model", "table2"));
+
+    std::vector<core::Task> tasks;
+    if (args.has("spec")) {
+      tasks = workload::spec_batch_tasks();
+    } else {
+      const workload::Trace trace =
+          workload::read_csv_file(args.get_string("tasks"));
+      tasks = trace.tasks();
+      for (core::Task& t : tasks) {
+        DVFS_REQUIRE(t.arrival == 0.0,
+                     "batch planning needs arrival-0 tasks (got task " +
+                         std::to_string(t.id) + " at t=" +
+                         std::to_string(t.arrival) + ")");
+      }
+    }
+
+    const std::vector<core::CostTable> tables(cores,
+                                              core::CostTable(model, cp));
+    const core::Plan plan = core::workload_based_greedy(tasks, tables);
+    core::write_plan_csv_file(plan, out);
+
+    const core::PlanCost cost = core::evaluate_plan(plan, tables);
+    std::printf("%zu tasks on %zu cores -> %s\n", tasks.size(), cores,
+                out.c_str());
+    std::printf("model cost: %.2f (energy %.2f + time %.2f); energy %.0f J; "
+                "makespan %.0f s\n",
+                cost.total(), cost.energy_cost, cost.time_cost, cost.energy,
+                cost.makespan);
+    return 0;
+  });
+}

@@ -1,0 +1,98 @@
+/// dvfs_simulate: run a workload trace through the event-driven simulator
+/// under a chosen scheduling policy and print the metrics.
+///
+///   dvfs_simulate --trace exam.csv --policy lmc --cores 4 --re 0.4 --rt 0.1
+///   dvfs_simulate --plan plan.csv --trace batch.csv --policy planned
+///
+/// Flags:
+///   --trace       input trace CSV                      (required)
+///   --policy      lmc | olb | od | ps | planned        (required)
+///   --plan        plan CSV (policy=planned only)
+///   --cores       core count                           (default 4)
+///   --re, --rt    cost weights                         (default 0.4 / 0.1)
+///   --model       table2 | cubic:<n>                   (default table2)
+///   --contention  co-run slowdown alpha                (default 0)
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dvfs/core/plan_io.h"
+#include "dvfs/governors/fifo_policy.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/governors/planned_policy.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/trace.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dvfs;
+  return tools::run_tool([&] {
+    const util::Args args(argc, argv,
+                          {"trace", "policy", "plan", "cores", "re", "rt",
+                           "model", "contention"});
+    const workload::Trace trace =
+        workload::read_csv_file(args.get_string("trace"));
+    const std::string policy_name = args.get_string("policy");
+    const std::size_t cores = args.get_u64("cores", 4);
+    const core::CostParams cp{args.get_double("re", 0.4),
+                              args.get_double("rt", 0.1)};
+    const core::EnergyModel model =
+        tools::model_from_flag(args.get_string("model", "table2"));
+    const sim::ContentionModel contention(args.get_double("contention", 0.0));
+
+    std::unique_ptr<sim::Policy> policy;
+    if (policy_name == "lmc") {
+      policy = std::make_unique<governors::LmcPolicy>(
+          std::vector<core::CostTable>(cores, core::CostTable(model, cp)));
+    } else if (policy_name == "olb") {
+      policy = std::make_unique<governors::FifoPolicy>(governors::FifoPolicy::Config{
+          .placement = governors::FifoPolicy::Placement::kEarliestReady,
+          .freq = governors::FifoPolicy::FreqMode::kMax});
+    } else if (policy_name == "od") {
+      policy = std::make_unique<governors::FifoPolicy>(governors::FifoPolicy::Config{
+          .placement = governors::FifoPolicy::Placement::kRoundRobin,
+          .freq = governors::FifoPolicy::FreqMode::kOndemand});
+    } else if (policy_name == "ps") {
+      policy = std::make_unique<governors::FifoPolicy>(governors::FifoPolicy::Config{
+          .placement = governors::FifoPolicy::Placement::kEarliestReady,
+          .freq = governors::FifoPolicy::FreqMode::kOndemand,
+          .rate_cap = (model.num_rates() + 1) / 2 - 1});
+    } else if (policy_name == "planned") {
+      policy = std::make_unique<governors::PlannedBatchPolicy>(
+          core::read_plan_csv_file(args.get_string("plan")));
+    } else {
+      DVFS_REQUIRE(false,
+                   "unknown --policy (want lmc|olb|od|ps|planned): " +
+                       policy_name);
+    }
+
+    sim::Engine engine(std::vector<core::EnergyModel>(cores, model),
+                       contention);
+    const sim::SimResult r = engine.run(trace, *policy);
+
+    std::printf("policy %s on %zu cores: %zu/%zu tasks completed\n",
+                policy_name.c_str(), cores, r.completed_count(),
+                trace.size());
+    std::printf("energy %.1f J | turnaround %.1f s | makespan %.1f s\n",
+                r.busy_energy, r.total_turnaround(), r.end_time);
+    std::printf("cost: %.2f (energy %.2f + time %.2f) at Re=%.3g Rt=%.3g\n",
+                r.total_cost(cp), r.energy_cost(cp), r.time_cost(cp), cp.re,
+                cp.rt);
+    if (trace.count(core::TaskClass::kInteractive) > 0) {
+      std::printf("interactive: mean turnaround %.4f s, deadline misses "
+                  "%zu\n",
+                  r.mean_turnaround(core::TaskClass::kInteractive),
+                  r.deadline_misses(core::TaskClass::kInteractive));
+    }
+    const std::vector<double> share = r.rate_share();
+    if (!share.empty()) {
+      std::printf("frequency residency:");
+      for (std::size_t i = 0; i < share.size(); ++i) {
+        std::printf(" %.1fGHz=%.0f%%", model.rates()[i], share[i] * 100.0);
+      }
+      std::printf("\n");
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,60 @@
+/// dvfs_trace_gen: generate an online-mode workload trace as CSV.
+///
+///   dvfs_trace_gen --kind judgegirl --seed 1 --out exam.csv
+///   dvfs_trace_gen --kind poisson --rate 5 --duration 300 --out load.csv
+///
+/// Flags:
+///   --kind         judgegirl | poisson            (required)
+///   --out          output CSV path                (required)
+///   --seed         RNG seed                       (default 1)
+///   --duration     seconds                        (default per kind)
+///   --submissions  judgegirl non-interactive count
+///   --interactive  judgegirl interactive count
+///   --burstiness   judgegirl end-of-exam factor
+///   --rate         poisson arrivals per second
+#include <cstdio>
+#include <set>
+
+#include "dvfs/workload/generators.h"
+#include "dvfs/workload/stats.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dvfs;
+  return tools::run_tool([&] {
+    const util::Args args(argc, argv,
+                          {"kind", "out", "seed", "duration", "submissions",
+                           "interactive", "burstiness", "rate"});
+    const std::string kind = args.get_string("kind");
+    const std::string out = args.get_string("out");
+    const std::uint64_t seed = args.get_u64("seed", 1);
+
+    workload::Trace trace;
+    if (kind == "judgegirl") {
+      workload::JudgegirlConfig cfg;
+      cfg.duration = args.get_double("duration", cfg.duration);
+      cfg.non_interactive_tasks =
+          args.get_u64("submissions", cfg.non_interactive_tasks);
+      cfg.interactive_tasks =
+          args.get_u64("interactive", cfg.interactive_tasks);
+      cfg.burstiness = args.get_double("burstiness", cfg.burstiness);
+      trace = workload::generate_judgegirl(cfg, seed);
+    } else if (kind == "poisson") {
+      workload::PoissonConfig cfg;
+      cfg.duration = args.get_double("duration", cfg.duration);
+      cfg.arrivals_per_second = args.get_double("rate", 1.0);
+      trace = workload::generate_poisson(cfg, seed);
+    } else {
+      DVFS_REQUIRE(false, "unknown --kind (want judgegirl or poisson): " +
+                              kind);
+    }
+
+    workload::write_csv_file(trace, out);
+    const workload::TraceStats stats = workload::analyze(trace);
+    std::printf("%zu tasks (%zu interactive, %zu non-interactive) over "
+                "%.0f s -> %s\n",
+                trace.size(), stats.interactive.count,
+                stats.non_interactive.count, stats.horizon, out.c_str());
+    return 0;
+  });
+}

@@ -1,0 +1,45 @@
+/// \file tool_common.h
+/// \brief Shared plumbing for the dvfs command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/util/args.h"
+
+namespace dvfs::tools {
+
+/// Builds the energy model a tool was asked for: "table2" (the paper's
+/// i7-950) or "cubic:<num_rates>" (analytic sweep model, rates 0.5 GHz
+/// upward in 0.25 GHz steps).
+[[nodiscard]] inline core::EnergyModel model_from_flag(
+    const std::string& spec) {
+  if (spec == "table2") return core::EnergyModel::icpp2014_table2();
+  const std::string prefix = "cubic:";
+  if (spec.rfind(prefix, 0) == 0) {
+    const std::size_t n = std::stoul(spec.substr(prefix.size()));
+    DVFS_REQUIRE(n >= 1 && n <= 64, "cubic rate count must be in [1, 64]");
+    std::vector<Rate> rates;
+    for (std::size_t i = 0; i < n; ++i) {
+      rates.push_back(0.5 + 0.25 * static_cast<double>(i));
+    }
+    return core::EnergyModel::cubic(core::RateSet(std::move(rates)));
+  }
+  DVFS_REQUIRE(false, "unknown model spec (want table2 or cubic:<n>): " + spec);
+  return core::EnergyModel::icpp2014_table2();  // unreachable
+}
+
+/// Uniform tool error handling: run `body`, print a one-line error and
+/// return 2 on precondition violations.
+template <typename Fn>
+int run_tool(Fn&& body) {
+  try {
+    return body();
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace dvfs::tools

@@ -33,6 +33,8 @@ struct CostParams {
   Money rt = 0.4;  ///< money per second a user waits (turnaround).
 
   [[nodiscard]] bool valid() const { return re > 0.0 && rt > 0.0; }
+
+  friend bool operator==(const CostParams&, const CostParams&) = default;
 };
 
 /// One dominating position range: rate `rate_idx` is optimal for every

@@ -1,0 +1,48 @@
+/// \file inject.h
+/// \brief Deliberately broken scratch copies of production algorithms.
+///
+/// The fuzzer's own detection and shrinking machinery needs a known bug
+/// to prove it works (a fuzzer that never fires is indistinguishable from
+/// a fuzzer that cannot fire). These subjects are *scratch copies* — the
+/// production implementations are untouched — wired in through
+/// OracleHooks by `dvfs_fuzz --inject ...` and by the self-tests in
+/// test_differential.cpp.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "dvfs/core/batch_single.h"
+
+namespace dvfs::proptest::inject {
+
+/// Algorithm 2 with a classic off-by-one: the task at forward position k
+/// is rated for backward position n - k instead of n - k + 1 (clamped to
+/// 1), i.e. every task borrows the rate of the task *behind* it. Costs
+/// diverge from the optimum whenever a dominating-range boundary falls
+/// inside [1, n], which needs >= 2 rates and usually >= 2 tasks — exactly
+/// the minimal shapes the shrinker should land on.
+[[nodiscard]] inline core::CorePlan longest_task_last_off_by_one(
+    std::span<const core::Task> tasks, const core::CostTable& table) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].cycles != tasks[b].cycles)
+      return tasks[a].cycles < tasks[b].cycles;
+    return tasks[a].id < tasks[b].id;
+  });
+  const std::size_t n = tasks.size();
+  core::CorePlan plan;
+  plan.sequence.reserve(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const core::Task& t = tasks[order[k - 1]];
+    const std::size_t backward = std::max<std::size_t>(n - k, 1);  // BUG
+    plan.sequence.push_back(
+        core::ScheduledTask{t.id, t.cycles, table.best_rate(backward)});
+  }
+  return plan;
+}
+
+}  // namespace dvfs::proptest::inject

@@ -1,0 +1,183 @@
+/// \file instance.h
+/// \brief The fuzzer's instance model and its text serialization.
+///
+/// One Instance carries everything a differential oracle needs: cost
+/// weights, one energy model per core (rates + per-cycle energy/time
+/// tables), and a task list (cycle counts, arrivals, classes). The same
+/// struct feeds every oracle pair — batch oracles read only cycle counts,
+/// online oracles also read arrivals and classes.
+///
+/// The serialization is a line-based text format (doubles printed with 17
+/// significant digits so they round-trip bit-exactly). Shrunk
+/// counterexamples are written in this format to `tests/corpus/`, where
+/// ctest replays them as deterministic regression tests.
+#pragma once
+
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/energy_model.h"
+#include "dvfs/core/task.h"
+
+namespace dvfs::proptest {
+
+/// Raw per-core model data; kept as plain vectors (not an EnergyModel) so
+/// the shrinker can drop rates without re-validating intermediate states.
+struct CoreModelSpec {
+  std::vector<Rate> rates_ghz;
+  std::vector<double> energy_per_cycle;
+  std::vector<double> time_per_cycle;
+
+  [[nodiscard]] core::EnergyModel model() const {
+    return core::EnergyModel(core::RateSet(rates_ghz), energy_per_cycle,
+                             time_per_cycle);
+  }
+
+  friend bool operator==(const CoreModelSpec&, const CoreModelSpec&) = default;
+};
+
+struct Instance {
+  std::string oracle;      ///< oracle pair this instance targets
+  std::uint64_t seed = 0;  ///< provenance (base seed that generated it)
+  core::CostParams params;
+  std::vector<CoreModelSpec> cores;
+  std::vector<core::Task> tasks;
+
+  [[nodiscard]] std::size_t num_rates() const {
+    return cores.empty() ? 0 : cores.front().rates_ghz.size();
+  }
+
+  /// One CostTable per core; throws PreconditionError if a shrink or a
+  /// hand-edited corpus file broke model validity.
+  [[nodiscard]] std::vector<core::CostTable> tables() const {
+    std::vector<core::CostTable> out;
+    out.reserve(cores.size());
+    for (const CoreModelSpec& c : cores) {
+      out.emplace_back(c.model(), params);
+    }
+    return out;
+  }
+
+  friend bool operator==(const Instance&, const Instance&) = default;
+};
+
+namespace detail {
+
+inline void write_doubles(std::ostream& os, const char* key,
+                          const std::vector<double>& v) {
+  os << key << ' ' << v.size();
+  for (const double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+inline std::vector<double> read_doubles(std::istream& is, const char* key) {
+  std::string tag;
+  std::size_t n = 0;
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> n) && tag == key,
+               std::string("corpus: expected `") + key + "` list");
+  DVFS_REQUIRE(n <= 4096, "corpus: list unreasonably long");
+  std::vector<double> v(n);
+  for (double& x : v) {
+    DVFS_REQUIRE(static_cast<bool>(is >> x), "corpus: truncated list");
+  }
+  return v;
+}
+
+}  // namespace detail
+
+/// Serializes an instance (format "dvfs-fuzz v1", see file comment).
+inline void write_instance(const Instance& inst, std::ostream& os) {
+  os << "dvfs-fuzz v1\n";
+  os << std::setprecision(17);
+  os << "oracle " << inst.oracle << '\n';
+  os << "seed " << inst.seed << '\n';
+  os << "re " << inst.params.re << '\n';
+  os << "rt " << inst.params.rt << '\n';
+  os << "cores " << inst.cores.size() << '\n';
+  for (const CoreModelSpec& c : inst.cores) {
+    detail::write_doubles(os, "rates", c.rates_ghz);
+    detail::write_doubles(os, "epc", c.energy_per_cycle);
+    detail::write_doubles(os, "tpc", c.time_per_cycle);
+  }
+  os << "tasks " << inst.tasks.size() << '\n';
+  for (const core::Task& t : inst.tasks) {
+    os << t.id << ' ' << t.cycles << ' ' << t.arrival << ' ' << t.deadline
+       << ' ' << to_string(t.klass) << '\n';
+  }
+}
+
+[[nodiscard]] inline std::string instance_to_string(const Instance& inst) {
+  std::ostringstream os;
+  write_instance(inst, os);
+  return os.str();
+}
+
+/// Parses the write_instance format. Throws PreconditionError on anything
+/// malformed; model validity (monotone E/T, increasing rates) is *not*
+/// checked here — it surfaces when tables() builds the EnergyModel.
+[[nodiscard]] inline Instance parse_instance(std::istream& is) {
+  Instance inst;
+  std::string tag;
+  std::string version;
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> version) && tag == "dvfs-fuzz" &&
+                   version == "v1",
+               "corpus: bad magic (want `dvfs-fuzz v1`)");
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> inst.oracle) && tag == "oracle",
+               "corpus: expected `oracle`");
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> inst.seed) && tag == "seed",
+               "corpus: expected `seed`");
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> inst.params.re) && tag == "re",
+               "corpus: expected `re`");
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> inst.params.rt) && tag == "rt",
+               "corpus: expected `rt`");
+  std::size_t num_cores = 0;
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> num_cores) && tag == "cores",
+               "corpus: expected `cores`");
+  DVFS_REQUIRE(num_cores >= 1 && num_cores <= 64,
+               "corpus: core count out of range");
+  inst.cores.resize(num_cores);
+  for (CoreModelSpec& c : inst.cores) {
+    c.rates_ghz = detail::read_doubles(is, "rates");
+    c.energy_per_cycle = detail::read_doubles(is, "epc");
+    c.time_per_cycle = detail::read_doubles(is, "tpc");
+  }
+  std::size_t num_tasks = 0;
+  DVFS_REQUIRE(static_cast<bool>(is >> tag >> num_tasks) && tag == "tasks",
+               "corpus: expected `tasks`");
+  DVFS_REQUIRE(num_tasks <= 100000, "corpus: task count out of range");
+  inst.tasks.resize(num_tasks);
+  for (core::Task& t : inst.tasks) {
+    std::string deadline;  // may be "inf"; stream num_get rejects that token
+    std::string klass;
+    DVFS_REQUIRE(static_cast<bool>(is >> t.id >> t.cycles >> t.arrival >>
+                                   deadline >> klass),
+                 "corpus: truncated task row");
+    char* end = nullptr;
+    t.deadline = std::strtod(deadline.c_str(), &end);
+    DVFS_REQUIRE(end == deadline.c_str() + deadline.size(),
+                 "corpus: bad deadline `" + deadline + "`");
+    if (klass == "batch") {
+      t.klass = core::TaskClass::kBatch;
+    } else if (klass == "interactive") {
+      t.klass = core::TaskClass::kInteractive;
+    } else if (klass == "non-interactive") {
+      t.klass = core::TaskClass::kNonInteractive;
+    } else {
+      DVFS_REQUIRE(false, "corpus: unknown task class `" + klass + "`");
+    }
+  }
+  return inst;
+}
+
+[[nodiscard]] inline Instance parse_instance(const std::string& text) {
+  std::istringstream is(text);
+  return parse_instance(is);
+}
+
+}  // namespace dvfs::proptest

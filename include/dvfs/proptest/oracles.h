@@ -1,0 +1,311 @@
+/// \file oracles.h
+/// \brief The differential oracle pairs.
+///
+/// Each oracle cross-checks a production algorithm against an independent
+/// reference on one Instance and returns nullopt (pass) or a human-readable
+/// mismatch description (fail). The hierarchy, strongest first:
+///
+///   1. exact exponential references (`brute_force_single`,
+///      `brute_force_assignment`) — ground truth on tiny instances;
+///   2. semi-exact references that fix one theorem and search the rest
+///      (`brute_force_rates_sorted` fixes the Theorem 3 order);
+///   3. independent reimplementations of the same quantity
+///      (naive per-position argmin vs the envelope; full-replan cost vs
+///      the incremental Eq. 32 accounting; power-meter integration vs the
+///      engine's energy bookkeeping).
+///
+/// All comparisons are on *costs*, not on plan identity: distinct plans
+/// with equal cost are both optimal (ties are common by construction),
+/// and cost comparison is robust to benign tie-break divergence.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/core/batch_single.h"
+#include "dvfs/core/dynamic_sched.h"
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/proptest/instance.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/sim/power_meter.h"
+#include "dvfs/workload/trace.h"
+
+namespace dvfs::proptest {
+
+/// Verdict of one oracle evaluation: nullopt = pass.
+using Verdict = std::optional<std::string>;
+
+/// Injection point: the single-core scheduler under test. The fuzz tool's
+/// --inject mode swaps in a deliberately broken scratch copy to
+/// demonstrate detection + shrinking end to end.
+using SingleCoreSubject = std::function<core::CorePlan(
+    std::span<const core::Task>, const core::CostTable&)>;
+
+struct OracleHooks {
+  SingleCoreSubject single_core;  ///< empty => core::longest_task_last
+};
+
+namespace oracle_detail {
+
+inline bool close(double a, double b, double rel, double abs_floor) {
+  return almost_equal(a, b, rel, abs_floor);
+}
+
+inline Verdict fail(std::ostringstream& os) { return os.str(); }
+
+inline Verdict check_single_core_pair(const Instance& inst,
+                                      const OracleHooks& hooks,
+                                      bool sorted_reference) {
+  const std::vector<core::CostTable> tables = inst.tables();
+  const core::CostTable& table = tables.front();
+  const SingleCoreSubject subject =
+      hooks.single_core
+          ? hooks.single_core
+          : [](std::span<const core::Task> ts, const core::CostTable& t) {
+              return core::longest_task_last(ts, t);
+            };
+  const core::CorePlan plan = subject(inst.tasks, table);
+  core::Plan wrapped;
+  wrapped.cores.push_back(plan);
+  if (!core::plan_is_permutation_of(wrapped, inst.tasks, tables)) {
+    std::ostringstream os;
+    os << "subject plan is not a valid permutation of the input tasks";
+    return fail(os);
+  }
+  const Money got = core::evaluate_single(plan, table).total();
+  const core::CorePlan ref_plan =
+      sorted_reference ? core::brute_force_rates_sorted(inst.tasks, table)
+                       : core::brute_force_single(inst.tasks, table);
+  const Money ref = core::evaluate_single(ref_plan, table).total();
+  if (!close(got, ref, 1e-9, 1e-18)) {
+    std::ostringstream os;
+    os << (sorted_reference ? "longest_task_last vs brute_force_rates_sorted"
+                            : "longest_task_last vs brute_force_single")
+       << ": subject cost " << got << " != reference cost " << ref
+       << (got > ref ? " (subject is suboptimal)"
+                     : " (subject beat the exhaustive reference: evaluator "
+                       "or reference bug)");
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
+inline Verdict check_wbg_vs_bf(const Instance& inst) {
+  const std::vector<core::CostTable> tables = inst.tables();
+  const core::Plan plan = core::workload_based_greedy(inst.tasks, tables);
+  if (!core::plan_is_permutation_of(plan, inst.tasks, tables)) {
+    std::ostringstream os;
+    os << "WBG plan is not a valid permutation of the input tasks";
+    return fail(os);
+  }
+  const Money got = core::evaluate_plan(plan, tables).total();
+  const Money ref =
+      core::evaluate_plan(core::brute_force_assignment(inst.tasks, tables),
+                          tables)
+          .total();
+  if (!close(got, ref, 1e-9, 1e-18)) {
+    std::ostringstream os;
+    os << "workload_based_greedy vs brute_force_assignment: " << got
+       << " != " << ref
+       << (got > ref ? " (greedy is suboptimal)" : " (reference bug)");
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
+inline Verdict check_wbg_vs_rr(const Instance& inst) {
+  const std::vector<core::CostTable> tables = inst.tables();
+  const core::Plan wbg = core::workload_based_greedy(inst.tasks, tables);
+  const core::Plan rr = core::round_robin_homogeneous(
+      inst.tasks, tables.front(), tables.size());
+  const Money cw = core::evaluate_plan(wbg, tables).total();
+  const Money cr = core::evaluate_plan(rr, tables).total();
+  // Theorems 4 and 5 both claim optimality on homogeneous platforms, so
+  // the two plans must cost the same even when they differ structurally.
+  if (!close(cw, cr, 1e-9, 1e-18)) {
+    std::ostringstream os;
+    os << "workload_based_greedy vs round_robin_homogeneous (homogeneous "
+          "platform): "
+       << cw << " != " << cr;
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
+inline Verdict check_envelope(const Instance& inst) {
+  const core::CostTable table(inst.cores.front().model(), inst.params);
+  // Structural invariants: the ranges partition [1, inf).
+  const auto ranges = table.ranges();
+  if (ranges.empty() || ranges.front().range.lo != 1 ||
+      !ranges.back().range.unbounded()) {
+    return "dominating ranges do not start at 1 / end unbounded";
+  }
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].range.lo != ranges[i - 1].range.hi + 1) {
+      std::ostringstream os;
+      os << "dominating ranges not contiguous at index " << i;
+      return fail(os);
+    }
+  }
+  // Differential: envelope winner vs naive argmin, compared on cost.
+  std::vector<std::size_t> positions;
+  for (std::size_t k = 1; k <= 64; ++k) positions.push_back(k);
+  for (const core::DominatingRange& r : ranges) {
+    if (r.range.lo > 1) positions.push_back(r.range.lo - 1);
+    positions.push_back(r.range.lo);
+    if (!r.range.unbounded()) {
+      positions.push_back(r.range.hi);
+      positions.push_back(r.range.hi + 1);
+    }
+  }
+  for (const std::size_t k : {std::size_t{1000}, std::size_t{100000},
+                              std::size_t{10000000}}) {
+    positions.push_back(k);
+  }
+  for (const std::size_t k : positions) {
+    const std::size_t fast = table.best_rate(k);
+    const std::size_t naive = table.best_rate_naive(k);
+    const double cf = table.backward_cost(k, fast);
+    const double cn = table.backward_cost(k, naive);
+    if (!close(cf, cn, 1e-9, 1e-18)) {
+      std::ostringstream os;
+      os << "lower_envelope vs naive argmin at k=" << k << ": rate " << fast
+         << " costs " << cf << ", naive rate " << naive << " costs " << cn;
+      return fail(os);
+    }
+  }
+  return std::nullopt;
+}
+
+inline Verdict check_lmc_incremental(const Instance& inst) {
+  const core::CostTable table(inst.cores.front().model(), inst.params);
+  core::DynamicSingleCoreScheduler sched(table);
+  auto replanned = [&]() {
+    return core::evaluate_single(sched.plan(), table).total();
+  };
+  auto mismatch = [&](const char* what, std::size_t step, Money a, Money b) {
+    std::ostringstream os;
+    os << "lmc incremental accounting: " << what << " after op " << step
+       << ": " << a << " != " << b;
+    return Verdict(os.str());
+  };
+  // Arrival phase: every insert's peek/probe marginal must match the
+  // realized cost delta, and the running Eq. 32 cost must match a full
+  // evaluate_single replan of the materialized queue.
+  for (std::size_t i = 0; i < inst.tasks.size(); ++i) {
+    const Cycles c = inst.tasks[i].cycles;
+    const Money peek = sched.peek_marginal_insert_cost(c);
+    const Money probe = sched.marginal_insert_cost(c);
+    const Money before = sched.total_cost();
+    (void)sched.insert(c, inst.tasks[i].id);
+    const Money after = sched.total_cost();
+    const double scale = std::max(1e-12, std::abs(after));
+    if (!almost_equal(peek, probe, 1e-6, 1e-9 * scale)) {
+      return mismatch("peek vs probe marginal", i, peek, probe);
+    }
+    if (!almost_equal(probe, after - before, 1e-6, 1e-9 * scale)) {
+      return mismatch("probe marginal vs realized delta", i, probe,
+                      after - before);
+    }
+    const Money replan = replanned();
+    if (!almost_equal(after, replan, 1e-9, 1e-12 * scale)) {
+      return mismatch("incremental cost vs full replan", i, after, replan);
+    }
+    if (!sched.validate()) {
+      std::ostringstream os;
+      os << "dynamic scheduler invariants broken after insert " << i;
+      return fail(os);
+    }
+  }
+  // Drain phase: popping the front must keep the incremental cost in
+  // lockstep with the replan.
+  std::size_t step = inst.tasks.size();
+  while (!sched.empty()) {
+    sched.erase(sched.front());
+    const Money after = sched.total_cost();
+    const Money replan = replanned();
+    const double scale = std::max(1e-12, std::abs(after));
+    if (!almost_equal(after, replan, 1e-9, 1e-12 * scale)) {
+      return mismatch("incremental cost vs full replan (drain)", step, after,
+                      replan);
+    }
+    if (!sched.validate()) {
+      std::ostringstream os;
+      os << "dynamic scheduler invariants broken at drain step " << step;
+      return fail(os);
+    }
+    ++step;
+  }
+  return std::nullopt;
+}
+
+inline Verdict check_sim_energy(const Instance& inst) {
+  std::vector<core::EnergyModel> models;
+  std::vector<core::CostTable> tables;
+  for (const CoreModelSpec& c : inst.cores) {
+    models.push_back(c.model());
+    tables.emplace_back(c.model(), inst.params);
+  }
+  sim::Engine engine(models, sim::ContentionModel::none());
+  governors::LmcPolicy policy(tables);
+  sim::PowerTracingPolicy meter(policy, /*idle_watts_per_core=*/0.0);
+  const workload::Trace trace(std::vector<core::Task>(inst.tasks));
+  const sim::SimResult r = engine.run(trace, meter);
+  if (r.completed_count() != inst.tasks.size()) {
+    std::ostringstream os;
+    os << "simulation left " << (inst.tasks.size() - r.completed_count())
+       << " tasks incomplete";
+    return fail(os);
+  }
+  // Independent meter integration (step-function power trace) vs the
+  // engine's exact segment-by-segment energy accounting.
+  const Joules metered = meter.integrate(r.end_time);
+  const double scale = std::max(1e-9, r.busy_energy);
+  if (!almost_equal(metered, r.busy_energy, 1e-6, 1e-9 * scale)) {
+    std::ostringstream os;
+    os << "power meter integral " << metered << " != engine busy_energy "
+       << r.busy_energy;
+    return fail(os);
+  }
+  // Per-task attribution must sum back to the platform total.
+  Joules per_task = 0.0;
+  for (const sim::TaskRecord& t : r.tasks) per_task += t.energy;
+  if (!almost_equal(per_task, r.busy_energy, 1e-6, 1e-9 * scale)) {
+    std::ostringstream os;
+    os << "sum of per-task energy " << per_task << " != engine busy_energy "
+       << r.busy_energy;
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
+}  // namespace oracle_detail
+
+/// Runs the oracle named by `inst.oracle`. Throws PreconditionError for
+/// unknown names or instances invalid for their oracle.
+[[nodiscard]] inline Verdict check_instance(const Instance& inst,
+                                            const OracleHooks& hooks = {}) {
+  using namespace oracle_detail;
+  DVFS_REQUIRE(!inst.cores.empty(), "instance needs at least one core");
+  if (inst.oracle == "ltl_vs_bf") {
+    return check_single_core_pair(inst, hooks, /*sorted_reference=*/false);
+  }
+  if (inst.oracle == "ltl_vs_sorted") {
+    return check_single_core_pair(inst, hooks, /*sorted_reference=*/true);
+  }
+  if (inst.oracle == "wbg_vs_bf") return check_wbg_vs_bf(inst);
+  if (inst.oracle == "wbg_vs_rr") return check_wbg_vs_rr(inst);
+  if (inst.oracle == "envelope") return check_envelope(inst);
+  if (inst.oracle == "lmc_incremental") return check_lmc_incremental(inst);
+  if (inst.oracle == "sim_energy") return check_sim_energy(inst);
+  DVFS_REQUIRE(false, "unknown oracle `" + inst.oracle + "`");
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace dvfs::proptest

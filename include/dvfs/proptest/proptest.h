@@ -1,0 +1,14 @@
+/// \file proptest.h
+/// \brief Umbrella header for the property-based differential-testing
+///        library: deterministic RNG, instance model + serialization,
+///        per-oracle generators, oracle cross-checks, greedy shrinking,
+///        and the fuzz harness. See docs/testing.md for the user guide.
+#pragma once
+
+#include "dvfs/proptest/generate.h"
+#include "dvfs/proptest/harness.h"
+#include "dvfs/proptest/inject.h"
+#include "dvfs/proptest/instance.h"
+#include "dvfs/proptest/oracles.h"
+#include "dvfs/proptest/rng.h"
+#include "dvfs/proptest/shrink.h"

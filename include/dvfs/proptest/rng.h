@@ -1,0 +1,85 @@
+/// \file rng.h
+/// \brief Deterministic random primitives for the differential fuzzer.
+///
+/// Every fuzz instance must be reproducible from a printed 64-bit seed on
+/// any platform and standard library. std::mt19937_64 is portable but the
+/// standard *distributions* are not (libstdc++ and libc++ produce
+/// different streams), so this header ships its own SplitMix64 generator
+/// and the handful of fixed-algorithm draws the instance generators need.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "dvfs/common.h"
+
+namespace dvfs::proptest {
+
+/// SplitMix64 (Steele, Lea & Flood): full-period 64-bit generator with a
+/// one-instruction state transition. Used both as the fuzzer's stream and
+/// to derive independent sub-streams (one per instance index).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection-free modulo;
+  /// the tiny bias is irrelevant for test-case generation and keeps the
+  /// draw identical everywhere.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    DVFS_REQUIRE(lo <= hi, "uniform_u64 bounds inverted");
+    const std::uint64_t span = hi - lo;
+    if (span == UINT64_MAX) return next();
+    return lo + next() % (span + 1);
+  }
+
+  std::size_t uniform_index(std::size_t size) {
+    DVFS_REQUIRE(size > 0, "uniform_index over empty range");
+    return static_cast<std::size_t>(uniform_u64(0, size - 1));
+  }
+
+  /// Uniform real in [lo, hi) from the top 53 bits.
+  double uniform_real(double lo, double hi) {
+    const double u =
+        static_cast<double>(next() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + (hi - lo) * u;
+  }
+
+  /// exp(N(mu, sigma))-shaped heavy-tailed draw. The normal variate comes
+  /// from a fixed-form sum of uniforms (Irwin-Hall, 12 terms), which is
+  /// platform-stable unlike std::normal_distribution.
+  double lognormalish(double mu, double sigma) {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += uniform_real(0.0, 1.0);
+    return std::exp(mu + sigma * (s - 6.0));
+  }
+
+  /// True with probability `p`.
+  bool chance(double p) { return uniform_real(0.0, 1.0) < p; }
+
+  template <typename T>
+  const T& pick(std::span<const T> options) {
+    return options[uniform_index(options.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Independent stream for instance `index` of a run seeded with `base`:
+/// feeding the pair through one SplitMix64 step decorrelates neighbouring
+/// indices, so instance k is reproducible without replaying 0..k-1.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t base,
+                                               std::uint64_t index) {
+  SplitMix64 mix(base ^ (0xA5A5A5A5A5A5A5A5ull + index * 0x9E3779B97F4A7C15ull));
+  return mix.next();
+}
+
+}  // namespace dvfs::proptest

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "dvfs/core/batch_single.h"
@@ -175,6 +176,37 @@ TEST_P(WbgOptimality, MatchesBruteForceHomogeneousThreeCores) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WbgOptimality,
                          ::testing::Values(101u, 202u, 303u, 404u));
+
+// Guard audit: the cores^n assignment search must refuse oversized spaces
+// with a catchable std::invalid_argument (PreconditionError), not an
+// assert or a multi-hour enumeration.
+TEST(BruteForceGuards, AssignmentRejectsOversizedSearchSpace) {
+  const std::vector<CostTable> four(4, gadget());
+  std::vector<Task> tasks;
+  for (TaskId i = 0; i < 12; ++i) {
+    tasks.push_back(Task{.id = i, .cycles = i + 1});
+  }
+  // 4^12 = 16.7M > 2^22: must throw before enumerating anything.
+  EXPECT_THROW((void)brute_force_assignment(tasks, four), PreconditionError);
+  EXPECT_THROW((void)brute_force_assignment(tasks, four),
+               std::invalid_argument);
+  // 4^5 = 1024 is comfortably inside the guard.
+  tasks.resize(5);
+  EXPECT_NO_THROW((void)brute_force_assignment(tasks, four));
+}
+
+TEST(BruteForceGuards, AssignmentRejectsZeroCoresAndBadTasks) {
+  EXPECT_THROW((void)brute_force_assignment({}, {}), std::invalid_argument);
+  const std::vector<CostTable> one(1, gadget());
+  std::vector<Task> online = make_tasks({3});
+  online.front().arrival = 2.0;
+  EXPECT_THROW((void)brute_force_assignment(online, one),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload_based_greedy(online, one),
+               std::invalid_argument);
+  EXPECT_THROW((void)round_robin_homogeneous(online, gadget(), 0),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace dvfs::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace dvfs::core {
@@ -137,6 +138,42 @@ TEST_P(LtlOptimality, MatchesFullBruteForceTinyInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LtlOptimality,
                          ::testing::Values(3u, 5u, 7u, 11u, 13u));
+
+// The exponential references are guarded, and a guard violation must be a
+// catchable std::invalid_argument (via PreconditionError), never an
+// assert() or silent UB: the fuzz harness leans on these guards when it
+// shrinks instances near the size limits.
+TEST(BruteForceGuards, SingleRejectsMoreThanEightTasks) {
+  const CostTable t = table2();
+  const std::vector<Task> nine(
+      make_tasks({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_THROW((void)brute_force_single(nine, t), PreconditionError);
+  EXPECT_THROW((void)brute_force_single(nine, t), std::invalid_argument);
+  EXPECT_NO_THROW((void)brute_force_single(make_tasks({1}), t));
+}
+
+TEST(BruteForceGuards, SortedRateSearchRejectsMoreThanTwelveTasks) {
+  const CostTable t = table2();
+  const std::vector<Task> thirteen(
+      make_tasks({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}));
+  EXPECT_THROW((void)brute_force_rates_sorted(thirteen, t),
+               PreconditionError);
+  EXPECT_THROW((void)brute_force_rates_sorted(thirteen, t),
+               std::invalid_argument);
+}
+
+TEST(BruteForceGuards, ReferencesRejectNonBatchAndInvalidTasks) {
+  const CostTable t = table2();
+  std::vector<Task> online = make_tasks({5});
+  online.front().arrival = 1.0;  // not a batch task
+  EXPECT_THROW((void)brute_force_single(online, t), std::invalid_argument);
+  EXPECT_THROW((void)brute_force_rates_sorted(online, t),
+               std::invalid_argument);
+  std::vector<Task> zero = make_tasks({5});
+  zero.front().cycles = 0;  // invalid task
+  EXPECT_THROW((void)brute_force_single(zero, t), std::invalid_argument);
+  EXPECT_THROW((void)longest_task_last(zero, t), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace dvfs::core

@@ -4,10 +4,12 @@
 /// non-monotone "optimal" schedulers).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
 #include "dvfs/core/batch_multi.h"
+#include "dvfs/core/batch_single.h"
 #include "dvfs/governors/lmc_policy.h"
 #include "dvfs/sim/engine.h"
 #include "dvfs/workload/generators.h"
@@ -181,6 +183,33 @@ TEST_P(Metamorphic, JointEnergyPriceRescalingIsInvariant) {
   EXPECT_NEAR(core::evaluate_plan(pa, a).total(),
               core::evaluate_plan(pb, b).total(),
               1e-9 * core::evaluate_plan(pa, a).total());
+}
+
+TEST_P(Metamorphic, PermutingTaskInputOrderNeverChangesPlanCost) {
+  // The schedulers sort internally (Theorem 3), so the order tasks arrive
+  // in the input vector must be irrelevant to the optimal cost — for the
+  // single-core LTL scheduler and the multi-core WBG scheduler alike.
+  auto tasks = random_tasks(24, GetParam() + 6);
+  const CostTable t(EnergyModel::icpp2014_table2(), CostParams{0.1, 0.4});
+  const std::vector<CostTable> tables(3, t);
+  const Money single =
+      core::evaluate_single(core::longest_task_last(tasks, t), t).total();
+  const Money multi =
+      core::evaluate_plan(core::workload_based_greedy(tasks, tables), tables)
+          .total();
+
+  std::mt19937_64 rng(GetParam() + 6);
+  for (int round = 0; round < 8; ++round) {
+    std::shuffle(tasks.begin(), tasks.end(), rng);
+    const Money s =
+        core::evaluate_single(core::longest_task_last(tasks, t), t).total();
+    const Money m =
+        core::evaluate_plan(core::workload_based_greedy(tasks, tables),
+                            tables)
+            .total();
+    ASSERT_NEAR(s, single, 1e-12 * single) << "round " << round;
+    ASSERT_NEAR(m, multi, 1e-12 * multi) << "round " << round;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic,

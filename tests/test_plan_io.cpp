@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 
 #include "dvfs/core/batch_multi.h"
+#include "dvfs/proptest/rng.h"
 #include "dvfs/workload/generators.h"
 
 namespace dvfs::core {
@@ -137,6 +140,82 @@ TEST(PlanIo, FuzzedInputNeverCrashes) {
       (void)p;  // parsed fine: acceptable
     } catch (const PreconditionError&) {
       // rejected cleanly: acceptable
+    }
+  }
+}
+
+// Adversarial field values: every field is an unsigned integer, so signs,
+// NaN/inf spellings, fractions, and overflow must all be rejected with a
+// catchable error — a plan file feeds a real frequency actuator.
+TEST(PlanIo, RejectsNaNNegativeAndNonIntegerFields) {
+  const char* header = "core,position,task_id,cycles,rate_idx\n";
+  for (const char* row : {
+           "0,1,2,-3,4",                       // negative cycles
+           "-1,1,2,3,4",                       // negative core
+           "0,-1,2,3,4",                       // negative position
+           "0,1,2,nan,4",                      // NaN cycles
+           "0,1,2,inf,4",                      // infinite cycles
+           "0,1,2,3.5,4",                      // fractional cycles
+           "0,1,2,1e6,4",                      // exponent notation
+           "0,1,2,3,+4",                       // explicit plus sign
+           "0,1,2,99999999999999999999999,4",  // u64 overflow
+           "0,1,2,3,",                         // empty trailing field
+           ",1,2,3,4",                         // empty leading field
+           "0,1,2, 3,4",                       // embedded space
+       }) {
+    std::stringstream ss(std::string(header) + row + "\n");
+    EXPECT_THROW((void)read_plan_csv(ss), PreconditionError) << row;
+    std::stringstream again(std::string(header) + row + "\n");
+    EXPECT_THROW((void)read_plan_csv(again), std::invalid_argument) << row;
+  }
+}
+
+// A header with no rows (truncated just after the header) is a valid
+// empty plan; truncation mid-row is a clean rejection.
+TEST(PlanIo, TruncatedFilesEitherParseOrThrow) {
+  {
+    std::stringstream ss("core,position,task_id,cycles,rate_idx\n");
+    EXPECT_EQ(read_plan_csv(ss).num_tasks(), 0u);
+  }
+  {
+    std::stringstream ss("core,position,task_id,cycles,rate_idx\n0,1,2");
+    EXPECT_THROW((void)read_plan_csv(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("core,position,task_id,cy");
+    EXPECT_THROW((void)read_plan_csv(ss), PreconditionError);
+  }
+}
+
+// Generative round-trip property: parse(serialize(p)) == p for random
+// plans, including extreme ids/cycles. (Trailing fully-empty cores are
+// the one lossy case — the CSV has no row to record them — so the
+// generator keeps the last core non-empty.)
+TEST(PlanIo, RandomPlansRoundTripExactly) {
+  proptest::SplitMix64 g(0x9107AA51u);
+  for (int trial = 0; trial < 200; ++trial) {
+    Plan plan;
+    plan.cores.resize(g.uniform_u64(1, 5));
+    TaskId id = 0;
+    for (CorePlan& core : plan.cores) {
+      const std::size_t n = g.uniform_u64(0, 6);
+      for (std::size_t k = 0; k < n; ++k) {
+        core.sequence.push_back(ScheduledTask{
+            g.chance(0.1) ? UINT64_MAX : id++,
+            g.chance(0.1) ? UINT64_MAX : g.uniform_u64(0, 1'000'000'000),
+            g.uniform_u64(0, 11)});
+      }
+    }
+    if (plan.cores.back().sequence.empty()) {
+      plan.cores.back().sequence.push_back(ScheduledTask{id++, 1, 0});
+    }
+    std::stringstream ss;
+    write_plan_csv(plan, ss);
+    const Plan parsed = read_plan_csv(ss);
+    ASSERT_EQ(parsed.cores.size(), plan.cores.size()) << "trial " << trial;
+    for (std::size_t j = 0; j < plan.cores.size(); ++j) {
+      EXPECT_EQ(parsed.cores[j].sequence, plan.cores[j].sequence)
+          << "trial " << trial << " core " << j;
     }
   }
 }

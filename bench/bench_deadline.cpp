@@ -23,7 +23,8 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_deadline", argc, argv);
   std::mt19937_64 rng(1);
 
   bench::print_header("A7a: exact Deadline-SingleCore on Partition gadgets");
@@ -50,6 +51,12 @@ int main() {
     const double infeasible_ms = ms_since(t0);
     std::printf("%6zu %16.3f %16.3f   feasible=%d infeasible=%d\n", n,
                 feasible_ms, infeasible_ms, f ? 1 : 0, g ? 1 : 0);
+    bench::BenchRow row("partition_gadget");
+    row.param("n", static_cast<std::uint64_t>(n))
+        .set_wall_ns(infeasible_ms * 1e6)
+        .counter("feasible_ms", feasible_ms)
+        .counter("infeasible_ms", infeasible_ms);
+    reporter.add(std::move(row));
   }
 
   bench::print_header("A7b: heuristic vs exact on random feasible gadgets");
@@ -76,6 +83,11 @@ int main() {
   std::printf("heuristic success: %zu/%d (incomplete but sound; the gap is "
               "the price of polynomial time)\n",
               heuristic_hits, kTrials);
+  bench::BenchRow hits("heuristic_vs_exact");
+  hits.counter("exact_hits", static_cast<double>(exact_hits))
+      .counter("heuristic_hits", static_cast<double>(heuristic_hits))
+      .counter("trials", kTrials);
+  reporter.add(std::move(hits));
 
   bench::print_header("A7c: exact Deadline-MultiCore (Theorem 2 gadget)");
   for (const std::size_t n : {12u, 20u, 28u}) {
@@ -92,5 +104,6 @@ int main() {
     std::printf("n=%2zu: %s in %.3f ms\n", n,
                 ok ? "schedulable" : "NOT schedulable (bug)", ms_since(t0));
   }
+  reporter.write();
   return exact_hits == kTrials ? 0 : 1;
 }

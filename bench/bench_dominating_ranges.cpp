@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "bench_gbench.h"
 #include "dvfs/core/cost_model.h"
 #include "dvfs/ds/lower_envelope.h"
 
@@ -79,4 +80,6 @@ BENCHMARK(BM_BestRateLookup)->RangeMultiplier(4)->Range(2, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dvfs::bench::run_gbench_main("bench_dominating_ranges", argc, argv);
+}

@@ -11,6 +11,7 @@
 #include <random>
 #include <vector>
 
+#include "bench_gbench.h"
 #include "dvfs/core/dynamic_sched.h"
 
 namespace {
@@ -78,4 +79,6 @@ BENCHMARK(BM_CostQuery)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dvfs::bench::run_gbench_main("bench_dynamic_cost", argc, argv);
+}

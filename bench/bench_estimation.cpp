@@ -28,7 +28,8 @@ constexpr std::size_t kCores = 4;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_estimation", argc, argv);
   const core::CostParams cp{0.4, 0.1};
   const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
   workload::JudgegirlConfig cfg;
@@ -36,6 +37,11 @@ int main() {
   cfg.non_interactive_tasks = 384;
   cfg.interactive_tasks = 25262;
   const workload::Trace trace = workload::generate_judgegirl(cfg, 777);
+  auto report = [&reporter](const std::string& name, Money cost) {
+    bench::BenchRow row(name);
+    row.set_cost(cost);
+    reporter.add(std::move(row));
+  };
 
   const std::vector<core::CostTable> tables(kCores,
                                             core::CostTable(model, cp));
@@ -54,6 +60,7 @@ int main() {
     governors::LmcPolicy policy(tables);  // oracle
     oracle_cost = run(policy).total_cost(cp);
     std::printf("%-22s %14.0f %9.1f%%\n", "oracle (paper)", oracle_cost, 0.0);
+    report("oracle", oracle_cost);
   }
 
   for (const double sigma : {0.2, 0.5, 1.0, 2.0}) {
@@ -71,6 +78,9 @@ int main() {
     std::snprintf(label, sizeof label, "noisy (sigma=%.1f)", sigma);
     std::printf("%-22s %14.0f %+9.1f%%\n", label, cost,
                 (cost / oracle_cost - 1.0) * 100.0);
+    bench::BenchRow row("noisy");
+    row.param("sigma", sigma).set_cost(cost);
+    reporter.add(std::move(row));
   }
 
   {
@@ -84,6 +94,7 @@ int main() {
     const Money cost = run(policy).total_cost(cp);
     std::printf("%-22s %14.0f %+9.1f%%\n", "constant prior", cost,
                 (cost / oracle_cost - 1.0) * 100.0);
+    report("constant_prior", cost);
   }
 
   {
@@ -102,6 +113,7 @@ int main() {
     const Money cost = run(policy).total_cost(cp);
     std::printf("%-22s %14.0f %+9.1f%%\n", "historical average", cost,
                 (cost / oracle_cost - 1.0) * 100.0);
+    report("historical_average", cost);
   }
 
   {
@@ -112,9 +124,11 @@ int main() {
     std::printf("%-22s %14.0f %+9.1f%%  <- the bar to beat\n",
                 "OLB (no estimates)", cost,
                 (cost / oracle_cost - 1.0) * 100.0);
+    report("olb", cost);
   }
   std::printf("\nReading: LMC degrades gracefully with estimation error and "
               "stays ahead of OLB\neven with a constant prior — the paper's "
               "estimability assumption is load-bearing\nbut not fragile.\n");
+  reporter.write();
   return 0;
 }

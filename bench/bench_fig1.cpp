@@ -18,8 +18,9 @@
 #include "dvfs/sim/power_meter.h"
 #include "dvfs/workload/spec2006int.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_fig1", argc, argv);
   constexpr std::size_t kCores = 4;
   const core::CostParams cp{0.1, 0.4};
 
@@ -78,5 +79,7 @@ int main() {
               "methodology, which cancels in normalized comparisons)\n",
               metered_sim, metered_exp, sim_run.busy_energy,
               exp_run.busy_energy);
+  for (const bench::PolicyOutcome& o : rows) reporter.add(o);
+  reporter.write();
   return 0;
 }

@@ -18,8 +18,9 @@
 #include "dvfs/sim/engine.h"
 #include "dvfs/workload/spec2006int.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_fig2", argc, argv);
   constexpr std::size_t kCores = 4;
   const core::CostParams cp{0.1, 0.4};
   const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
@@ -76,5 +77,7 @@ int main() {
   bench::print_rate_share("WBG", wbg, model.rates());
   bench::print_rate_share("OLB", olb, model.rates());
   bench::print_rate_share("PS", ps, model.rates());
+  for (const bench::PolicyOutcome& o : rows) reporter.add(o);
+  reporter.write();
   return 0;
 }

@@ -18,8 +18,9 @@
 #include "dvfs/sim/engine.h"
 #include "dvfs/workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_fig3", argc, argv);
   constexpr std::size_t kCores = 4;
   const core::CostParams cp{0.4, 0.1};
   const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
@@ -99,5 +100,7 @@ int main() {
               olb.turnaround_percentile(core::TaskClass::kInteractive, 0.99),
               od.turnaround_percentile(core::TaskClass::kInteractive, 0.95),
               od.turnaround_percentile(core::TaskClass::kInteractive, 0.99));
+  for (const bench::PolicyOutcome& o : rows) reporter.add(o);
+  reporter.write();
   return 0;
 }

@@ -59,8 +59,9 @@ parallel::MetricMap measure(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_fig3_confidence", argc, argv);
   bench::print_header(
       "Fig. 3 with error bars: baseline cost relative to LMC over 16 seeded "
       "traces");
@@ -72,6 +73,12 @@ int main() {
   for (const auto& [name, s] : stats) {
     std::printf("%-18s %10.3f %12.3f %10.3f %10.3f\n", name.c_str(), s.mean,
                 s.ci95(), s.min, s.max);
+    bench::BenchRow row(name);
+    row.counter("mean", s.mean)
+        .counter("ci95", s.ci95())
+        .counter("min", s.min)
+        .counter("max", s.max);
+    reporter.add(std::move(row));
   }
   // The reproduction claim: LMC wins on every metric in expectation, and
   // the total-cost win is outside the confidence interval.
@@ -80,5 +87,6 @@ int main() {
       stats.at("od/lmc total").mean - stats.at("od/lmc total").ci95() > 1.0;
   std::printf("\nLMC total-cost win significant at ~95%%: %s\n",
               wins ? "yes" : "NO");
+  reporter.write();
   return wins ? 0 : 1;
 }

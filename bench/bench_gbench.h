@@ -1,0 +1,78 @@
+/// \file bench_gbench.h
+/// \brief BENCHMARK_MAIN() replacement that adds `--json` reporting.
+///
+/// The microbenches use google-benchmark for timing but must still emit
+/// the repo-wide dvfs-bench-v1 report (bench_util.h) so the CI regression
+/// gate treats them like every other bench binary. run_gbench_main()
+/// strips `--json` before benchmark::Initialize (which rejects unknown
+/// flags), runs the normal console reporting, and mirrors each iteration
+/// run — name, ns/iteration, user counters — into a BenchReporter row.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dvfs::bench {
+
+/// Console reporter that also records every iteration run as a BenchRow.
+class ReporterBridge : public benchmark::ConsoleReporter {
+ public:
+  explicit ReporterBridge(BenchReporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Aggregates (mean/median/stddev) would double-count with the raw
+      // iteration runs; report the latter, which exist unconditionally.
+      if (run.run_type != Run::RT_Iteration) continue;
+      BenchRow row(run.benchmark_name());
+      // Default time unit is nanoseconds, so adjusted real time is the
+      // familiar ns/iteration figure the console prints.
+      row.set_wall_ns(run.GetAdjustedRealTime());
+      for (const auto& [name, counter] : run.counters) {
+        row.counter(name, counter.value);
+      }
+      out_.add(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReporter& out_;
+};
+
+/// Drop-in main body: like BENCHMARK_MAIN() plus dvfs-bench-v1 output.
+inline int run_gbench_main(const std::string& suite, int argc, char** argv) {
+  BenchReporter reporter(suite, argc, argv);
+
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      ++i;  // also drop the flag's value
+      continue;
+    }
+    if (arg.starts_with("--json=")) continue;
+    filtered.push_back(argv[i]);
+  }
+  filtered.push_back(nullptr);  // argv contract: argv[argc] == nullptr
+  int filtered_argc = static_cast<int>(filtered.size()) - 1;
+
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             filtered.data())) {
+    return 1;
+  }
+  ReporterBridge bridge(reporter);
+  benchmark::RunSpecifiedBenchmarks(&bridge);
+  benchmark::Shutdown();
+  reporter.write();
+  return 0;
+}
+
+}  // namespace dvfs::bench

@@ -44,7 +44,8 @@ std::vector<core::CostTable> tables_for(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_heterogeneous", argc, argv);
   const std::vector<core::EnergyModel> models = biglittle();
 
   // ---------------------------------------------------------------- batch
@@ -92,6 +93,14 @@ int main() {
     std::printf("share of cycles on LITTLE cores under WBG: %.1f%%\n",
                 100.0 * static_cast<double>(little_cycles) /
                     static_cast<double>(all_cycles));
+    for (const auto& [name, c] :
+         {std::pair<const char*, const core::PlanCost&>{"wbg_het", het_cost},
+          {"big_only", big_cost},
+          {"blind_rr", blind_cost}}) {
+      bench::BenchRow row(name);
+      row.param("mode", "batch").set_cost(c.total()).set_energy_j(c.energy);
+      reporter.add(std::move(row));
+    }
   }
 
   // --------------------------------------------------------------- online
@@ -134,6 +143,10 @@ int main() {
     std::printf("LMC utilization big: %.0f%%/%.0f%%  little: %.0f%%/%.0f%%\n",
                 100 * r_lmc.utilization(0), 100 * r_lmc.utilization(1),
                 100 * r_lmc.utilization(2), 100 * r_lmc.utilization(3));
+    for (const bench::PolicyOutcome& o : rows) {
+      reporter.add(o, {{"mode", obs::Json("online")}});
+    }
   }
+  reporter.write();
   return 0;
 }

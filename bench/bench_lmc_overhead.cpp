@@ -10,6 +10,7 @@
 #include <random>
 #include <vector>
 
+#include "bench_gbench.h"
 #include "dvfs/core/online_lmc.h"
 
 namespace {
@@ -56,4 +57,6 @@ BENCHMARK(BM_ChooseInteractiveCore)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dvfs::bench::run_gbench_main("bench_lmc_overhead", argc, argv);
+}

@@ -25,7 +25,8 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_migration", argc, argv);
   const core::CostParams cp{0.4, 0.1};
   const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
   workload::JudgegirlConfig cfg;
@@ -79,10 +80,18 @@ int main() {
                 row.result.total_cost(cp),
                 (row.result.total_cost(cp) / lmc_cost - 1.0) * 100.0,
                 row.migrations, row.wall_ms, row.result.busy_energy);
+    bench::BenchRow r(row.name);
+    r.set_wall_ns(row.wall_ms * 1e6)
+        .set_cost(row.result.total_cost(cp))
+        .set_energy_j(row.result.busy_energy)
+        .set_turnaround_s(row.result.total_turnaround())
+        .counter("migrations", static_cast<double>(row.migrations));
+    reporter.add(std::move(r));
   }
   std::printf(
       "\nReading: WBG-0 (free migration) bounds LMC's optimality gap from\n"
       "below; the penalized rows show the overhead the paper worried about\n"
       "eroding that edge. Wall time is the whole simulated half-exam.\n");
+  reporter.write();
   return 0;
 }

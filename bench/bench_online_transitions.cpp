@@ -23,7 +23,8 @@ constexpr std::size_t kCores = 4;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_online_transitions", argc, argv);
   const core::CostParams cp{0.4, 0.1};
   const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
   workload::JudgegirlConfig cfg;
@@ -52,11 +53,17 @@ int main() {
     const Money olb_cost = run(olb).total_cost(cp);
     std::printf("%-12.5f %14.0f %14.0f %+11.1f%%\n", latency, lmc_cost,
                 olb_cost, (1.0 - lmc_cost / olb_cost) * 100.0);
+    bench::BenchRow row("lmc_vs_olb");
+    row.param("stall_s", latency)
+        .set_cost(lmc_cost)
+        .counter("olb_cost", olb_cost);
+    reporter.add(std::move(row));
   }
   std::printf(
       "\nReading: per-core DVFS hardware transitions are tens of\n"
       "microseconds; LMC's advantage is intact there and only erodes once\n"
       "stalls reach the millisecond range — rate-churn is not a hidden\n"
       "cost of the paper's design at realistic latencies.\n");
+  reporter.write();
   return 0;
 }

@@ -15,7 +15,8 @@ using namespace dvfs;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_optimality_gap", argc, argv);
   std::mt19937_64 rng(20140901);
   std::uniform_int_distribution<Cycles> cyc(1, 100000);
 
@@ -78,5 +79,12 @@ int main() {
   const bool ok = worst_single < 1e-9 && worst_multi < 1e-9;
   std::printf("\noptimality: %s\n", ok ? "EXACT (Theorems 3-5 hold)"
                                        : "GAP FOUND (bug!)");
+  bench::BenchRow single_row("single_core_ltl");
+  single_row.counter("worst_gap", worst_single);
+  reporter.add(std::move(single_row));
+  bench::BenchRow multi_row("multi_core_wbg");
+  multi_row.counter("worst_gap", worst_multi);
+  reporter.add(std::move(multi_row));
+  reporter.write();
   return ok ? 0 : 1;
 }

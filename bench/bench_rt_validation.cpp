@@ -15,8 +15,9 @@
 #include "dvfs/rt/executor.h"
 #include "dvfs/workload/spec2006int.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_rt_validation", argc, argv);
   constexpr std::size_t kCores = 4;
   constexpr double kTimeScale = 1e-3;  // 3400 model-seconds -> ~3.4 s wall
 
@@ -72,5 +73,13 @@ int main() {
   std::printf("\nmodel tracks real execution within 10%% of the schedule: "
               "%s\n",
               ok ? "yes" : "NO (noisy machine?)");
+  bench::BenchRow row("wbg_on_threads");
+  row.set_wall_ns(measured.wall_makespan * 1e9)
+      .set_energy_j(measured.model_energy)
+      .counter("tasks_executed", static_cast<double>(measured.tasks.size()))
+      .counter("worst_task_drift", measured.worst_relative_drift())
+      .counter("worst_finish_drift", worst_schedule_drift);
+  reporter.add(std::move(row));
+  reporter.write();
   return 0;  // informational: noisy CI boxes should not fail the suite
 }

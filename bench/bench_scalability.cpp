@@ -24,7 +24,8 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_scalability", argc, argv);
   const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
   const core::CostParams cp{0.1, 0.4};
 
@@ -45,6 +46,12 @@ int main() {
       const core::PlanCost cost = core::evaluate_plan(plan, tables);
       std::printf("%10zu %8zu %14.2f %14.3f %16.1f\n", n, cores, ms,
                   ms * 1000.0 / static_cast<double>(n), cost.total());
+      bench::BenchRow row("wbg_plan");
+      row.param("cores", static_cast<std::uint64_t>(cores))
+          .param("tasks", static_cast<std::uint64_t>(n))
+          .set_wall_ns(ms * 1e6)
+          .set_cost(cost.total());
+      reporter.add(std::move(row));
     }
   }
 
@@ -72,9 +79,17 @@ int main() {
       all_equal = all_equal && equal;
       std::printf("%10zu %8zu %16.1f %16.1f %10s\n", n, cores, rr.total(),
                   wbg.total(), equal ? "yes" : "NO");
+      bench::BenchRow row("rr_vs_wbg");
+      row.param("cores", static_cast<std::uint64_t>(cores))
+          .param("tasks", static_cast<std::uint64_t>(n))
+          .set_cost(wbg.total())
+          .counter("rr_cost", rr.total())
+          .counter("equal", equal ? 1.0 : 0.0);
+      reporter.add(std::move(row));
     }
   }
   std::printf("\nTheorem 4/5 equivalence on homogeneous cores: %s\n",
               all_equal ? "HOLDS" : "VIOLATED");
+  reporter.write();
   return all_equal ? 0 : 1;
 }

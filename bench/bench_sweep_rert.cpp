@@ -21,7 +21,7 @@ namespace {
 using namespace dvfs;
 constexpr std::size_t kCores = 4;
 
-void batch_sweep() {
+void batch_sweep(bench::BenchReporter& reporter) {
   bench::print_header("A4a: batch WBG vs OLB vs PS across Re:Rt");
   std::printf("%-12s %12s %12s %12s %16s\n", "Re:Rt", "WBG/OLB", "WBG/PS",
               "WBG rates", "(cost ratios; <1 = WBG cheaper)");
@@ -70,10 +70,18 @@ void batch_sweep() {
     std::printf("%5.2f:%-6.2f %12.3f %12.3f   %s\n", re, rt,
                 wbg.total_cost(cp) / olb.total_cost(cp),
                 wbg.total_cost(cp) / ps.total_cost(cp), rates.c_str());
+    bench::BenchRow row("batch");
+    row.param("re", re)
+        .param("rt", rt)
+        .set_cost(wbg.total_cost(cp))
+        .set_energy_j(wbg.busy_energy)
+        .counter("wbg_over_olb", wbg.total_cost(cp) / olb.total_cost(cp))
+        .counter("wbg_over_ps", wbg.total_cost(cp) / ps.total_cost(cp));
+    reporter.add(std::move(row));
   }
 }
 
-void online_sweep() {
+void online_sweep(bench::BenchReporter& reporter) {
   bench::print_header("A4b: online LMC vs OLB vs OD across Re:Rt");
   std::printf("%-12s %12s %12s\n", "Re:Rt", "LMC/OLB", "LMC/OD");
   bench::print_rule(40);
@@ -107,13 +115,23 @@ void online_sweep() {
     std::printf("%5.2f:%-6.2f %12.3f %12.3f\n", re, rt,
                 lmc.total_cost(cp) / olb.total_cost(cp),
                 lmc.total_cost(cp) / od.total_cost(cp));
+    bench::BenchRow row("online");
+    row.param("re", re)
+        .param("rt", rt)
+        .set_cost(lmc.total_cost(cp))
+        .set_energy_j(lmc.busy_energy)
+        .counter("lmc_over_olb", lmc.total_cost(cp) / olb.total_cost(cp))
+        .counter("lmc_over_od", lmc.total_cost(cp) / od.total_cost(cp));
+    reporter.add(std::move(row));
   }
 }
 
 }  // namespace
 
-int main() {
-  batch_sweep();
-  online_sweep();
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_sweep_rert", argc, argv);
+  batch_sweep(reporter);
+  online_sweep(reporter);
+  reporter.write();
   return 0;
 }

@@ -30,7 +30,8 @@ std::size_t distinct_rates(const core::CorePlan& plan) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("bench_switch_cost", argc, argv);
   const core::CostTable table(core::EnergyModel::icpp2014_table2(),
                               core::CostParams{0.1, 0.4});
   const auto tasks = workload::spec_batch_tasks();
@@ -54,6 +55,11 @@ int main() {
                 aware_cost, oblivious_cost,
                 (oblivious_cost / aware_cost - 1.0) * 100.0,
                 distinct_rates(aware), distinct_rates(oblivious));
+    bench::BenchRow row("table1_tasks");
+    row.param("stall_s", latency)
+        .set_cost(aware_cost)
+        .counter("oblivious_cost", oblivious_cost);
+    reporter.add(std::move(row));
   }
   std::printf(
       "\nReading: Table I workloads run for minutes, so even absurd stalls\n"
@@ -89,7 +95,13 @@ int main() {
                   aware_cost, oblivious_cost,
                   (oblivious_cost / aware_cost - 1.0) * 100.0,
                   distinct_rates(aware), distinct_rates(small_oblivious));
+      bench::BenchRow row("small_tasks");
+      row.param("stall_s", latency)
+          .set_cost(aware_cost)
+          .counter("oblivious_cost", oblivious_cost);
+      reporter.add(std::move(row));
     }
   }
+  reporter.write();
   return 0;
 }

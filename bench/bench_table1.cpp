@@ -6,8 +6,9 @@
 #include "bench_util.h"
 #include "dvfs/workload/spec2006int.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_table1", argc, argv);
   bench::print_header(
       "Table I: Average Execution Times of the Workloads (seconds)");
   std::printf("%-12s %10s %12s %18s\n", "benchmark", "input", "seconds",
@@ -22,9 +23,19 @@ int main() {
                 static_cast<unsigned long long>(cycles));
     total_seconds += w.avg_seconds_at_1_6ghz;
     total_cycles += cycles;
+    bench::BenchRow row(std::string(w.benchmark));
+    row.param("input", to_string(w.input))
+        .counter("seconds_at_1_6ghz", w.avg_seconds_at_1_6ghz)
+        .counter("cycles", static_cast<double>(cycles));
+    reporter.add(std::move(row));
   }
   bench::print_rule(56);
   std::printf("%-12s %10s %12.3f %18llu\n", "total", "", total_seconds,
               static_cast<unsigned long long>(total_cycles));
+  bench::BenchRow total("total");
+  total.counter("seconds_at_1_6ghz", total_seconds)
+      .counter("cycles", static_cast<double>(total_cycles));
+  reporter.add(std::move(total));
+  reporter.write();
   return 0;
 }

@@ -7,8 +7,9 @@
 #include "bench_util.h"
 #include "dvfs/core/energy_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvfs;
+  bench::BenchReporter reporter("bench_table2", argc, argv);
   const core::EnergyModel m = core::EnergyModel::icpp2014_table2();
   bench::print_header("Table II: Parameters in Batch Mode (i7-950)");
   std::printf("%-12s", "p_k (GHz)");
@@ -42,6 +43,14 @@ int main() {
     const double cb = cubic.energy_per_cycle(i) * 1e9;
     std::printf("%-14.1f %10.3f %10.3f %9.1f%%\n", m.rates()[i], t2, cb,
                 (cb / t2 - 1.0) * 100.0);
+    bench::BenchRow row("rate");
+    row.param("p_ghz", m.rates()[i])
+        .counter("energy_nj_per_cycle", t2)
+        .counter("time_ns_per_cycle", m.time_per_cycle(i) * 1e9)
+        .counter("busy_power_w", m.busy_power(i))
+        .counter("cubic_energy_nj_per_cycle", cb);
+    reporter.add(std::move(row));
   }
+  reporter.write();
   return 0;
 }

@@ -7,12 +7,16 @@
 /// and baselines are reported relative to it.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/rate_set.h"
+#include "dvfs/obs/json.h"
 #include "dvfs/sim/metrics.h"
 
 namespace dvfs::bench {
@@ -91,5 +95,160 @@ inline void print_deltas(const PolicyOutcome& a, const PolicyOutcome& b) {
               "(positive = %s better)\n",
               a.name.c_str(), b.name.c_str(), de, dt, dc, a.name.c_str());
 }
+
+// --------------------------------------------------------------------------
+// Machine-readable reporting (schema "dvfs-bench-v1")
+//
+// Every bench binary routes its results through a BenchReporter alongside
+// the human-readable tables. Passing `--json <path>` (or `--json=<path>`)
+// writes:
+//
+//   {"schema": "dvfs-bench-v1", "suite": "<binary>", "rows": [
+//     {"name": ..., "params": {...}, "wall_ns": ..., "cost": ...,
+//      "energy_j": ..., "turnaround_s": ..., "counters": {...}}, ...]}
+//
+// Rows always carry every field (zero when not applicable) so downstream
+// tooling — tools/bench_compare.py in particular — never branches on
+// presence. Rows are matched across runs by (name, params).
+// --------------------------------------------------------------------------
+
+/// Wall-clock stopwatch for wall_ns measurements.
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  void reset() { t0_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// One measurement in a bench report. Fluent setters so call sites read
+/// as a single expression.
+struct BenchRow {
+  explicit BenchRow(std::string row_name) : name(std::move(row_name)) {}
+
+  BenchRow& param(const std::string& key, obs::Json value) {
+    params.insert_or_assign(key, std::move(value));
+    return *this;
+  }
+  BenchRow& set_wall_ns(double ns) {
+    wall_ns = ns;
+    return *this;
+  }
+  BenchRow& set_cost(double c) {
+    cost = c;
+    return *this;
+  }
+  BenchRow& set_energy_j(double e) {
+    energy_j = e;
+    return *this;
+  }
+  BenchRow& set_turnaround_s(double t) {
+    turnaround_s = t;
+    return *this;
+  }
+  BenchRow& counter(const std::string& key, double value) {
+    counters.insert_or_assign(key, obs::Json(value));
+    return *this;
+  }
+
+  std::string name;
+  obs::Json::Object params;
+  double wall_ns = 0.0;
+  double cost = 0.0;
+  double energy_j = 0.0;
+  double turnaround_s = 0.0;
+  obs::Json::Object counters;
+};
+
+class BenchReporter {
+ public:
+  /// Scans argv for `--json <path>` / `--json=<path>`; reporting is a
+  /// no-op without the flag, so benches stay zero-cost by default.
+  BenchReporter(std::string suite, int argc, const char* const* argv)
+      : suite_(std::move(suite)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (arg.starts_with("--json=")) {
+        path_ = std::string(arg.substr(7));
+      }
+    }
+  }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& suite() const { return suite_; }
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  void add(BenchRow row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience for the sim-comparison benches: one row per policy.
+  void add(const PolicyOutcome& outcome, obs::Json::Object params = {},
+           double wall_ns = 0.0) {
+    BenchRow row(outcome.name);
+    row.params = std::move(params);
+    row.set_wall_ns(wall_ns)
+        .set_cost(outcome.total_cost())
+        .set_energy_j(outcome.energy)
+        .set_turnaround_s(outcome.turnaround);
+    add(std::move(row));
+  }
+
+  [[nodiscard]] obs::Json to_json() const {
+    obs::Json::Array rows;
+    rows.reserve(rows_.size());
+    for (const BenchRow& r : rows_) {
+      obs::Json::Object row;
+      row.emplace("name", obs::Json(r.name));
+      row.emplace("params", obs::Json(r.params));
+      row.emplace("wall_ns", obs::Json(r.wall_ns));
+      row.emplace("cost", obs::Json(r.cost));
+      row.emplace("energy_j", obs::Json(r.energy_j));
+      row.emplace("turnaround_s", obs::Json(r.turnaround_s));
+      row.emplace("counters", obs::Json(r.counters));
+      rows.emplace_back(std::move(row));
+    }
+    obs::Json::Object root;
+    root.emplace("schema", obs::Json("dvfs-bench-v1"));
+    root.emplace("suite", obs::Json(suite_));
+    root.emplace("rows", obs::Json(std::move(rows)));
+    return obs::Json(std::move(root));
+  }
+
+  /// Writes the report if `--json` was given. Idempotent; the destructor
+  /// calls it as a safety net so early-returning benches still report.
+  void write() {
+    written_ = true;
+    if (path_.empty()) return;
+    obs::write_json_file(path_, to_json());
+    std::printf("bench report (%zu rows) -> %s\n", rows_.size(),
+                path_.c_str());
+  }
+
+  ~BenchReporter() {
+    if (written_) return;
+    try {
+      write();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // A destructor must not throw; the bench already printed its
+      // human-readable output, so losing the JSON copy is survivable.
+    }
+  }
+
+ private:
+  std::string suite_;
+  std::string path_;
+  std::vector<BenchRow> rows_;
+  bool written_ = false;
+};
 
 }  // namespace dvfs::bench

@@ -1,0 +1,141 @@
+/// \file json.h
+/// \brief Minimal JSON value, writer and parser for the observability
+///        layer.
+///
+/// Every machine-readable artifact this repo emits — metric snapshots,
+/// Chrome trace_event files, bench reports — goes through this one value
+/// type, so the schema lives in code rather than in hand-formatted printf
+/// strings. The parser exists so tests can load what the writers emitted
+/// and assert on structure (round-trip validation), without an external
+/// dependency. Objects keep their keys sorted (std::map), which makes the
+/// emitted text deterministic and diffable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "dvfs/common.h"
+
+namespace dvfs::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  Json(double d) : v_(d) {}              // NOLINT(google-explicit-constructor)
+  Json(int i)                            // NOLINT(google-explicit-constructor)
+      : v_(static_cast<double>(i)) {}
+  Json(std::int64_t i)                   // NOLINT(google-explicit-constructor)
+      : v_(static_cast<double>(i)) {}
+  Json(std::uint64_t u)                  // NOLINT(google-explicit-constructor)
+      : v_(static_cast<double>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}  // NOLINT
+  Json(std::string s) : v_(std::move(s)) {}    // NOLINT
+  Json(Array a) : v_(std::move(a)) {}          // NOLINT
+  Json(Object o) : v_(std::move(o)) {}         // NOLINT
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const {
+    DVFS_REQUIRE(is_bool(), "JSON value is not a bool");
+    return std::get<bool>(v_);
+  }
+  [[nodiscard]] double as_double() const {
+    DVFS_REQUIRE(is_number(), "JSON value is not a number");
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    DVFS_REQUIRE(is_string(), "JSON value is not a string");
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] Array& as_array() {
+    DVFS_REQUIRE(is_array(), "JSON value is not an array");
+    return std::get<Array>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const {
+    DVFS_REQUIRE(is_array(), "JSON value is not an array");
+    return std::get<Array>(v_);
+  }
+  [[nodiscard]] Object& as_object() {
+    DVFS_REQUIRE(is_object(), "JSON value is not an object");
+    return std::get<Object>(v_);
+  }
+  [[nodiscard]] const Object& as_object() const {
+    DVFS_REQUIRE(is_object(), "JSON value is not an object");
+    return std::get<Object>(v_);
+  }
+
+  /// Object member access; inserts null for a missing key (object only).
+  Json& operator[](const std::string& key) { return as_object()[key]; }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return is_object() && as_object().contains(key);
+  }
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    const auto& o = as_object();
+    const auto it = o.find(key);
+    DVFS_REQUIRE(it != o.end(), "missing JSON key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] const Json& at(std::size_t index) const {
+    const auto& a = as_array();
+    DVFS_REQUIRE(index < a.size(), "JSON array index out of range");
+    return a[index];
+  }
+  [[nodiscard]] std::size_t size() const {
+    if (is_array()) return as_array().size();
+    if (is_object()) return as_object().size();
+    DVFS_REQUIRE(false, "JSON value has no size");
+    return 0;  // unreachable
+  }
+
+  void push_back(Json v) { as_array().push_back(std::move(v)); }
+
+  /// Serializes; `indent < 0` gives compact one-line output, otherwise a
+  /// pretty-printed form with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws PreconditionError on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Writes `value` (plus a trailing newline) to `path`, failing loudly.
+void write_json_file(const std::string& path, const Json& value,
+                     int indent = 1);
+
+/// Reads and parses a JSON file.
+Json read_json_file(const std::string& path);
+
+}  // namespace dvfs::obs

@@ -1,0 +1,162 @@
+/// \file metrics.h
+/// \brief Lock-cheap metrics: counters, gauges, and log-bucketed
+///        histograms behind a process-wide registry.
+///
+/// Design rules, in order of importance:
+///
+///  1. The hot path is one relaxed atomic RMW. Instrumented code (the sim
+///     engine's event loop, a governor's placement decision) resolves its
+///     metric once — typically at construction — and then calls
+///     `add()`/`observe()` on the returned reference, which never takes a
+///     lock and never allocates.
+///  2. Registration is the only synchronized operation. `counter(name)`
+///     et al. take a mutex, get-or-create the entry, and hand back a
+///     reference that stays valid for the registry's lifetime (node-based
+///     storage; entries are never removed).
+///  3. Snapshots are approximate by construction: a concurrent writer may
+///     land an increment between two reads. That is the correct trade for
+///     instrumentation — the alternative (stopping the world) would make
+///     the metrics change what they measure.
+///
+/// Histograms use fixed log2 buckets: bucket 0 holds the value 0 and
+/// bucket i >= 1 holds [2^(i-1), 2^i). Exact enough for latency
+/// distributions spanning nanoseconds to seconds, and `observe()` stays a
+/// bit-scan plus three relaxed adds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dvfs/common.h"
+#include "dvfs/obs/json.h"
+
+namespace dvfs::obs {
+
+/// Monotonic event count. Thread-safe; increments are relaxed atomics.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value (queue depth, configured core count).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log2-bucket histogram of non-negative integer samples.
+class Histogram {
+ public:
+  /// Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  /// 64-bit values need bit_width up to 64, hence 65 buckets.
+  static constexpr std::size_t kNumBuckets = 65;
+
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Inclusive lower bound of bucket `i`.
+  static constexpr std::uint64_t bucket_lower(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    DVFS_REQUIRE(i < kNumBuckets, "bucket index out of range");
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+  /// Zero when empty.
+  [[nodiscard]] std::uint64_t percentile_upper_bound(double p) const;
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide named metrics. One global instance serves the whole
+/// program (`Registry::global()`); tests may build private registries.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime. A name registered as one metric kind cannot be reused as
+  /// another.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Dump of every metric:
+  ///   {"counters": {name: n}, "gauges": {name: x},
+  ///    "histograms": {name: {count, sum, mean, p50, p99,
+  ///                          buckets: [[lower, n], ...nonzero only]}}}
+  [[nodiscard]] Json to_json() const;
+
+  /// Zeroes every metric (registration survives). Tests and bench
+  /// binaries use this to scope counts to one run.
+  void reset_all();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map nodes are address-stable across later insertions.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dvfs::obs

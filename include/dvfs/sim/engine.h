@@ -27,9 +27,14 @@
 #include "dvfs/core/energy_model.h"
 #include "dvfs/core/task.h"
 #include "dvfs/ds/indexed_heap.h"
+#include "dvfs/obs/metrics.h"
 #include "dvfs/sim/contention.h"
 #include "dvfs/sim/metrics.h"
 #include "dvfs/workload/trace.h"
+
+namespace dvfs::obs {
+class TraceWriter;
+}  // namespace dvfs::obs
 
 namespace dvfs::sim {
 
@@ -109,6 +114,15 @@ class Engine {
   /// Record of a task seen so far this run (by id).
   [[nodiscard]] const TaskRecord& record(core::TaskId task) const;
 
+  // ---------------------------------------------------------- observability
+  /// Attaches a Chrome-trace writer for subsequent runs; nullptr detaches
+  /// (tracing is togglable at runtime). The engine does not own the
+  /// writer, which must outlive any run it observes. Each run appends
+  /// task spans (per-core tracks), frequency-change instants, governor
+  /// decision instants, and a busy-core counter series.
+  void set_trace_writer(obs::TraceWriter* writer) { trace_ = writer; }
+  [[nodiscard]] obs::TraceWriter* trace_writer() const { return trace_; }
+
   // ---------------------------------------------------------------- running
   /// Simulates `trace` to completion under `policy` and returns the
   /// metrics. The engine is reusable: each run starts from idle cores.
@@ -125,11 +139,30 @@ class Engine {
     ds::IndexedHeap<std::size_t>::Handle completion_event =
         ds::IndexedHeap<std::size_t>::kNullHandle;
     Seconds busy_seconds = 0.0;
+    Seconds span_start = 0.0;  // when the current execution span began
   };
   static constexpr std::size_t kNoRate = static_cast<std::size_t>(-1);
 
-  /// Charges the transition stall when a core's frequency changes.
-  void charge_transition(CoreState& c, std::size_t new_rate);
+  /// Engine-wide metrics, resolved once from the global registry so hot
+  /// paths touch only relaxed atomics (no name lookup, no lock).
+  struct Stats {
+    Stats();
+    obs::Counter& arrivals;
+    obs::Counter& completions;
+    obs::Counter& timers;
+    obs::Counter& starts;
+    obs::Counter& preemptions;
+    obs::Counter& freq_transitions;
+    obs::Histogram& queue_depth;
+    obs::Histogram& decision_ns;
+  };
+
+  /// Charges the transition stall (and counts/traces the frequency
+  /// change) when `core`'s frequency differs from its last one.
+  void charge_transition(std::size_t core, std::size_t new_rate);
+
+  /// Closes the trace span for `core`'s current task ending at now().
+  void emit_task_span(std::size_t core, bool preempted);
 
   enum class EventKind : std::uint8_t { kArrival, kCompletion, kTimer };
   struct Event {
@@ -162,6 +195,9 @@ class Engine {
   SimResult result_;
   std::unordered_map<core::TaskId, std::size_t> record_of_;
   bool running_ = false;
+
+  Stats stats_;
+  obs::TraceWriter* trace_ = nullptr;
 };
 
 }  // namespace dvfs::sim

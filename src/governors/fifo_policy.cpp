@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "dvfs/obs/metrics.h"
+
 namespace dvfs::governors {
+
+namespace {
+struct FifoStats {
+  obs::Counter& dispatches =
+      obs::Registry::global().counter("governor.fifo.dispatches");
+  obs::Counter& governor_samples =
+      obs::Registry::global().counter("governor.fifo.governor_samples");
+};
+FifoStats& fifo_stats() {
+  static FifoStats s;
+  return s;
+}
+}  // namespace
 
 void FifoPolicy::attach(sim::Engine& engine) {
   per_core_.assign(engine.num_cores(), CoreQueues{});
@@ -65,14 +80,17 @@ void FifoPolicy::start_next(sim::Engine& engine, std::size_t core) {
   if (!q.interactive.empty()) {
     const Queued next = q.interactive.front();
     q.interactive.pop_front();
+    fifo_stats().dispatches.inc();
     engine.start(core, next.id, next.remaining_cycles, start_rate(core));
   } else if (!q.preempted.empty()) {
     const Queued next = q.preempted.back();
     q.preempted.pop_back();
+    fifo_stats().dispatches.inc();
     engine.start(core, next.id, next.remaining_cycles, start_rate(core));
   } else if (!q.non_interactive.empty()) {
     const Queued next = q.non_interactive.front();
     q.non_interactive.pop_front();
+    fifo_stats().dispatches.inc();
     engine.start(core, next.id, next.remaining_cycles, start_rate(core));
   }
 }
@@ -95,12 +113,14 @@ void FifoPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
       const sim::Engine::Preempted p = engine.preempt(core);
       q.preempted.push_back(Queued{p.task, p.remaining_cycles});
     }
+    fifo_stats().dispatches.inc();
     engine.start(core, task.id, entry.remaining_cycles, start_rate(core));
     return;
   }
   if (engine.busy(core)) {
     q.non_interactive.push_back(entry);
   } else {
+    fifo_stats().dispatches.inc();
     engine.start(core, task.id, entry.remaining_cycles, start_rate(core));
   }
 }
@@ -118,6 +138,7 @@ void FifoPolicy::on_timer(sim::Engine& engine) {
   // governor rule: ondemand (Section V-A3) jumps to the cap above the
   // threshold and steps down below it; conservative steps one level in
   // either direction with a hysteresis band.
+  fifo_stats().governor_samples.add(per_core_.size());
   for (std::size_t j = 0; j < per_core_.size(); ++j) {
     CoreQueues& q = per_core_[j];
     const Seconds busy_now = engine.cumulative_busy_seconds(j);

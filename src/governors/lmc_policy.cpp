@@ -1,6 +1,24 @@
 #include "dvfs/governors/lmc_policy.h"
 
+#include "dvfs/obs/metrics.h"
+
 namespace dvfs::governors {
+
+namespace {
+// Resolved once; hot-path updates are relaxed atomic increments.
+struct LmcStats {
+  obs::Counter& placements =
+      obs::Registry::global().counter("governor.lmc.placements");
+  obs::Counter& marginal_evals =
+      obs::Registry::global().counter("governor.lmc.marginal_evals");
+  obs::Counter& interactive_evals =
+      obs::Registry::global().counter("governor.lmc.interactive_evals");
+};
+LmcStats& lmc_stats() {
+  static LmcStats s;
+  return s;
+}
+}  // namespace
 
 LmcPolicy::LmcPolicy(std::vector<core::CostTable> tables)
     : LmcPolicy(std::move(tables),
@@ -76,6 +94,8 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
       extra[j] =
           per_core_[j].pending_interactive.size() + per_core_[j].preempted.size();
     }
+    // Eq. 27 evaluates the interactive-cost expression on every core.
+    lmc_stats().interactive_evals.add(per_core_.size());
     const std::size_t core = lmc_.choose_interactive_core(estimate, extra);
     CoreState& st = per_core_[core];
     const std::size_t pm =
@@ -112,6 +132,9 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
         t.model().time_per_cycle(engine.current_rate(j));
     offsets[j] = t.params().rt * remaining;
   }
+  // One marginal-cost probe per core, then one placement.
+  lmc_stats().marginal_evals.add(per_core_.size());
+  lmc_stats().placements.inc();
   const auto placement =
       lmc_.place_non_interactive(estimate, task.id, offsets);
   if (!engine.busy(placement.core)) {

@@ -1,5 +1,7 @@
 #include "dvfs/governors/planned_policy.h"
 
+#include "dvfs/obs/metrics.h"
+
 namespace dvfs::governors {
 
 PlannedBatchPolicy::PlannedBatchPolicy(core::Plan plan)
@@ -33,6 +35,9 @@ void PlannedBatchPolicy::try_start(sim::Engine& engine, std::size_t core) {
   const auto it = arrived_.find(st.task_id);
   if (it == arrived_.end() || !it->second) return;  // not arrived yet
   next_index_[core] = idx + 1;
+  static obs::Counter& dispatches =
+      obs::Registry::global().counter("governor.planned.dispatches");
+  dispatches.inc();
   engine.start(core, st.task_id, static_cast<double>(st.cycles), st.rate_idx);
 }
 

@@ -2,7 +2,22 @@
 
 #include <limits>
 
+#include "dvfs/obs/metrics.h"
+
 namespace dvfs::governors {
+
+namespace {
+struct WbgStats {
+  obs::Counter& replans =
+      obs::Registry::global().counter("governor.wbg.replans");
+  obs::Counter& migrations =
+      obs::Registry::global().counter("governor.wbg.migrations");
+};
+WbgStats& wbg_stats() {
+  static WbgStats s;
+  return s;
+}
+}  // namespace
 
 WbgRebalancePolicy::WbgRebalancePolicy(std::vector<core::CostTable> tables,
                                        Cycles migration_penalty_cycles)
@@ -36,6 +51,7 @@ void WbgRebalancePolicy::replan(const std::vector<core::Task>& extra) {
   }
   const core::Plan plan = core::workload_based_greedy(tasks, tables_);
   ++replans_;
+  wbg_stats().replans.inc();
 
   for (std::size_t j = 0; j < per_core_.size(); ++j) {
     per_core_[j].plan.assign(plan.cores[j].sequence.begin(),
@@ -48,6 +64,7 @@ void WbgRebalancePolicy::replan(const std::vector<core::Task>& extra) {
       } else if (it->second.home != j) {
         // Migration: charge the penalty to the moved task's future run.
         ++migrations_;
+        wbg_stats().migrations.inc();
         it->second.home = j;
         it->second.cycles += penalty_;
       }

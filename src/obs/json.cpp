@@ -1,0 +1,323 @@
+#include "dvfs/obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dvfs::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double d) {
+  DVFS_REQUIRE(std::isfinite(d), "JSON cannot represent NaN or infinity");
+  // Integral values within the exactly-representable range print without
+  // an exponent or decimal point, keeping counters readable.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  DVFS_REQUIRE(ec == std::errc{}, "number formatting failed");
+  out.append(buf, ptr);
+}
+
+void dump_impl(const Json& v, std::string& out, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    append_number(out, v.as_double());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const auto& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      newline(depth + 1);
+      dump_impl(a[i], out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back(']');
+  } else {
+    const auto& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : o) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline(depth + 1);
+      append_escaped(out, key);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      dump_impl(value, out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back('}');
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = value(0);
+    skip_ws();
+    DVFS_REQUIRE(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    DVFS_REQUIRE(false,
+                 "JSON parse error at offset " + std::to_string(pos_) + ": " +
+                     what);
+    std::abort();  // unreachable; DVFS_REQUIRE(false, ...) always throws
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void expect_word(std::string_view word) {
+    for (const char c : word) expect(c);
+  }
+
+  Json value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return Json(string());
+      case 't': expect_word("true"); return Json(true);
+      case 'f': expect_word("false"); return Json(false);
+      case 'n': expect_word("null"); return Json(nullptr);
+      default: return number();
+    }
+  }
+
+  Json object(int depth) {
+    expect('{');
+    Json::Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o.insert_or_assign(std::move(key), value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Json(std::move(o));
+  }
+
+  Json array(int depth) {
+    expect('[');
+    Json::Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(a));
+    }
+    while (true) {
+      a.push_back(value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(a));
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_codepoint(out, parse_unit()); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_unit() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return cp;
+  }
+
+  void append_codepoint(std::string& out, unsigned cp) {
+    // Combine surrogate pairs (trace names never need them, but a parser
+    // that corrupts them would be worse than none).
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      expect('\\');
+      expect('u');
+      const unsigned lo = parse_unit();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double d = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc{} || ptr != last) fail("malformed number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(*this, out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+void write_json_file(const std::string& path, const Json& value, int indent) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DVFS_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << value.dump(indent) << '\n';
+  out.flush();
+  DVFS_REQUIRE(out.good(), "write failed: " + path);
+}
+
+Json read_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DVFS_REQUIRE(in.good(), "cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+}  // namespace dvfs::obs

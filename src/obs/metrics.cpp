@@ -1,0 +1,95 @@
+#include "dvfs/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvfs::obs {
+
+std::uint64_t Histogram::percentile_upper_bound(double p) const {
+  DVFS_REQUIRE(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  // Nearest-rank: the smallest sample with at least ceil(p*n) samples at
+  // or below it, so p99 of a small set still lands in the tail bucket.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= target) {
+      return i + 1 < kNumBuckets ? bucket_lower(i + 1) - 1
+                                 : ~std::uint64_t{0};
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  DVFS_REQUIRE(!gauges_.contains(name) && !histograms_.contains(name),
+               "metric name already used by another kind: " + name);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  DVFS_REQUIRE(!counters_.contains(name) && !histograms_.contains(name),
+               "metric name already used by another kind: " + name);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  DVFS_REQUIRE(!counters_.contains(name) && !gauges_.contains(name),
+               "metric name already used by another kind: " + name);
+  return histograms_[name];
+}
+
+Json Registry::to_json() const {
+  const std::scoped_lock lock(mu_);
+  Json::Object counters;
+  for (const auto& [name, c] : counters_) {
+    counters.emplace(name, Json(c.value()));
+  }
+  Json::Object gauges;
+  for (const auto& [name, g] : gauges_) {
+    gauges.emplace(name, Json(g.value()));
+  }
+  Json::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    Json::Object entry;
+    entry.emplace("count", Json(h.count()));
+    entry.emplace("sum", Json(h.sum()));
+    entry.emplace("mean", Json(h.mean()));
+    entry.emplace("p50", Json(h.percentile_upper_bound(0.5)));
+    entry.emplace("p99", Json(h.percentile_upper_bound(0.99)));
+    Json::Array buckets;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t n = h.bucket(i);
+      if (n == 0) continue;
+      buckets.push_back(Json(Json::Array{Json(Histogram::bucket_lower(i)),
+                                         Json(n)}));
+    }
+    entry.emplace("buckets", Json(std::move(buckets)));
+    histograms.emplace(name, Json(std::move(entry)));
+  }
+  Json::Object root;
+  root.emplace("counters", Json(std::move(counters)));
+  root.emplace("gauges", Json(std::move(gauges)));
+  root.emplace("histograms", Json(std::move(histograms)));
+  return Json(std::move(root));
+}
+
+void Registry::reset_all() {
+  const std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace dvfs::obs

@@ -1,0 +1,73 @@
+#include "dvfs/obs/trace.h"
+
+namespace dvfs::obs {
+
+void TraceWriter::complete(std::int64_t tid, std::string name, double ts_us,
+                           double dur_us, Json::Object args) {
+  DVFS_REQUIRE(dur_us >= 0.0, "span duration cannot be negative");
+  events_.push_back(Event{.ph = 'X',
+                          .tid = tid,
+                          .ts = ts_us,
+                          .dur = dur_us,
+                          .name = std::move(name),
+                          .args = std::move(args)});
+}
+
+void TraceWriter::instant(std::int64_t tid, std::string name, double ts_us,
+                          Json::Object args) {
+  events_.push_back(Event{.ph = 'i',
+                          .tid = tid,
+                          .ts = ts_us,
+                          .dur = 0.0,
+                          .name = std::move(name),
+                          .args = std::move(args)});
+}
+
+void TraceWriter::counter(std::string name, double ts_us, double value) {
+  Json::Object args;
+  args.emplace("value", Json(value));
+  events_.push_back(Event{.ph = 'C',
+                          .tid = 0,
+                          .ts = ts_us,
+                          .dur = 0.0,
+                          .name = std::move(name),
+                          .args = std::move(args)});
+}
+
+void TraceWriter::thread_name(std::int64_t tid, std::string name) {
+  Json::Object args;
+  args.emplace("name", Json(std::move(name)));
+  events_.push_back(Event{.ph = 'M',
+                          .tid = tid,
+                          .ts = 0.0,
+                          .dur = 0.0,
+                          .name = "thread_name",
+                          .args = std::move(args)});
+}
+
+Json TraceWriter::to_json() const {
+  Json::Array out;
+  out.reserve(events_.size());
+  for (const Event& e : events_) {
+    Json::Object ev;
+    ev.emplace("ph", Json(std::string(1, e.ph)));
+    ev.emplace("pid", Json(kPid));
+    ev.emplace("tid", Json(e.tid));
+    ev.emplace("ts", Json(e.ts));
+    ev.emplace("name", Json(e.name));
+    if (e.ph == 'X') ev.emplace("dur", Json(e.dur));
+    if (e.ph == 'i') ev.emplace("s", Json("t"));  // instant scope: thread
+    if (!e.args.empty()) ev.emplace("args", Json(e.args));
+    out.emplace_back(std::move(ev));
+  }
+  Json::Object root;
+  root.emplace("traceEvents", Json(std::move(out)));
+  root.emplace("displayTimeUnit", Json("ms"));
+  return Json(std::move(root));
+}
+
+void TraceWriter::write_file(const std::string& path) const {
+  write_json_file(path, to_json(), /*indent=*/-1);
+}
+
+}  // namespace dvfs::obs

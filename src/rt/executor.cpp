@@ -11,6 +11,8 @@
 #include <sched.h>
 #endif
 
+#include "dvfs/obs/metrics.h"
+
 namespace dvfs::rt {
 namespace {
 
@@ -113,12 +115,20 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
   const auto t0 = Clock::now();
   const double ips = calibrator_.iterations_per_second();
 
+  // Resolved before the workers spawn so the threads themselves only do
+  // relaxed atomic updates (safe under TSan, no registry lock contention).
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& tasks_executed = reg.counter("rt.tasks_executed");
+  obs::Counter& rate_switches = reg.counter("rt.rate_switches");
+  obs::Histogram& task_wall_ns = reg.histogram("rt.task_wall_ns");
+
   std::vector<std::thread> workers;
   workers.reserve(plan.cores.size());
   for (std::size_t j = 0; j < plan.cores.size(); ++j) {
     workers.emplace_back([&, j] {
       if (config_.pin_threads) try_pin_to_cpu(j);
       std::uint64_t sink = 0;
+      std::size_t last_rate = static_cast<std::size_t>(-1);
       for (const core::ScheduledTask& st : plan.cores[j].sequence) {
         RtTaskRecord rec;
         rec.id = st.task_id;
@@ -127,9 +137,17 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
         rec.planned_seconds =
             model_.task_time(st.cycles, st.rate_idx) * config_.time_scale;
         rec.model_energy = model_.task_energy(st.cycles, st.rate_idx);
+        if (last_rate != static_cast<std::size_t>(-1) &&
+            last_rate != st.rate_idx) {
+          rate_switches.inc();
+        }
+        last_rate = st.rate_idx;
         rec.start = seconds_since(t0);
         sink += SpinCalibrator::spin_for(rec.planned_seconds, ips);
         rec.finish = seconds_since(t0);
+        tasks_executed.inc();
+        task_wall_ns.observe(
+            static_cast<std::uint64_t>((rec.finish - rec.start) * 1e9));
         {
           const std::scoped_lock lock(result_mutex);
           result.tasks.push_back(rec);

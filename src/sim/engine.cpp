@@ -1,9 +1,12 @@
 #include "dvfs/sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "dvfs/obs/trace.h"
 #include "dvfs/sim/metrics.h"
 
 namespace dvfs::sim {
@@ -13,7 +16,22 @@ namespace {
 // progress integration can leave ulp-scale residue at the completion
 // event's exact timestamp).
 constexpr double kCompletionEpsilonCycles = 0.5;
+
+// Chrome trace_event timestamps are microseconds; one trace second maps
+// to one simulated second.
+constexpr double kUsPerSimSecond = 1e6;
 }  // namespace
+
+Engine::Stats::Stats()
+    : arrivals(obs::Registry::global().counter("sim.events.arrival")),
+      completions(obs::Registry::global().counter("sim.events.completion")),
+      timers(obs::Registry::global().counter("sim.events.timer")),
+      starts(obs::Registry::global().counter("sim.tasks.started")),
+      preemptions(obs::Registry::global().counter("sim.tasks.preempted")),
+      freq_transitions(obs::Registry::global().counter("sim.freq_transitions")),
+      queue_depth(obs::Registry::global().histogram("sim.event_queue_depth")),
+      decision_ns(
+          obs::Registry::global().histogram("sim.governor.decision_ns")) {}
 
 Seconds SimResult::busy_seconds(std::size_t core) const {
   DVFS_REQUIRE(core < rate_residency.size(), "core index out of range");
@@ -116,12 +134,34 @@ Engine::Engine(std::vector<core::EnergyModel> models,
   cores_.resize(models_.size());
 }
 
-void Engine::charge_transition(CoreState& c, std::size_t new_rate) {
-  if (transition_latency_ > 0.0 && c.last_rate != kNoRate &&
-      c.last_rate != new_rate) {
-    c.stall_remaining += transition_latency_;
+void Engine::charge_transition(std::size_t core, std::size_t new_rate) {
+  CoreState& c = cores_[core];
+  if (c.last_rate != kNoRate && c.last_rate != new_rate) {
+    stats_.freq_transitions.inc();
+    if (trace_ != nullptr) {
+      trace_->instant(
+          static_cast<std::int64_t>(core), "freq_change",
+          now_ * kUsPerSimSecond,
+          {{"rate_idx", obs::Json(static_cast<std::uint64_t>(new_rate))},
+           {"ghz", obs::Json(models_[core].rates()[new_rate])}});
+    }
+    if (transition_latency_ > 0.0) c.stall_remaining += transition_latency_;
   }
   c.last_rate = new_rate;
+}
+
+void Engine::emit_task_span(std::size_t core, bool preempted) {
+  if (trace_ == nullptr) return;
+  const CoreState& c = cores_[core];
+  const TaskRecord& rec = result_.tasks[c.record_idx];
+  obs::Json::Object args{
+      {"task", obs::Json(rec.id)},
+      {"rate_idx", obs::Json(static_cast<std::uint64_t>(c.rate_idx))}};
+  if (preempted) args.emplace("preempted", obs::Json(true));
+  trace_->complete(static_cast<std::int64_t>(core),
+                   "task " + std::to_string(rec.id),
+                   c.span_start * kUsPerSimSecond,
+                   (now_ - c.span_start) * kUsPerSimSecond, std::move(args));
 }
 
 void Engine::check_core(std::size_t core) const {
@@ -235,7 +275,9 @@ void Engine::start(std::size_t core, core::TaskId task,
   c.record_idx = idx;
   c.remaining = remaining_cycles;
   c.rate_idx = rate_idx;
-  charge_transition(c, rate_idx);
+  c.span_start = now_;
+  stats_.starts.inc();
+  charge_transition(core, rate_idx);
   ++busy_count_;
   reschedule_completions();
 }
@@ -247,6 +289,8 @@ Engine::Preempted Engine::preempt(std::size_t core) {
   DVFS_REQUIRE(c.busy, "core is idle");
   TaskRecord& rec = result_.tasks[c.record_idx];
   rec.preemptions += 1;
+  stats_.preemptions.inc();
+  emit_task_span(core, /*preempted=*/true);
   // A preemption racing the task's own completion instant can observe a
   // ~zero remainder; keep it strictly positive (start() requires work to
   // do) but negligible, so cycle conservation holds to float precision.
@@ -270,7 +314,7 @@ void Engine::set_rate(std::size_t core, std::size_t rate_idx) {
   DVFS_REQUIRE(rate_idx < models_[core].num_rates(), "rate index out of range");
   if (c.rate_idx == rate_idx) return;
   c.rate_idx = rate_idx;
-  charge_transition(c, rate_idx);
+  charge_transition(core, rate_idx);
   reschedule_completions();
 }
 
@@ -300,11 +344,38 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
     events_.push(tick, Event{EventKind::kTimer, 0});
   }
 
+  // The governor gets its own trace track after the per-core ones.
+  const auto gov_tid = static_cast<std::int64_t>(num_cores());
+  if (trace_ != nullptr) {
+    for (std::size_t j = 0; j < num_cores(); ++j) {
+      trace_->thread_name(static_cast<std::int64_t>(j),
+                          "core " + std::to_string(j));
+    }
+    trace_->thread_name(gov_tid, "governor");
+  }
+  // Wraps a policy callback: the wall-clock spent inside it is the
+  // governor's decision latency (simulated time stands still meanwhile).
+  const auto timed_call = [&](const char* what, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    stats_.decision_ns.observe(static_cast<std::uint64_t>(wall_ns));
+    if (trace_ != nullptr) {
+      trace_->instant(gov_tid, what, now_ * kUsPerSimSecond,
+                      {{"wall_ns", obs::Json(wall_ns)}});
+      trace_->counter("busy_cores", now_ * kUsPerSimSecond,
+                      static_cast<double>(busy_count_));
+    }
+  };
+
   policy.attach(*this);
 
   while (!events_.empty()) {
     const Seconds t = events_.top_key();
     const Event ev = events_.pop();
+    stats_.queue_depth.observe(static_cast<std::uint64_t>(events_.size()) + 1);
     sync_to(t);
 
     switch (ev.kind) {
@@ -319,7 +390,8 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
                                            .arrival = task.arrival,
                                            .deadline = task.deadline});
         --arrivals_pending;
-        policy.on_arrival(*this, task);
+        stats_.arrivals.inc();
+        timed_call("on_arrival", [&] { policy.on_arrival(*this, task); });
         break;
       }
       case EventKind::kCompletion: {
@@ -329,17 +401,21 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
         DVFS_REQUIRE(c.remaining <= kCompletionEpsilonCycles,
                      "completion event fired early");
         c.remaining = 0.0;
+        stats_.completions.inc();
+        emit_task_span(core, /*preempted=*/false);
         c.busy = false;
         --busy_count_;
         c.completion_event = ds::IndexedHeap<std::size_t>::kNullHandle;
         TaskRecord& rec = result_.tasks[c.record_idx];
         rec.finish = now_;
         reschedule_completions();
-        policy.on_complete(*this, core, rec.id);
+        timed_call("on_complete",
+                   [&] { policy.on_complete(*this, core, rec.id); });
         break;
       }
       case EventKind::kTimer: {
-        policy.on_timer(*this);
+        stats_.timers.inc();
+        timed_call("on_timer", [&] { policy.on_timer(*this); });
         const bool work_left =
             arrivals_pending > 0 || busy_count_ > 0 || !policy.idle();
         if (work_left) {

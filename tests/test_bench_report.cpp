@@ -1,0 +1,138 @@
+/// Schema tests for the machine-readable bench reports: every bench
+/// binary emits `dvfs-bench-v1` documents through BenchReporter, and the
+/// CI regression gate (tools/bench_compare.py) parses them. These tests
+/// pin the contract from the C++ side.
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "dvfs/obs/json.h"
+
+namespace dvfs::bench {
+namespace {
+
+using obs::Json;
+
+TEST(BenchReport, DisabledWithoutJsonFlag) {
+  std::array<const char*, 2> argv{"bench_x", "--other"};
+  BenchReporter reporter("bench_x", static_cast<int>(argv.size()),
+                         const_cast<char**>(argv.data()));
+  EXPECT_FALSE(reporter.enabled());
+  BenchRow row("r");
+  reporter.add(std::move(row));
+  EXPECT_EQ(reporter.num_rows(), 1u);
+  reporter.write();  // no-op, must not throw or create files
+}
+
+TEST(BenchReport, SeparateArgumentForm) {
+  const std::string path = testing::TempDir() + "/bench_report_sep.json";
+  std::array<const char*, 3> argv{"bench_x", "--json", path.c_str()};
+  BenchReporter reporter("bench_x", static_cast<int>(argv.size()),
+                         const_cast<char**>(argv.data()));
+  EXPECT_TRUE(reporter.enabled());
+  reporter.write();
+  const Json doc = obs::read_json_file(path);
+  EXPECT_EQ(doc.at("schema").as_string(), "dvfs-bench-v1");
+  EXPECT_EQ(doc.at("suite").as_string(), "bench_x");
+  EXPECT_EQ(doc.at("rows").size(), 0u);
+}
+
+TEST(BenchReport, EqualsArgumentFormAndFullRowSchema) {
+  const std::string path = testing::TempDir() + "/bench_report_eq.json";
+  const std::string flag = "--json=" + path;
+  std::array<const char*, 2> argv{"bench_x", flag.c_str()};
+  BenchReporter reporter("bench_x", static_cast<int>(argv.size()),
+                         const_cast<char**>(argv.data()));
+  ASSERT_TRUE(reporter.enabled());
+
+  BenchRow full("full");
+  full.param("cores", std::uint64_t{4})
+      .param("mode", "online")
+      .set_wall_ns(1.5e9)
+      .set_cost(123.5)
+      .set_energy_j(77.0)
+      .set_turnaround_s(9.25)
+      .counter("migrations", 3.0);
+  reporter.add(std::move(full));
+  reporter.add(BenchRow("defaults"));
+  reporter.write();
+
+  const Json doc = obs::read_json_file(path);
+  const Json::Array& rows = doc.at("rows").as_array();
+  ASSERT_EQ(rows.size(), 2u);
+
+  const Json& r0 = rows.at(0);
+  EXPECT_EQ(r0.at("name").as_string(), "full");
+  EXPECT_EQ(r0.at("params").at("cores").as_double(), 4.0);
+  EXPECT_EQ(r0.at("params").at("mode").as_string(), "online");
+  EXPECT_DOUBLE_EQ(r0.at("wall_ns").as_double(), 1.5e9);
+  EXPECT_DOUBLE_EQ(r0.at("cost").as_double(), 123.5);
+  EXPECT_DOUBLE_EQ(r0.at("energy_j").as_double(), 77.0);
+  EXPECT_DOUBLE_EQ(r0.at("turnaround_s").as_double(), 9.25);
+  EXPECT_DOUBLE_EQ(r0.at("counters").at("migrations").as_double(), 3.0);
+
+  // Every field is always present, zero-valued when unset — the schema
+  // guarantee bench_compare.py relies on.
+  const Json& r1 = rows.at(1);
+  for (const char* key :
+       {"name", "params", "wall_ns", "cost", "energy_j", "turnaround_s",
+        "counters"}) {
+    EXPECT_TRUE(r1.contains(key)) << key;
+  }
+  EXPECT_DOUBLE_EQ(r1.at("wall_ns").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(r1.at("cost").as_double(), 0.0);
+  EXPECT_EQ(r1.at("params").size(), 0u);
+  EXPECT_EQ(r1.at("counters").size(), 0u);
+}
+
+TEST(BenchReport, PolicyOutcomeMapsOntoRow) {
+  PolicyOutcome o;
+  o.name = "LMC";
+  o.energy = 50.0;
+  o.turnaround = 12.0;
+  o.energy_cost = 20.0;
+  o.time_cost = 4.8;
+
+  const std::string path = testing::TempDir() + "/bench_report_outcome.json";
+  std::array<const char*, 3> argv{"bench_x", "--json", path.c_str()};
+  BenchReporter reporter("bench_x", static_cast<int>(argv.size()),
+                         const_cast<char**>(argv.data()));
+  reporter.add(o, {{"mode", Json("online")}}, 2e6);
+  reporter.write();
+
+  const Json row = obs::read_json_file(path).at("rows").at(0);
+  EXPECT_EQ(row.at("name").as_string(), "LMC");
+  EXPECT_DOUBLE_EQ(row.at("cost").as_double(), 24.8);
+  EXPECT_DOUBLE_EQ(row.at("energy_j").as_double(), 50.0);
+  EXPECT_DOUBLE_EQ(row.at("turnaround_s").as_double(), 12.0);
+  EXPECT_DOUBLE_EQ(row.at("wall_ns").as_double(), 2e6);
+  EXPECT_EQ(row.at("params").at("mode").as_string(), "online");
+}
+
+TEST(BenchReport, WriteIsIdempotent) {
+  const std::string path = testing::TempDir() + "/bench_report_idem.json";
+  std::array<const char*, 3> argv{"bench_x", "--json", path.c_str()};
+  BenchReporter reporter("bench_x", static_cast<int>(argv.size()),
+                         const_cast<char**>(argv.data()));
+  reporter.add(BenchRow("only"));
+  reporter.write();
+  reporter.write();  // second write (and the destructor later) must not
+                     // duplicate or corrupt the document
+  const Json doc = obs::read_json_file(path);
+  EXPECT_EQ(doc.at("rows").size(), 1u);
+}
+
+TEST(BenchReport, WallTimerMeasuresSomething) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  EXPECT_GT(t.elapsed_ns(), 0.0);
+  t.reset();
+  EXPECT_GE(t.elapsed_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace dvfs::bench

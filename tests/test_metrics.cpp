@@ -1,0 +1,140 @@
+#include "dvfs/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace dvfs::obs {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower(5), 16u);
+}
+
+TEST(Metrics, HistogramObserveAndStats) {
+  Histogram h;
+  for (std::uint64_t v : {0, 1, 2, 3, 100}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // the 0
+  EXPECT_EQ(h.bucket(1), 1u);  // the 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(7), 1u);  // 100 in [64, 128)
+  // Nearest-rank p50 is the 3rd smallest (2), in bucket [2, 4) whose
+  // inclusive upper bound is 3; p99 is the max (100), in [64, 128) -> 127.
+  EXPECT_EQ(h.percentile_upper_bound(0.5), 3u);
+  EXPECT_EQ(h.percentile_upper_bound(0.99), 127u);
+  EXPECT_EQ(Histogram{}.percentile_upper_bound(0.5), 0u);
+}
+
+TEST(Metrics, RegistryGetOrCreateReturnsSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // References stay valid across later insertions (node-based storage).
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(a.value(), 1u);
+}
+
+// The concurrency contract: registration under contention is safe and
+// increments from many threads are never lost. Run under TSan in CI.
+TEST(Metrics, ConcurrentIncrementsAreNotLost) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // Resolve through the registry inside the thread so registration
+      // races (mutex path) are exercised too, then hammer the hot path.
+      Counter& hits = reg.counter("shared.hits");
+      Gauge& level = reg.gauge("shared.level");
+      Histogram& lat = reg.histogram("shared.lat");
+      for (int i = 0; i < kIters; ++i) {
+        hits.inc();
+        level.add(1.0);
+        lat.observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(reg.counter("shared.hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(reg.gauge("shared.level").value(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("shared.lat").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Metrics, ToJsonSnapshotShape) {
+  Registry reg;
+  reg.counter("events").add(7);
+  reg.gauge("depth").set(3.0);
+  reg.histogram("ns").observe(5);
+  const Json snap = reg.to_json();
+  EXPECT_EQ(snap.at("counters").at("events").as_double(), 7.0);
+  EXPECT_EQ(snap.at("gauges").at("depth").as_double(), 3.0);
+  const Json& h = snap.at("histograms").at("ns");
+  EXPECT_EQ(h.at("count").as_double(), 1.0);
+  EXPECT_EQ(h.at("sum").as_double(), 5.0);
+  ASSERT_TRUE(h.at("buckets").is_array());
+  // Only nonzero buckets appear: value 5 lands in [4, 8).
+  ASSERT_EQ(h.at("buckets").size(), 1u);
+  EXPECT_EQ(h.at("buckets").at(0).at(0).as_double(), 4.0);
+  EXPECT_EQ(h.at("buckets").at(0).at(1).as_double(), 1.0);
+}
+
+TEST(Metrics, ResetAllZeroesButKeepsRegistration) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  c.add(9);
+  reg.histogram("h").observe(2);
+  reg.reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &reg.counter("n"));
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace dvfs::obs

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Compare dvfs-bench-v1 JSON reports against checked-in baselines.
+
+Usage:
+    bench_compare.py --baseline DIR_OR_FILE --candidate DIR_OR_FILE
+                     [--candidate DIR_OR_FILE ...]
+                     [--wall-tolerance 0.25] [--quality-tolerance 1e-6]
+                     [--min-wall-ns 1e6]
+    bench_compare.py --self-test
+
+Repeat --candidate to pass several runs of the same suites; rows are
+merged by taking the per-row minimum of wall_ns (and of the quality
+fields, which are deterministic and identical across runs). Min-of-N is
+the standard way to strip scheduler noise from wall-clock numbers, and
+CI runs each gated bench twice for exactly that reason.
+
+Rows are matched across the two reports by (name, params). Two classes of
+regression are gated differently:
+
+  * wall-time: a matched row fails if candidate wall_ns exceeds baseline by
+    more than --wall-tolerance (relative), but only when the baseline is at
+    least --min-wall-ns — sub-millisecond timings are noise on shared CI
+    runners and are never gated.
+  * quality (cost / energy_j / turnaround_s): deterministic model outputs,
+    so ANY increase beyond --quality-tolerance (relative) fails. These catch
+    "the scheduler silently got worse" bugs that timing never would.
+
+Rows present only in the baseline fail (coverage loss); rows present only
+in the candidate are reported but pass (new benchmarks need a baseline
+refresh, not a red build). Exit status: 0 clean, 1 regression, 2 usage or
+I/O error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "dvfs-bench-v1"
+QUALITY_FIELDS = ("cost", "energy_j", "turnaround_s")
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    if not isinstance(doc.get("rows"), list):
+        raise ValueError(f"{path}: missing rows[]")
+    return doc
+
+
+def row_key(row):
+    params = row.get("params", {})
+    return (row["name"], json.dumps(params, sort_keys=True))
+
+
+def index_rows(doc, path):
+    out = {}
+    for row in doc["rows"]:
+        key = row_key(row)
+        if key in out:
+            raise ValueError(f"{path}: duplicate row {key}")
+        out[key] = row
+    return out
+
+
+def collect_reports(path):
+    """Yield (suite, filepath) for a single report file or a directory."""
+    if os.path.isdir(path):
+        for entry in sorted(os.listdir(path)):
+            if entry.endswith(".json"):
+                yield entry[: -len(".json")], os.path.join(path, entry)
+    else:
+        yield os.path.splitext(os.path.basename(path))[0], path
+
+
+def compare_reports(base_doc, cand_doc, suite, opts, failures, notes):
+    base = index_rows(base_doc, f"{suite} (baseline)")
+    cand = index_rows(cand_doc, f"{suite} (candidate)")
+
+    for key, brow in base.items():
+        crow = cand.get(key)
+        label = f"{suite}:{brow['name']} {key[1]}"
+        if crow is None:
+            failures.append(f"{label}: row missing from candidate")
+            continue
+        bwall = float(brow.get("wall_ns", 0.0))
+        cwall = float(crow.get("wall_ns", 0.0))
+        if bwall >= opts.min_wall_ns and cwall > bwall * (1.0 + opts.wall_tolerance):
+            failures.append(
+                f"{label}: wall_ns {bwall:.3g} -> {cwall:.3g} "
+                f"(+{(cwall / bwall - 1.0) * 100.0:.1f}% > "
+                f"{opts.wall_tolerance * 100.0:.0f}% allowed)"
+            )
+        for field in QUALITY_FIELDS:
+            bval = float(brow.get(field, 0.0))
+            cval = float(crow.get(field, 0.0))
+            if cval > bval * (1.0 + opts.quality_tolerance) + opts.quality_tolerance:
+                failures.append(
+                    f"{label}: {field} {bval:.6g} -> {cval:.6g} (any increase fails)"
+                )
+
+    for key in cand:
+        if key not in base:
+            notes.append(f"{suite}:{key[0]} {key[1]}: new row (no baseline)")
+
+
+def merge_min(docs):
+    """Merge repeated runs of one suite: per-row min of every numeric
+    gated field (noise only ever adds time)."""
+    merged = docs[0]
+    rows = {row_key(r): r for r in merged["rows"]}
+    for doc in docs[1:]:
+        for row in doc["rows"]:
+            prev = rows.get(row_key(row))
+            if prev is None:
+                rows[row_key(row)] = row
+                merged["rows"].append(row)
+                continue
+            for field in ("wall_ns", *QUALITY_FIELDS):
+                prev[field] = min(float(prev.get(field, 0.0)),
+                                  float(row.get(field, 0.0)))
+    return merged
+
+
+def run_compare(opts):
+    base_files = dict(collect_reports(opts.baseline))
+    cand_files = {}
+    for cand in opts.candidate:
+        for suite, path in collect_reports(cand):
+            cand_files.setdefault(suite, []).append(path)
+
+    failures = []
+    notes = []
+    for suite, bpath in sorted(base_files.items()):
+        cpaths = cand_files.get(suite)
+        if not cpaths:
+            failures.append(f"{suite}: candidate report missing")
+            continue
+        cand_doc = merge_min([load_report(p) for p in cpaths])
+        compare_reports(load_report(bpath), cand_doc, suite, opts,
+                        failures, notes)
+    for suite in sorted(set(cand_files) - set(base_files)):
+        notes.append(f"{suite}: new suite (no baseline)")
+
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    matched = len(base_files)
+    print(f"OK: {matched} suite(s) compared, no regressions")
+    return 0
+
+
+# --------------------------------------------------------------- self-test
+
+def _mk_report(rows):
+    return {"schema": SCHEMA, "suite": "t", "rows": rows}
+
+
+def _mk_row(name, params=None, wall_ns=0.0, cost=0.0, energy_j=0.0,
+            turnaround_s=0.0):
+    return {
+        "name": name,
+        "params": params or {},
+        "wall_ns": wall_ns,
+        "cost": cost,
+        "energy_j": energy_j,
+        "turnaround_s": turnaround_s,
+        "counters": {},
+    }
+
+
+def self_test():
+    import copy
+    import tempfile
+
+    def check(desc, base_rows, cand_runs, want_exit, argv_extra=()):
+        # cand_runs: one row-list per repeated run (a single list means
+        # one run).
+        if cand_runs and isinstance(cand_runs[0], dict):
+            cand_runs = [cand_runs]
+        with tempfile.TemporaryDirectory() as tmp:
+            bdir = os.path.join(tmp, "base")
+            os.mkdir(bdir)
+            with open(os.path.join(bdir, "t.json"), "w") as f:
+                json.dump(_mk_report(base_rows), f)
+            argv = ["--baseline", bdir]
+            for i, rows in enumerate(cand_runs):
+                cdir = os.path.join(tmp, f"cand{i}")
+                os.mkdir(cdir)
+                with open(os.path.join(cdir, "t.json"), "w") as f:
+                    json.dump(_mk_report(rows), f)
+                argv += ["--candidate", cdir]
+            opts = parse_args(argv + list(argv_extra))
+            got = run_compare(opts)
+            assert got == want_exit, f"{desc}: exit {got}, wanted {want_exit}"
+            print(f"self-test ok: {desc}")
+
+    base = [
+        _mk_row("a", {"n": 4}, wall_ns=2e6, cost=100.0),
+        _mk_row("a", {"n": 8}, wall_ns=4e6, cost=200.0, energy_j=50.0),
+        _mk_row("tiny", wall_ns=1e3),
+    ]
+
+    check("identical reports pass", base, copy.deepcopy(base), 0)
+
+    worse_wall = copy.deepcopy(base)
+    worse_wall[0]["wall_ns"] = 2e6 * 2.0  # injected 2x wall regression
+    check("2x wall regression fails", base, worse_wall, 1)
+
+    slightly_slower = copy.deepcopy(base)
+    slightly_slower[0]["wall_ns"] = 2e6 * 1.10  # within 25%
+    check("10% wall drift passes", base, slightly_slower, 0)
+
+    tiny_slower = copy.deepcopy(base)
+    tiny_slower[2]["wall_ns"] = 1e3 * 100.0  # below --min-wall-ns floor
+    check("sub-millisecond rows never gate", base, tiny_slower, 0)
+
+    worse_cost = copy.deepcopy(base)
+    worse_cost[1]["cost"] = 200.001
+    check("any cost increase fails", base, worse_cost, 1)
+
+    better = copy.deepcopy(base)
+    better[1]["cost"] = 150.0
+    better[0]["wall_ns"] = 1e6
+    check("improvements pass", base, better, 0)
+
+    missing = copy.deepcopy(base)[:2]
+    check("dropped row fails", base, missing, 1)
+
+    extra = copy.deepcopy(base) + [_mk_row("new")]
+    check("new row passes with a note", base, extra, 0)
+
+    worse_energy = copy.deepcopy(base)
+    worse_energy[1]["energy_j"] = 50.5
+    check("any energy increase fails", base, worse_energy, 1)
+
+    noisy_run = copy.deepcopy(base)
+    noisy_run[0]["wall_ns"] = 2e6 * 3.0  # one flaky run...
+    check("min-of-N candidate runs strips noise", base,
+          [noisy_run, copy.deepcopy(base)], 0)
+    check("regression in every run still fails", base,
+          [worse_wall, copy.deepcopy(worse_wall)], 1)
+
+    print("self-test: all cases passed")
+    return 0
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline", help="baseline report file or directory")
+    p.add_argument("--candidate", action="append", default=[],
+                   help="candidate report file or directory; repeat for "
+                        "multiple runs (per-row minimum is gated)")
+    p.add_argument("--wall-tolerance", type=float, default=0.25,
+                   help="allowed relative wall_ns growth (default 0.25)")
+    p.add_argument("--quality-tolerance", type=float, default=1e-6,
+                   help="relative slack for cost/energy/turnaround")
+    p.add_argument("--min-wall-ns", type=float, default=1e6,
+                   help="ignore wall regressions below this baseline (ns)")
+    p.add_argument("--self-test", action="store_true")
+    opts = p.parse_args(argv)
+    if not opts.self_test and (not opts.baseline or not opts.candidate):
+        p.error("--baseline and --candidate are required")
+    return opts
+
+
+def main(argv):
+    opts = parse_args(argv)
+    if opts.self_test:
+        return self_test()
+    try:
+        return run_compare(opts)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

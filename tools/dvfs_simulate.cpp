@@ -12,6 +12,8 @@
 ///   --re, --rt    cost weights                         (default 0.4 / 0.1)
 ///   --model       table2 | cubic:<n>                   (default table2)
 ///   --contention  co-run slowdown alpha                (default 0)
+///   --trace-out   write a Chrome trace_event JSON timeline here
+///   --metrics-out write a metrics-registry JSON snapshot here
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -21,6 +23,8 @@
 #include "dvfs/governors/fifo_policy.h"
 #include "dvfs/governors/lmc_policy.h"
 #include "dvfs/governors/planned_policy.h"
+#include "dvfs/obs/metrics.h"
+#include "dvfs/obs/trace.h"
 #include "dvfs/sim/engine.h"
 #include "dvfs/workload/trace.h"
 #include "tool_common.h"
@@ -30,7 +34,8 @@ int main(int argc, char** argv) {
   return tools::run_tool([&] {
     const util::Args args(argc, argv,
                           {"trace", "policy", "plan", "cores", "re", "rt",
-                           "model", "contention"});
+                           "model", "contention", "trace-out",
+                           "metrics-out"});
     const workload::Trace trace =
         workload::read_csv_file(args.get_string("trace"));
     const std::string policy_name = args.get_string("policy");
@@ -69,7 +74,20 @@ int main(int argc, char** argv) {
 
     sim::Engine engine(std::vector<core::EnergyModel>(cores, model),
                        contention);
+    obs::TraceWriter tracer;
+    if (args.has("trace-out")) engine.set_trace_writer(&tracer);
     const sim::SimResult r = engine.run(trace, *policy);
+    if (args.has("trace-out")) {
+      const std::string path = args.get_string("trace-out");
+      tracer.write_file(path);
+      std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
+                  tracer.size(), path.c_str());
+    }
+    if (args.has("metrics-out")) {
+      const std::string path = args.get_string("metrics-out");
+      obs::write_json_file(path, obs::Registry::global().to_json());
+      std::printf("wrote metrics snapshot to %s\n", path.c_str());
+    }
 
     std::printf("policy %s on %zu cores: %zu/%zu tasks completed\n",
                 policy_name.c_str(), cores, r.completed_count(),

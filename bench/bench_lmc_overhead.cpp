@@ -5,6 +5,11 @@
 /// Measures the full placement decision (probe R cores, insert at the
 /// argmin) against queue depth and core count, plus the Eq. 27 interactive
 /// choice.
+/// Also measures the flight recorder riding along: the raw SPSC record()
+/// hot path, and a full placement with the per-core candidate vector
+/// captured — the exact extra work LmcPolicy does when `--record-out` is
+/// active. The recorded variant must stay within the wall-time gate of
+/// the bare one; "cheap enough to leave on" is a gated claim, not a hope.
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -12,6 +17,7 @@
 
 #include "bench_gbench.h"
 #include "dvfs/core/online_lmc.h"
+#include "dvfs/obs/recorder.h"
 
 namespace {
 
@@ -44,6 +50,68 @@ void BM_PlaceNonInteractive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlaceNonInteractive)
+    ->ArgsProduct({{1, 4, 16}, {16, 256, 4096}});
+
+void BM_RecorderRecord(benchmark::State& state) {
+  obs::Recorder rec(1, obs::Recorder::kDefaultCapacity);
+  obs::RecorderChannel& ch = rec.channel(0);
+  obs::dfr::Event e{
+      .type = static_cast<std::uint8_t>(obs::dfr::EventType::kCandidate),
+      .core = 2,
+      .task = 42,
+      .f0 = 1.5};
+  std::size_t pending = 0;
+  for (auto _ : state) {
+    e.time_s += 1.0;
+    benchmark::DoNotOptimize(ch.record(e));
+    // Amortized consumer: empty the ring before it fills so every
+    // iteration exercises the store path, never the tail-drop path.
+    if (++pending == ch.capacity() - 1) {
+      rec.drain();
+      rec.clear();
+      pending = 0;
+    }
+  }
+}
+BENCHMARK(BM_RecorderRecord);
+
+void BM_PlaceNonInteractiveRecorded(benchmark::State& state) {
+  const std::size_t cores = static_cast<std::size_t>(state.range(0));
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  auto lmc = prefilled(cores, depth, 11);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  core::TaskId id = 1'000'000;
+  obs::Recorder rec(1, obs::Recorder::kDefaultCapacity);
+  obs::RecorderChannel& ch = rec.channel(0);
+  std::vector<Money> probed;
+  std::size_t pending = 0;
+  for (auto _ : state) {
+    const auto p = lmc.place_non_interactive(cyc(rng), id++, {}, &probed);
+    for (std::size_t j = 0; j < probed.size(); ++j) {
+      ch.record({.type = static_cast<std::uint8_t>(
+                     obs::dfr::EventType::kCandidate),
+                 .flags = j == p.core ? obs::dfr::kFlagChosen
+                                      : std::uint8_t{0},
+                 .core = static_cast<std::uint16_t>(j),
+                 .task = id,
+                 .f0 = probed[j]});
+    }
+    ch.record({.type = static_cast<std::uint8_t>(
+                   obs::dfr::EventType::kPlacement),
+               .core = static_cast<std::uint16_t>(p.core),
+               .task = id,
+               .f0 = p.marginal});
+    lmc.erase(p.core, p.ref);
+    pending += probed.size() + 1;
+    if (pending >= ch.capacity() - (cores + 1)) {
+      rec.drain();
+      rec.clear();
+      pending = 0;
+    }
+  }
+}
+BENCHMARK(BM_PlaceNonInteractiveRecorded)
     ->ArgsProduct({{1, 4, 16}, {16, 256, 4096}});
 
 void BM_ChooseInteractiveCore(benchmark::State& state) {

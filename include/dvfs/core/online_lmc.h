@@ -60,6 +60,15 @@ class LmcScheduler {
   Placement place_non_interactive(Cycles cycles, TaskId id,
                                   std::span<const Money> extra_cost);
 
+  /// Same, additionally exposing the full candidate vector: when
+  /// `probed_marginals` is non-null it is resized to num_cores() and
+  /// filled with every core's probed marginal (extra_cost included) —
+  /// the rejected alternatives the flight recorder persists alongside
+  /// the decision. Passing nullptr costs nothing extra.
+  Placement place_non_interactive(Cycles cycles, TaskId id,
+                                  std::span<const Money> extra_cost,
+                                  std::vector<Money>* probed_marginals);
+
   /// Chooses the core for an interactive task per Eq. 27. `extra_waiting`
   /// optionally adds per-core waiting work the queues do not know about
   /// (e.g. interactive tasks already pending in the executor); pass empty

@@ -64,10 +64,13 @@ class WbgRebalancePolicy final : public sim::Policy {
     std::vector<Pending> preempted;  // stack
   };
 
-  void replan(const std::vector<core::Task>& extra);
+  void replan(sim::Engine& engine, const std::vector<core::Task>& extra);
   void start_next(sim::Engine& engine, std::size_t core);
   void adjust_running_rate(sim::Engine& engine, std::size_t core);
   [[nodiscard]] std::size_t choose_interactive_core(Cycles cycles) const;
+  /// Eq. 27-style marginal cost of running an interactive task on core j
+  /// (shared by the argmin and the flight recorder's candidate dump).
+  [[nodiscard]] Money interactive_cost(std::size_t core, Cycles cycles) const;
 
   std::vector<core::CostTable> tables_;
   Cycles penalty_;

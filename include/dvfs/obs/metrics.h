@@ -31,6 +31,8 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dvfs/common.h"
 #include "dvfs/obs/json.h"
@@ -118,6 +120,15 @@ class Histogram {
     sum_.store(0, std::memory_order_relaxed);
   }
 
+  /// Overwrites this histogram with a previously captured state (count,
+  /// sum, and (bucket_lower, bucket_count) pairs). Used by the flight
+  /// recorder to rebuild a registry snapshot on replay; the rebuilt
+  /// histogram then serializes through the exact same to_json path as
+  /// the live one, so derived fields (mean, p50, p99) match bit for bit.
+  void restore(std::uint64_t count, std::uint64_t sum,
+               const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                   bucket_counts);
+
  private:
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
@@ -150,6 +161,24 @@ class Registry {
   /// Zeroes every metric (registration survives). Tests and bench
   /// binaries use this to scope counts to one run.
   void reset_all();
+
+  /// Consistent point-in-time copies of every registered metric, for
+  /// consumers that need raw values rather than JSON (the flight
+  /// recorder's binary epilogue, the Prometheus text encoder). Each call
+  /// snapshots under the registration mutex.
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// (inclusive lower bound, samples) for each non-empty bucket,
+    /// ascending.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counters_snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges_snapshot()
+      const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms_snapshot() const;
 
  private:
   mutable std::mutex mu_;

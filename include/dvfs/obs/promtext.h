@@ -1,0 +1,86 @@
+/// \file promtext.h
+/// \brief Prometheus text exposition (format 0.0.4) for the metrics
+///        registry, plus a dependency-free HTTP scrape endpoint.
+///
+/// `prometheus_text()` renders every registered metric:
+///
+///   * counters  → `dvfs_<name>_total` (monotone, `# TYPE ... counter`);
+///   * gauges    → `dvfs_<name>`;
+///   * histograms→ `dvfs_<name>_bucket{le="..."}` with cumulative counts
+///     over the registry's log2 buckets (le = inclusive bucket upper
+///     bound, closing with `le="+Inf"`), plus `_sum` and `_count`.
+///
+/// Registry names are dotted (`sim.tasks.started`); exposition names
+/// replace every non-alphanumeric byte with `_` and prepend the `dvfs_`
+/// namespace, so `sim.tasks.started` scrapes as
+/// `dvfs_sim_tasks_started_total`.
+///
+/// `MetricsHttpServer` is the transport: a blocking accept loop on a
+/// background thread speaking just enough HTTP/1.1 for `curl` and a
+/// Prometheus scraper — GET `/metrics` returns the body the supplied
+/// callback produces, anything else 404. POSIX sockets only; no
+/// third-party dependency, in keeping with the repo rule that
+/// observability must not add libraries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dvfs::obs {
+
+class Registry;
+
+/// Renders `registry` in Prometheus text exposition format 0.0.4.
+[[nodiscard]] std::string prometheus_text(const Registry& registry);
+
+/// `sim.tasks.started` → `dvfs_sim_tasks_started` (no kind suffix).
+[[nodiscard]] std::string prometheus_name(const std::string& registry_name);
+
+/// Minimal scrape endpoint. Construct, `start()`, `stop()` (also runs on
+/// destruction). The body callback runs on the server thread per request
+/// — keep it a pure snapshot render.
+class MetricsHttpServer {
+ public:
+  struct Options {
+    std::string host = "0.0.0.0";
+    /// 0 binds an ephemeral port; read the real one from `port()` after
+    /// `start()` (tests use this to avoid collisions).
+    std::uint16_t port = 9464;
+  };
+  using BodyFn = std::function<std::string()>;
+
+  MetricsHttpServer(Options options, BodyFn body);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Throws
+  /// dvfs::PreconditionError when the address cannot be bound.
+  void start();
+
+  /// Stops accepting and joins the thread. Idempotent.
+  void stop();
+
+  /// The bound port (resolves ephemeral binds). Valid after start().
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+ private:
+  void serve_loop();
+
+  Options options_;
+  BodyFn body_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// Parses a `--listen` flag: ":9464", "9464", or "host:9464". Port 0 is
+/// allowed (ephemeral). Throws dvfs::PreconditionError on garbage.
+[[nodiscard]] MetricsHttpServer::Options parse_listen(const std::string& spec);
+
+}  // namespace dvfs::obs

@@ -1,0 +1,151 @@
+/// \file recorder.h
+/// \brief Always-on binary flight recorder for scheduler decisions.
+///
+/// The recorder answers "why did the governor do that?" after the fact:
+/// the sim engine, the governors, and the real-thread executor push
+/// fixed-size events (task lifecycle, frequency transitions, and each
+/// placement decision *with its full candidate vector*) into per-producer
+/// SPSC ring buffers. Recording a decision costs one 48-byte store per
+/// candidate — cheap enough to leave on in production, which is the whole
+/// point: the interesting run is never the one you remembered to
+/// instrument.
+///
+/// Concurrency model: one `RecorderChannel` per producer thread (the sim
+/// engine is single-threaded and uses channel 0; the rt executor gives
+/// each worker its own channel). Each channel is a classic single-
+/// producer/single-consumer ring — the producer publishes with a
+/// release store of the tail, the consumer acquires it — so the hot path
+/// is wait-free and lock-free. When a ring fills, events are tail-dropped
+/// (the oldest prefix survives, so a recording always starts at the run
+/// boundary) and a relaxed atomic drop counter keeps an exact count.
+///
+/// `Recorder::drain()` moves ring contents into an in-memory log;
+/// `write_file()` emits the `.dfr` format described in
+/// recorder_format.h, including a binary snapshot of the metrics
+/// registry so `dvfs_inspect replay` can reproduce `--metrics-out`
+/// byte-for-byte. `Recording::load()` + `replay_to_trace()` invert the
+/// pipeline: they rebuild the exact TraceWriter call sequence the live
+/// engine would have made.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvfs/obs/metrics.h"
+#include "dvfs/obs/recorder_format.h"
+
+namespace dvfs::obs {
+
+class TraceWriter;
+
+/// One single-producer/single-consumer event ring. Producers call
+/// `record()`; only `Recorder::drain()` consumes. Capacity is rounded up
+/// to a power of two.
+class RecorderChannel {
+ public:
+  explicit RecorderChannel(std::size_t capacity);
+
+  RecorderChannel(const RecorderChannel&) = delete;
+  RecorderChannel& operator=(const RecorderChannel&) = delete;
+
+  /// Wait-free push. On a full ring the event is dropped (tail-drop: the
+  /// already-recorded prefix is preserved) and the drop counter bumped.
+  /// Returns false iff dropped.
+  bool record(const dfr::Event& e) noexcept;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  friend class Recorder;
+
+  /// Consumer side: moves everything currently published into `out`.
+  void drain_into(std::vector<dfr::Event>& out);
+
+  std::vector<dfr::Event> slots_;
+  std::size_t mask_ = 0;
+  // head_ = next slot to consume, tail_ = next slot to fill. Producer
+  // writes the slot, then publishes with a release store of tail_; the
+  // consumer's acquire load of tail_ makes the slot contents visible.
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Owns the per-producer channels and assembles recordings.
+class Recorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit Recorder(std::size_t num_channels = 1,
+                    std::size_t capacity_per_channel = kDefaultCapacity);
+
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+  [[nodiscard]] RecorderChannel& channel(std::size_t i);
+
+  /// Consumes every channel into the in-memory log, merging by event
+  /// timestamp (stable: ties keep channel order, and a single channel —
+  /// the simulator — is already monotone, so its order is untouched).
+  /// Call from the consumer thread only, after producers have quiesced.
+  void drain();
+
+  /// Total events dropped across all channels (exact; relaxed counters).
+  [[nodiscard]] std::uint64_t events_dropped() const noexcept;
+  /// Events drained so far.
+  [[nodiscard]] const std::vector<dfr::Event>& events() const {
+    return events_;
+  }
+
+  /// Discards the drained in-memory log (channels and drop counters are
+  /// untouched), so a long-lived recorder can be reused across runs.
+  void clear() { events_.clear(); }
+
+  /// Captures `registry` so the written file can reproduce a
+  /// `--metrics-out` dump. Call after the run completes, before
+  /// `write_file()` and before anything else touches the registry.
+  void capture_metrics(const Registry& registry);
+
+  /// Writes header + drained events + metrics epilogue. Throws
+  /// dvfs::PreconditionError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::unique_ptr<RecorderChannel>> channels_;
+  std::vector<dfr::Event> events_;
+
+  struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<Registry::HistogramSnapshot> histograms;
+  };
+  std::optional<MetricsSnapshot> metrics_;
+};
+
+/// A `.dfr` file loaded back into memory.
+struct Recording {
+  dfr::FileHeader header;
+  std::vector<dfr::Event> events;
+
+  /// Metrics epilogue, if the file has one (kept in a registry so it
+  /// re-serializes through the same code path as a live dump).
+  std::shared_ptr<Registry> metrics;
+
+  /// Parses `path`. Throws dvfs::PreconditionError on bad magic, version
+  /// mismatch, or truncation mid-record.
+  static Recording load(const std::string& path);
+
+  [[nodiscard]] std::optional<dfr::Event> first_of(dfr::EventType t) const;
+};
+
+/// Rebuilds the Chrome-trace call sequence the live engine performs, so
+/// replaying a recording yields byte-identical trace JSON. `writer` must
+/// be empty.
+void replay_to_trace(const Recording& rec, TraceWriter& writer);
+
+}  // namespace dvfs::obs

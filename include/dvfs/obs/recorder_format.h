@@ -1,0 +1,157 @@
+/// \file recorder_format.h
+/// \brief On-disk format of the `.dfr` flight-recorder files.
+///
+/// A recording is a self-contained binary artifact:
+///
+///   [FileHeader]                 32 bytes, magic "DFR1" + version byte
+///   [Event * header.event_count] fixed 48-byte records, time-ordered
+///   [metrics epilogue]           optional: the final metrics-registry
+///                                snapshot (magic "DFRM"), so a recording
+///                                can reproduce `--metrics-out` exactly
+///
+/// Every event is fixed-size and trivially copyable so the hot path is a
+/// single 48-byte store into a preallocated ring slot — no allocation, no
+/// formatting, no branching on payload shape. Variable-size information
+/// (the per-core candidate vector of a governor decision) is expressed as
+/// a *run* of fixed-size kCandidate events followed by one kPlacement
+/// event, all tagged with the same task id.
+///
+/// Integers and doubles are stored in native (little-endian on every
+/// supported target) byte order; the version byte guards against reading
+/// a recording with a mismatched layout. Bump kFormatVersion whenever
+/// Event, FileHeader, or the epilogue encoding changes shape.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace dvfs::obs::dfr {
+
+/// "DFR1" little-endian. The '1' is cosmetic; the real version gate is
+/// FileHeader::version.
+inline constexpr std::uint32_t kFileMagic = 0x31524644u;
+/// "DFRM": starts the optional metrics-snapshot epilogue.
+inline constexpr std::uint32_t kMetricsMagic = 0x4d524644u;
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+/// What a 48-byte record means. Values are part of the format: append
+/// only, never renumber.
+enum class EventType : std::uint8_t {
+  kNone = 0,
+  /// Run boundary. core = number of simulated cores.
+  kRunBegin = 1,
+  /// Cost parameters of the attached policy. aux = PolicyKind,
+  /// f0 = Re, f1 = Rt, core = core count the policy manages.
+  kParams = 2,
+  /// A task entered the system. task = id, u0 = cycles, aux = TaskClass,
+  /// f0 = deadline (may be +inf), time = arrival.
+  kTaskArrival = 3,
+  /// A task began (or resumed) executing. f0 = remaining cycles.
+  kTaskStart = 4,
+  /// An execution span closed (completion or preemption). f0 = span start
+  /// time in seconds; kFlagPreempted distinguishes the two.
+  kSpanEnd = 5,
+  /// A task completed. f0 = busy joules attributed to the task,
+  /// f1 = turnaround seconds.
+  kTaskFinish = 6,
+  /// A core's frequency actually changed. f0 = new rate in GHz.
+  kFreqChange = 7,
+  /// A policy callback returned. aux = DecisionKind, f0 = wall-clock
+  /// nanoseconds spent inside the callback, f1 = busy cores afterwards.
+  kDecision = 8,
+  /// One evaluated alternative of a placement decision. core = the
+  /// candidate core, f0 = its marginal cost (Eq. 27 for interactive
+  /// arrivals, the exact queue-cost delta for non-interactive ones,
+  /// drain seconds for the OLB baseline); kFlagChosen marks the winner.
+  kCandidate = 9,
+  /// The decision itself. aux = DecisionScope, core = chosen core,
+  /// f0 = chosen marginal cost, f1 = total queue cost after placement
+  /// (LMC non-interactive only; 0 elsewhere), u0 = estimated cycles.
+  kPlacement = 10,
+  /// A WBG full replan. u0 = tasks replanned, aux = migrations caused.
+  kReplan = 11,
+};
+
+/// Bit flags (Event::flags).
+inline constexpr std::uint8_t kFlagPreempted = 0x01;
+inline constexpr std::uint8_t kFlagChosen = 0x02;
+
+/// Which policy callback a kDecision event closed (Event::aux).
+enum class DecisionKind : std::uint16_t {
+  kOnArrival = 0,
+  kOnComplete = 1,
+  kOnTimer = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kOnArrival: return "on_arrival";
+    case DecisionKind::kOnComplete: return "on_complete";
+    case DecisionKind::kOnTimer: return "on_timer";
+  }
+  return "?";
+}
+
+/// What kind of placement a kPlacement/kCandidate run describes
+/// (Event::aux).
+enum class DecisionScope : std::uint16_t {
+  kNonInteractive = 0,  ///< LMC queue insertion (marginal-cost argmin)
+  kInteractive = 1,     ///< Eq. 27 core choice
+  kFifo = 2,            ///< OLB/ondemand baseline placement
+  kPlanned = 3,         ///< planned-batch dispatch
+};
+
+/// Which policy emitted a kParams event (Event::aux).
+enum class PolicyKind : std::uint16_t {
+  kLmc = 0,
+  kWbgRebalance = 1,
+  kFifo = 2,
+  kPlannedBatch = 3,
+};
+
+/// One fixed-size recorded event. Meaning of the payload fields depends
+/// on `type` (documented per EventType above); unused fields are zero.
+struct Event {
+  std::uint8_t type = 0;   ///< EventType
+  std::uint8_t flags = 0;  ///< kFlag* bits
+  std::uint16_t core = 0;
+  std::uint16_t rate_idx = 0;
+  std::uint16_t aux = 0;
+  double time_s = 0.0;  ///< simulated (or wall) seconds since run start
+  std::uint64_t task = 0;
+  std::uint64_t u0 = 0;
+  double f0 = 0.0;
+  double f1 = 0.0;
+};
+static_assert(sizeof(Event) == 48, "Event is part of the .dfr format");
+static_assert(std::is_trivially_copyable_v<Event>,
+              "events are written as raw bytes");
+
+/// File prologue. `event_count` and `dropped` are back-patched when the
+/// recording is finalized; a crash mid-write leaves event_count = ~0,
+/// which readers treat as "stream: read events until the epilogue magic
+/// or EOF".
+struct FileHeader {
+  std::uint32_t magic = kFileMagic;
+  std::uint8_t version = kFormatVersion;
+  std::uint8_t reserved0[3] = {0, 0, 0};
+  std::uint32_t num_channels = 1;
+  std::uint32_t reserved1 = 0;
+  std::uint64_t event_count = 0;
+  std::uint64_t dropped = 0;
+};
+static_assert(sizeof(FileHeader) == 32, "FileHeader is part of the format");
+
+/// Metrics-epilogue entry kinds (one byte each, after kMetricsMagic and a
+/// u32 entry count). Layouts:
+///   kCounter:   u16 name_len, name, u64 value
+///   kGauge:     u16 name_len, name, f64 value
+///   kHistogram: u16 name_len, name, u64 count, u64 sum, u32 n,
+///               n * (u64 bucket_lower, u64 bucket_count)
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+}  // namespace dvfs::obs::dfr

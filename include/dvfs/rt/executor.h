@@ -30,6 +30,10 @@
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/schedule.h"
 
+namespace dvfs::obs {
+class Recorder;
+}  // namespace dvfs::obs
+
 namespace dvfs::rt {
 
 /// Measures how fast this machine spins the busy-work kernel, so workers
@@ -88,10 +92,18 @@ class RealtimeExecutor {
   /// Throws if the plan uses rate indices the model lacks.
   [[nodiscard]] RtResult execute(const core::Plan& plan) const;
 
+  /// Attaches a flight recorder for subsequent execute() calls; nullptr
+  /// detaches. The recorder must have at least one channel per plan core
+  /// — each worker thread is the single producer of its own channel, so
+  /// the wait-free SPSC contract holds with real concurrency. Events use
+  /// wall-clock seconds since run start as their timestamp.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   core::EnergyModel model_;
   Config config_;
   SpinCalibrator calibrator_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace dvfs::rt

@@ -33,6 +33,7 @@
 #include "dvfs/workload/trace.h"
 
 namespace dvfs::obs {
+class RecorderChannel;
 class TraceWriter;
 }  // namespace dvfs::obs
 
@@ -123,6 +124,16 @@ class Engine {
   void set_trace_writer(obs::TraceWriter* writer) { trace_ = writer; }
   [[nodiscard]] obs::TraceWriter* trace_writer() const { return trace_; }
 
+  /// Attaches a flight-recorder channel (see dvfs/obs/recorder.h);
+  /// nullptr detaches. The engine is the channel's single producer and
+  /// pushes fixed-size events for the run boundary, task lifecycle,
+  /// frequency transitions, and governor-decision timing. Policies reach
+  /// the same channel through `recorder()` to append their candidate
+  /// vectors, so one recording interleaves mechanism and strategy in
+  /// decision order.
+  void set_recorder(obs::RecorderChannel* channel) { recorder_ = channel; }
+  [[nodiscard]] obs::RecorderChannel* recorder() const { return recorder_; }
+
   // ---------------------------------------------------------------- running
   /// Simulates `trace` to completion under `policy` and returns the
   /// metrics. The engine is reusable: each run starts from idle cores.
@@ -198,6 +209,7 @@ class Engine {
 
   Stats stats_;
   obs::TraceWriter* trace_ = nullptr;
+  obs::RecorderChannel* recorder_ = nullptr;
 };
 
 }  // namespace dvfs::sim

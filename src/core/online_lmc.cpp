@@ -19,9 +19,18 @@ LmcScheduler::Placement LmcScheduler::place_non_interactive(Cycles cycles,
 
 LmcScheduler::Placement LmcScheduler::place_non_interactive(
     Cycles cycles, TaskId id, std::span<const Money> extra_cost) {
+  return place_non_interactive(cycles, id, extra_cost, nullptr);
+}
+
+LmcScheduler::Placement LmcScheduler::place_non_interactive(
+    Cycles cycles, TaskId id, std::span<const Money> extra_cost,
+    std::vector<Money>* probed_marginals) {
   DVFS_REQUIRE(cycles > 0, "tasks need a positive cycle count");
   DVFS_REQUIRE(extra_cost.empty() || extra_cost.size() == queues_.size(),
                "extra_cost must have one entry per core");
+  if (probed_marginals != nullptr) {
+    probed_marginals->assign(queues_.size(), 0.0);
+  }
   // Evaluate every core's exact marginal cost analytically (no structure
   // mutation); ties keep the lowest core index so runs are deterministic.
   std::size_t best_core = 0;
@@ -29,6 +38,7 @@ LmcScheduler::Placement LmcScheduler::place_non_interactive(
   for (std::size_t j = 0; j < queues_.size(); ++j) {
     Money m = queues_[j].peek_marginal_insert_cost(cycles);
     if (!extra_cost.empty()) m += extra_cost[j];
+    if (probed_marginals != nullptr) (*probed_marginals)[j] = m;
     if (j == 0 || m < best_marginal) {
       best_marginal = m;
       best_core = j;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dvfs/obs/metrics.h"
+
 namespace dvfs::cpufreq {
 namespace {
 
@@ -10,6 +12,20 @@ std::size_t index_of(const std::vector<KHz>& table, KHz khz) {
   const auto it = std::find(table.begin(), table.end(), khz);
   DVFS_REQUIRE(it != table.end(), "current frequency not in the table");
   return static_cast<std::size_t>(it - table.begin());
+}
+
+// Daemon liveness counters: a long-running governor exposes these via the
+// Prometheus endpoint, so a scraper can tell "running but idle" from
+// "wedged" without reading logs.
+struct DaemonStats {
+  obs::Counter& ticks =
+      obs::Registry::global().counter("cpufreq.daemon.ticks");
+  obs::Counter& transitions =
+      obs::Registry::global().counter("cpufreq.daemon.transitions");
+};
+DaemonStats& daemon_stats() {
+  static DaemonStats s;
+  return s;
 }
 
 }  // namespace
@@ -31,12 +47,14 @@ GovernorDaemon::GovernorDaemon(CpufreqBackend& backend, Config config)
 void GovernorDaemon::transition(std::size_t cpu, KHz target) {
   if (backend_.current_khz(cpu) != target) {
     backend_.driver_set_speed(cpu, target);
+    daemon_stats().transitions.inc();
   }
 }
 
 void GovernorDaemon::tick(std::span<const double> load_per_cpu) {
   DVFS_REQUIRE(load_per_cpu.size() == backend_.num_cpus(),
                "one load sample per cpu required");
+  daemon_stats().ticks.inc();
   for (std::size_t cpu = 0; cpu < load_per_cpu.size(); ++cpu) {
     const double load = load_per_cpu[cpu];
     DVFS_REQUIRE(load >= 0.0 && load <= 1.0, "load must be in [0, 1]");

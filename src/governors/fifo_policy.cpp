@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/recorder.h"
 
 namespace dvfs::governors {
 
@@ -44,14 +45,31 @@ void FifoPolicy::attach(sim::Engine& engine) {
                "conservative band must satisfy 0 <= down < up threshold");
   DVFS_REQUIRE(config_.sample_interval > 0.0,
                "sample interval must be positive");
+  if (obs::RecorderChannel* rc = engine.recorder()) {
+    rc->record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kParams),
+         .core = static_cast<std::uint16_t>(engine.num_cores()),
+         .aux = static_cast<std::uint16_t>(obs::dfr::PolicyKind::kFifo),
+         .time_s = engine.now()});
+  }
 }
 
 std::size_t FifoPolicy::choose_core(const sim::Engine& engine,
                                     const core::Task& task) {
-  (void)task;
+  obs::RecorderChannel* rc = engine.recorder();
   if (config_.placement == Placement::kRoundRobin) {
     const std::size_t core = rr_next_;
     rr_next_ = (rr_next_ + 1) % per_core_.size();
+    if (rc != nullptr) {
+      rc->record({.type = static_cast<std::uint8_t>(
+                      obs::dfr::EventType::kPlacement),
+                  .core = static_cast<std::uint16_t>(core),
+                  .aux = static_cast<std::uint16_t>(
+                      obs::dfr::DecisionScope::kFifo),
+                  .time_s = engine.now(),
+                  .task = task.id,
+                  .u0 = task.cycles});
+    }
     return core;
   }
   // Earliest ready-to-execute time: pending work divided by the core's
@@ -66,6 +84,30 @@ std::size_t FifoPolicy::choose_core(const sim::Engine& engine,
       best_ready = ready;
       best = j;
     }
+  }
+  if (rc != nullptr) {
+    // The candidate vector for OLB placement is each core's drain time.
+    for (std::size_t j = 0; j < per_core_.size(); ++j) {
+      rc->record({.type = static_cast<std::uint8_t>(
+                      obs::dfr::EventType::kCandidate),
+                  .flags = j == best ? obs::dfr::kFlagChosen : std::uint8_t{0},
+                  .core = static_cast<std::uint16_t>(j),
+                  .aux = static_cast<std::uint16_t>(
+                      obs::dfr::DecisionScope::kFifo),
+                  .time_s = engine.now(),
+                  .task = task.id,
+                  .f0 = per_core_[j].backlog_cycles *
+                        engine.model(j).time_per_cycle(cap_)});
+    }
+    rc->record({.type = static_cast<std::uint8_t>(
+                    obs::dfr::EventType::kPlacement),
+                .core = static_cast<std::uint16_t>(best),
+                .aux = static_cast<std::uint16_t>(
+                    obs::dfr::DecisionScope::kFifo),
+                .time_s = engine.now(),
+                .task = task.id,
+                .u0 = task.cycles,
+                .f0 = best_ready});
   }
   return best;
 }

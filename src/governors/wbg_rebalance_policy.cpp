@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/recorder.h"
 
 namespace dvfs::governors {
 
@@ -37,9 +38,21 @@ void WbgRebalancePolicy::attach(sim::Engine& engine) {
   queued_.clear();
   migrations_ = 0;
   replans_ = 0;
+  if (obs::RecorderChannel* rc = engine.recorder()) {
+    const core::CostParams& p = tables_[0].params();
+    rc->record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kParams),
+         .core = static_cast<std::uint16_t>(engine.num_cores()),
+         .aux = static_cast<std::uint16_t>(
+             obs::dfr::PolicyKind::kWbgRebalance),
+         .time_s = engine.now(),
+         .f0 = p.re,
+         .f1 = p.rt});
+  }
 }
 
-void WbgRebalancePolicy::replan(const std::vector<core::Task>& extra) {
+void WbgRebalancePolicy::replan(sim::Engine& engine,
+                                const std::vector<core::Task>& extra) {
   // Gather every queued (not running) non-interactive task plus arrivals.
   std::vector<core::Task> tasks;
   tasks.reserve(queued_.size() + extra.size());
@@ -53,6 +66,7 @@ void WbgRebalancePolicy::replan(const std::vector<core::Task>& extra) {
   ++replans_;
   wbg_stats().replans.inc();
 
+  const std::size_t migrations_before = migrations_;
   for (std::size_t j = 0; j < per_core_.size(); ++j) {
     per_core_[j].plan.assign(plan.cores[j].sequence.begin(),
                              plan.cores[j].sequence.end());
@@ -70,22 +84,36 @@ void WbgRebalancePolicy::replan(const std::vector<core::Task>& extra) {
       }
     }
   }
+  if (obs::RecorderChannel* rc = engine.recorder()) {
+    rc->record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kReplan),
+         .aux = static_cast<std::uint16_t>(migrations_ - migrations_before),
+         .time_s = engine.now(),
+         .task = extra.empty() ? 0 : extra.front().id,
+         .u0 = tasks.size(),
+         .f0 = core::evaluate_plan(plan, tables_).total()});
+  }
+}
+
+Money WbgRebalancePolicy::interactive_cost(std::size_t core,
+                                           Cycles cycles) const {
+  const core::CostTable& t = tables_[core];
+  const core::EnergyModel& m = t.model();
+  const std::size_t pm = m.rates().highest_index();
+  const std::size_t waiting = per_core_[core].plan.size() +
+                              per_core_[core].pending_interactive.size() +
+                              per_core_[core].preempted.size();
+  const double l = static_cast<double>(cycles);
+  return t.params().re * l * m.energy_per_cycle(pm) +
+         t.params().rt * l * m.time_per_cycle(pm) *
+             static_cast<double>(1 + waiting);
 }
 
 std::size_t WbgRebalancePolicy::choose_interactive_core(Cycles cycles) const {
   std::size_t best = 0;
   Money best_cost = std::numeric_limits<Money>::infinity();
   for (std::size_t j = 0; j < per_core_.size(); ++j) {
-    const core::CostTable& t = tables_[j];
-    const core::EnergyModel& m = t.model();
-    const std::size_t pm = m.rates().highest_index();
-    const std::size_t waiting = per_core_[j].plan.size() +
-                                per_core_[j].pending_interactive.size() +
-                                per_core_[j].preempted.size();
-    const double l = static_cast<double>(cycles);
-    const Money c = t.params().re * l * m.energy_per_cycle(pm) +
-                    t.params().rt * l * m.time_per_cycle(pm) *
-                        static_cast<double>(1 + waiting);
+    const Money c = interactive_cost(j, cycles);
     if (c < best_cost) {
       best_cost = c;
       best = j;
@@ -136,6 +164,29 @@ void WbgRebalancePolicy::on_arrival(sim::Engine& engine,
                                     const core::Task& task) {
   if (task.klass == core::TaskClass::kInteractive) {
     const std::size_t core = choose_interactive_core(task.cycles);
+    if (obs::RecorderChannel* rc = engine.recorder()) {
+      for (std::size_t j = 0; j < per_core_.size(); ++j) {
+        rc->record({.type = static_cast<std::uint8_t>(
+                        obs::dfr::EventType::kCandidate),
+                    .flags = j == core ? obs::dfr::kFlagChosen
+                                       : std::uint8_t{0},
+                    .core = static_cast<std::uint16_t>(j),
+                    .aux = static_cast<std::uint16_t>(
+                        obs::dfr::DecisionScope::kInteractive),
+                    .time_s = engine.now(),
+                    .task = task.id,
+                    .f0 = interactive_cost(j, task.cycles)});
+      }
+      rc->record({.type = static_cast<std::uint8_t>(
+                      obs::dfr::EventType::kPlacement),
+                  .core = static_cast<std::uint16_t>(core),
+                  .aux = static_cast<std::uint16_t>(
+                      obs::dfr::DecisionScope::kInteractive),
+                  .time_s = engine.now(),
+                  .task = task.id,
+                  .u0 = task.cycles,
+                  .f0 = interactive_cost(core, task.cycles)});
+    }
     CoreState& st = per_core_[core];
     const std::size_t pm = tables_[core].model().rates().highest_index();
     if (!engine.busy(core)) {
@@ -156,7 +207,7 @@ void WbgRebalancePolicy::on_arrival(sim::Engine& engine,
 
   DVFS_REQUIRE(task.klass == core::TaskClass::kNonInteractive,
                "online traces contain interactive/non-interactive tasks");
-  replan({task});
+  replan(engine, {task});
   for (std::size_t j = 0; j < per_core_.size(); ++j) {
     start_next(engine, j);
     adjust_running_rate(engine, j);

@@ -24,6 +24,18 @@ std::uint64_t Histogram::percentile_upper_bound(double p) const {
   return ~std::uint64_t{0};
 }
 
+void Histogram::restore(
+    std::uint64_t count, std::uint64_t sum,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+        bucket_counts) {
+  reset();
+  count_.store(count, std::memory_order_relaxed);
+  sum_.store(sum, std::memory_order_relaxed);
+  for (const auto& [lower, n] : bucket_counts) {
+    buckets_[bucket_index(lower)].store(n, std::memory_order_relaxed);
+  }
+}
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;
@@ -83,6 +95,43 @@ Json Registry::to_json() const {
   root.emplace("gauges", Json(std::move(gauges)));
   root.emplace("histograms", Json(std::move(histograms)));
   return Json(std::move(root));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::counters_snapshot() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges_snapshot()
+    const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value());
+  return out;
+}
+
+std::vector<Registry::HistogramSnapshot> Registry::histograms_snapshot()
+    const {
+  const std::scoped_lock lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h.count();
+    snap.sum = h.sum();
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t n = h.bucket(i);
+      if (n != 0) snap.buckets.emplace_back(Histogram::bucket_lower(i), n);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 void Registry::reset_all() {

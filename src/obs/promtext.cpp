@@ -1,0 +1,225 @@
+#include "dvfs/obs/promtext.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "dvfs/common.h"
+#include "dvfs/obs/metrics.h"
+
+namespace dvfs::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  // Prometheus accepts Go-style floats; shortest round-trip form keeps
+  // integers unsuffixed (a counter of 42 prints "42").
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  DVFS_REQUIRE(ec == std::errc{}, "double formatting failed");
+  out.append(buf, end);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  DVFS_REQUIRE(ec == std::errc{}, "integer formatting failed");
+  out.append(buf, end);
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& registry_name) {
+  std::string out = "dvfs_";
+  out.reserve(out.size() + registry_name.size());
+  for (const char c : registry_name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const Registry& registry) {
+  std::string out;
+
+  for (const auto& [name, value] : registry.counters_snapshot()) {
+    const std::string pname = prometheus_name(name) + "_total";
+    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    append_u64(out, value);
+    out += "\n";
+  }
+
+  for (const auto& [name, value] : registry.gauges_snapshot()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    append_double(out, value);
+    out += "\n";
+  }
+
+  for (const auto& h : registry.histograms_snapshot()) {
+    const std::string pname = prometheus_name(h.name);
+    out += "# TYPE " + pname + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [lower, n] : h.buckets) {
+      cumulative += n;
+      // Registry buckets are [2^(i-1), 2^i) over integers, so the
+      // inclusive upper bound Prometheus wants is 2^i - 1 (and 0 for the
+      // zero bucket).
+      const std::uint64_t le = lower == 0 ? 0 : lower * 2 - 1;
+      out += pname + "_bucket{le=\"";
+      append_u64(out, le);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += "\n" + pname + "_sum ";
+    append_u64(out, h.sum);
+    out += "\n" + pname + "_count ";
+    append_u64(out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- HTTP server
+
+MetricsHttpServer::MetricsHttpServer(Options options, BodyFn body)
+    : options_(std::move(options)), body_(std::move(body)) {
+  DVFS_REQUIRE(body_ != nullptr, "metrics server needs a body callback");
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  DVFS_REQUIRE(listen_fd_ < 0, "metrics server already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DVFS_REQUIRE(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (options_.host.empty() || options_.host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) !=
+             1) {
+    ::close(fd);
+    DVFS_REQUIRE(false, "cannot parse listen host: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    DVFS_REQUIRE(false, "cannot bind metrics endpoint on " + options_.host +
+                            ":" + std::to_string(options_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // Short poll timeout bounds the shutdown latency without a self-pipe.
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // One short request per connection: read the request line, answer,
+    // close. Enough HTTP for curl and a Prometheus scraper.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string response;
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string request(buf);
+      const auto line_end = request.find("\r\n");
+      const std::string line =
+          line_end == std::string::npos ? request : request.substr(0, line_end);
+      const bool is_get = line.rfind("GET ", 0) == 0;
+      const auto path_end = line.find(' ', 4);
+      const std::string path =
+          is_get && path_end != std::string::npos
+              ? line.substr(4, path_end - 4)
+              : std::string();
+      if (is_get && (path == "/metrics" || path == "/")) {
+        const std::string body = body_();
+        response =
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            "Content-Length: " + std::to_string(body.size()) +
+            "\r\nConnection: close\r\n\r\n" + body;
+      } else {
+        static constexpr char kNotFound[] = "not found\n";
+        response =
+            "HTTP/1.1 404 Not Found\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: " + std::to_string(sizeof(kNotFound) - 1) +
+            "\r\nConnection: close\r\n\r\n" + kNotFound;
+      }
+      std::size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t sent =
+            ::send(client, response.data() + off, response.size() - off, 0);
+        if (sent <= 0) break;
+        off += static_cast<std::size_t>(sent);
+      }
+    }
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+MetricsHttpServer::Options parse_listen(const std::string& spec) {
+  MetricsHttpServer::Options opts;
+  const auto colon = spec.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    port_str = spec;  // "9464"
+  } else {
+    if (colon > 0) opts.host = spec.substr(0, colon);  // "host:9464"
+    port_str = spec.substr(colon + 1);                 // ":9464"
+  }
+  DVFS_REQUIRE(!port_str.empty(), "bad --listen spec: " + spec);
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_str.data(), port_str.data() + port_str.size(),
+                      value);
+  DVFS_REQUIRE(ec == std::errc{} && ptr == port_str.data() + port_str.size() &&
+                   value <= 0xffff,
+               "bad --listen port: " + spec);
+  opts.port = static_cast<std::uint16_t>(value);
+  return opts;
+}
+
+}  // namespace dvfs::obs

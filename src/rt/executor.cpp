@@ -12,6 +12,7 @@
 #endif
 
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/recorder.h"
 
 namespace dvfs::rt {
 namespace {
@@ -122,11 +123,23 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
   obs::Counter& rate_switches = reg.counter("rt.rate_switches");
   obs::Histogram& task_wall_ns = reg.histogram("rt.task_wall_ns");
 
+  if (recorder_ != nullptr) {
+    DVFS_REQUIRE(recorder_->num_channels() >= plan.cores.size(),
+                 "recorder needs one channel per plan core");
+    recorder_->channel(0).record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kRunBegin),
+         .core = static_cast<std::uint16_t>(plan.cores.size()),
+         .time_s = 0.0});
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(plan.cores.size());
   for (std::size_t j = 0; j < plan.cores.size(); ++j) {
     workers.emplace_back([&, j] {
       if (config_.pin_threads) try_pin_to_cpu(j);
+      // Worker j owns recorder channel j exclusively (SPSC producer).
+      obs::RecorderChannel* rc =
+          recorder_ != nullptr ? &recorder_->channel(j) : nullptr;
       std::uint64_t sink = 0;
       std::size_t last_rate = static_cast<std::size_t>(-1);
       for (const core::ScheduledTask& st : plan.cores[j].sequence) {
@@ -140,14 +153,47 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
         if (last_rate != static_cast<std::size_t>(-1) &&
             last_rate != st.rate_idx) {
           rate_switches.inc();
+          if (rc != nullptr) {
+            rc->record({.type = static_cast<std::uint8_t>(
+                            obs::dfr::EventType::kFreqChange),
+                        .core = static_cast<std::uint16_t>(j),
+                        .rate_idx = static_cast<std::uint16_t>(st.rate_idx),
+                        .time_s = seconds_since(t0),
+                        .f0 = model_.rates()[st.rate_idx]});
+          }
         }
         last_rate = st.rate_idx;
         rec.start = seconds_since(t0);
+        if (rc != nullptr) {
+          rc->record({.type = static_cast<std::uint8_t>(
+                          obs::dfr::EventType::kTaskStart),
+                      .core = static_cast<std::uint16_t>(j),
+                      .rate_idx = static_cast<std::uint16_t>(st.rate_idx),
+                      .time_s = rec.start,
+                      .task = st.task_id,
+                      .f0 = static_cast<double>(st.cycles)});
+        }
         sink += SpinCalibrator::spin_for(rec.planned_seconds, ips);
         rec.finish = seconds_since(t0);
         tasks_executed.inc();
         task_wall_ns.observe(
             static_cast<std::uint64_t>((rec.finish - rec.start) * 1e9));
+        if (rc != nullptr) {
+          rc->record({.type = static_cast<std::uint8_t>(
+                          obs::dfr::EventType::kSpanEnd),
+                      .core = static_cast<std::uint16_t>(j),
+                      .rate_idx = static_cast<std::uint16_t>(st.rate_idx),
+                      .time_s = rec.finish,
+                      .task = st.task_id,
+                      .f0 = rec.start});
+          rc->record({.type = static_cast<std::uint8_t>(
+                          obs::dfr::EventType::kTaskFinish),
+                      .core = static_cast<std::uint16_t>(j),
+                      .time_s = rec.finish,
+                      .task = st.task_id,
+                      .f0 = rec.model_energy,
+                      .f1 = rec.finish - rec.start});
+        }
         {
           const std::scoped_lock lock(result_mutex);
           result.tasks.push_back(rec);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "dvfs/obs/recorder.h"
 #include "dvfs/obs/trace.h"
 #include "dvfs/sim/metrics.h"
 
@@ -145,15 +146,33 @@ void Engine::charge_transition(std::size_t core, std::size_t new_rate) {
           {{"rate_idx", obs::Json(static_cast<std::uint64_t>(new_rate))},
            {"ghz", obs::Json(models_[core].rates()[new_rate])}});
     }
+    if (recorder_ != nullptr) {
+      recorder_->record(
+          {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kFreqChange),
+           .core = static_cast<std::uint16_t>(core),
+           .rate_idx = static_cast<std::uint16_t>(new_rate),
+           .time_s = now_,
+           .f0 = models_[core].rates()[new_rate]});
+    }
     if (transition_latency_ > 0.0) c.stall_remaining += transition_latency_;
   }
   c.last_rate = new_rate;
 }
 
 void Engine::emit_task_span(std::size_t core, bool preempted) {
-  if (trace_ == nullptr) return;
   const CoreState& c = cores_[core];
   const TaskRecord& rec = result_.tasks[c.record_idx];
+  if (recorder_ != nullptr) {
+    recorder_->record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kSpanEnd),
+         .flags = preempted ? obs::dfr::kFlagPreempted : std::uint8_t{0},
+         .core = static_cast<std::uint16_t>(core),
+         .rate_idx = static_cast<std::uint16_t>(c.rate_idx),
+         .time_s = now_,
+         .task = rec.id,
+         .f0 = c.span_start});
+  }
+  if (trace_ == nullptr) return;
   obs::Json::Object args{
       {"task", obs::Json(rec.id)},
       {"rate_idx", obs::Json(static_cast<std::uint64_t>(c.rate_idx))}};
@@ -277,6 +296,15 @@ void Engine::start(std::size_t core, core::TaskId task,
   c.rate_idx = rate_idx;
   c.span_start = now_;
   stats_.starts.inc();
+  if (recorder_ != nullptr) {
+    recorder_->record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kTaskStart),
+         .core = static_cast<std::uint16_t>(core),
+         .rate_idx = static_cast<std::uint16_t>(rate_idx),
+         .time_s = now_,
+         .task = task,
+         .f0 = remaining_cycles});
+  }
   charge_transition(core, rate_idx);
   ++busy_count_;
   reschedule_completions();
@@ -353,9 +381,15 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
     }
     trace_->thread_name(gov_tid, "governor");
   }
+  if (recorder_ != nullptr) {
+    recorder_->record(
+        {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kRunBegin),
+         .core = static_cast<std::uint16_t>(num_cores()),
+         .time_s = now_});
+  }
   // Wraps a policy callback: the wall-clock spent inside it is the
   // governor's decision latency (simulated time stands still meanwhile).
-  const auto timed_call = [&](const char* what, auto&& fn) {
+  const auto timed_call = [&](obs::dfr::DecisionKind what, auto&& fn) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
     const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -363,10 +397,19 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
                              .count();
     stats_.decision_ns.observe(static_cast<std::uint64_t>(wall_ns));
     if (trace_ != nullptr) {
-      trace_->instant(gov_tid, what, now_ * kUsPerSimSecond,
+      trace_->instant(gov_tid, obs::dfr::to_string(what),
+                      now_ * kUsPerSimSecond,
                       {{"wall_ns", obs::Json(wall_ns)}});
       trace_->counter("busy_cores", now_ * kUsPerSimSecond,
                       static_cast<double>(busy_count_));
+    }
+    if (recorder_ != nullptr) {
+      recorder_->record(
+          {.type = static_cast<std::uint8_t>(obs::dfr::EventType::kDecision),
+           .aux = static_cast<std::uint16_t>(what),
+           .time_s = now_,
+           .f0 = static_cast<double>(wall_ns),
+           .f1 = static_cast<double>(busy_count_)});
     }
   };
 
@@ -391,7 +434,18 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
                                            .deadline = task.deadline});
         --arrivals_pending;
         stats_.arrivals.inc();
-        timed_call("on_arrival", [&] { policy.on_arrival(*this, task); });
+        if (recorder_ != nullptr) {
+          recorder_->record(
+              {.type = static_cast<std::uint8_t>(
+                   obs::dfr::EventType::kTaskArrival),
+               .aux = static_cast<std::uint16_t>(task.klass),
+               .time_s = now_,
+               .task = task.id,
+               .u0 = task.cycles,
+               .f0 = task.deadline});
+        }
+        timed_call(obs::dfr::DecisionKind::kOnArrival,
+                   [&] { policy.on_arrival(*this, task); });
         break;
       }
       case EventKind::kCompletion: {
@@ -408,14 +462,25 @@ SimResult Engine::run(const workload::Trace& trace, Policy& policy) {
         c.completion_event = ds::IndexedHeap<std::size_t>::kNullHandle;
         TaskRecord& rec = result_.tasks[c.record_idx];
         rec.finish = now_;
+        if (recorder_ != nullptr) {
+          recorder_->record(
+              {.type = static_cast<std::uint8_t>(
+                   obs::dfr::EventType::kTaskFinish),
+               .core = static_cast<std::uint16_t>(core),
+               .time_s = now_,
+               .task = rec.id,
+               .f0 = rec.energy,
+               .f1 = rec.turnaround()});
+        }
         reschedule_completions();
-        timed_call("on_complete",
+        timed_call(obs::dfr::DecisionKind::kOnComplete,
                    [&] { policy.on_complete(*this, core, rec.id); });
         break;
       }
       case EventKind::kTimer: {
         stats_.timers.inc();
-        timed_call("on_timer", [&] { policy.on_timer(*this); });
+        timed_call(obs::dfr::DecisionKind::kOnTimer,
+                   [&] { policy.on_timer(*this); });
         const bool work_left =
             arrivals_pending > 0 || busy_count_ > 0 || !policy.idle();
         if (work_left) {

@@ -1,0 +1,140 @@
+/// Prometheus exposition tests: registry-name mangling, text rendering
+/// (counter `_total` suffix, cumulative histogram buckets closing with
+/// `+Inf`), and the dependency-free HTTP endpoint end to end over a real
+/// loopback socket.
+#include "dvfs/obs/promtext.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "dvfs/obs/metrics.h"
+
+namespace dvfs::obs {
+namespace {
+
+TEST(PromText, NameMangling) {
+  EXPECT_EQ(prometheus_name("sim.tasks.started"), "dvfs_sim_tasks_started");
+  EXPECT_EQ(prometheus_name("rt.task_wall_ns"), "dvfs_rt_task_wall_ns");
+  EXPECT_EQ(prometheus_name("weird-name/x"), "dvfs_weird_name_x");
+}
+
+TEST(PromText, RendersEveryMetricKind) {
+  Registry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("a.gauge").set(1.5);
+  Histogram& h = reg.histogram("a.hist");
+  h.observe(1);  // bucket [1, 1]
+  h.observe(2);  // bucket [2, 3]
+  h.observe(3);  // bucket [2, 3]
+
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE dvfs_a_count_total counter\n"
+                      "dvfs_a_count_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dvfs_a_gauge gauge\n"
+                      "dvfs_a_gauge 1.5\n"),
+            std::string::npos);
+  // Buckets are cumulative: le="1" holds 1 observation, le="3" all three.
+  EXPECT_NE(text.find("# TYPE dvfs_a_hist histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("dvfs_a_hist_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dvfs_a_hist_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dvfs_a_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dvfs_a_hist_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("dvfs_a_hist_count 3\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PromText, CoversEveryRegistryMetric) {
+  Registry reg;
+  reg.counter("one").inc();
+  reg.counter("two").inc();
+  reg.gauge("three").set(0.0);
+  reg.histogram("four").observe(9);
+  const std::string text = prometheus_text(reg);
+  for (const char* name :
+       {"dvfs_one_total", "dvfs_two_total", "dvfs_three", "dvfs_four_count"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(PromText, ParseListen) {
+  EXPECT_EQ(parse_listen("9464").port, 9464);
+  EXPECT_EQ(parse_listen("9464").host, "0.0.0.0");
+  EXPECT_EQ(parse_listen(":8080").port, 8080);
+  EXPECT_EQ(parse_listen("127.0.0.1:81").host, "127.0.0.1");
+  EXPECT_EQ(parse_listen("127.0.0.1:81").port, 81);
+  EXPECT_EQ(parse_listen(":0").port, 0);
+  EXPECT_THROW(parse_listen("nope:port"), PreconditionError);
+  EXPECT_THROW(parse_listen("127.0.0.1:99999"), PreconditionError);
+  EXPECT_THROW(parse_listen(""), PreconditionError);
+}
+
+/// Minimal HTTP client: one request, reads until the peer closes.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServer, ServesMetricsAndRejectsOtherPaths) {
+  MetricsHttpServer server({.host = "127.0.0.1", .port = 0},
+                           [] { return std::string("payload 123\n"); });
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4; charset=utf-8"),
+            std::string::npos);
+  EXPECT_NE(ok.find("payload 123\n"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/other");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(MetricsHttpServer, ServesLiveRegistrySnapshot) {
+  Registry reg;
+  reg.counter("served.count").add(7);
+  MetricsHttpServer server({.host = "127.0.0.1", .port = 0},
+                           [&reg] { return prometheus_text(reg); });
+  server.start();
+  EXPECT_NE(http_get(server.port(), "/metrics")
+                .find("dvfs_served_count_total 7"),
+            std::string::npos);
+  reg.counter("served.count").add(1);
+  EXPECT_NE(http_get(server.port(), "/metrics")
+                .find("dvfs_served_count_total 8"),
+            std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace dvfs::obs

@@ -1,0 +1,235 @@
+/// Flight-recorder tests: SPSC ring semantics (overflow = exact tail-drop
+/// accounting, surviving prefix intact), `.dfr` file round-trips including
+/// the metrics epilogue, and the headline guarantee — replaying a
+/// recording reproduces the live run's Chrome trace byte for byte.
+#include "dvfs/obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dvfs/governors/lmc_policy.h"
+#include "dvfs/obs/trace.h"
+#include "dvfs/sim/engine.h"
+#include "dvfs/workload/generators.h"
+
+namespace dvfs::obs {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+dfr::Event event_at(double t, std::uint64_t task = 0) {
+  return {.type = static_cast<std::uint8_t>(dfr::EventType::kTaskArrival),
+          .time_s = t,
+          .task = task};
+}
+
+TEST(RecorderChannel, RoundsCapacityToPowerOfTwo) {
+  EXPECT_EQ(RecorderChannel(100).capacity(), 128u);
+  EXPECT_EQ(RecorderChannel(64).capacity(), 64u);
+  EXPECT_EQ(RecorderChannel(1).capacity(), 2u);
+}
+
+TEST(RecorderChannel, OverflowTailDropsWithExactCount) {
+  Recorder rec(1, 64);
+  RecorderChannel& ch = rec.channel(0);
+  ASSERT_EQ(ch.capacity(), 64u);
+  // 64 + 37 pushes: exactly the first 64 survive, exactly 37 drop.
+  for (int i = 0; i < 64 + 37; ++i) {
+    const bool kept = ch.record(event_at(static_cast<double>(i),
+                                         static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(kept, i < 64) << "push " << i;
+  }
+  EXPECT_EQ(ch.dropped(), 37u);
+  EXPECT_EQ(rec.events_dropped(), 37u);
+
+  rec.drain();
+  ASSERT_EQ(rec.events().size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(rec.events()[i].task, i) << "surviving prefix reordered";
+  }
+  // The ring is empty again after the drain: the freed slots accept new
+  // events without further drops.
+  EXPECT_TRUE(ch.record(event_at(1000.0)));
+  EXPECT_EQ(ch.dropped(), 37u);
+}
+
+TEST(RecorderChannel, OverflowedFileStillParsesAndReplays) {
+  Recorder rec(1, 16);
+  RecorderChannel& ch = rec.channel(0);
+  // A run prologue, then more spans than the ring holds.
+  ch.record({.type = static_cast<std::uint8_t>(dfr::EventType::kRunBegin),
+             .core = 2});
+  for (int i = 0; i < 40; ++i) {
+    ch.record({.type = static_cast<std::uint8_t>(dfr::EventType::kSpanEnd),
+               .core = static_cast<std::uint16_t>(i % 2),
+               .time_s = 1.0 + i,
+               .task = static_cast<std::uint64_t>(i),
+               .f0 = 0.5 + i});
+  }
+  ASSERT_GT(ch.dropped(), 0u);
+  rec.drain();
+
+  const std::string path = temp_path("dvfs_overflow.dfr");
+  rec.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.header.dropped, 41u - 16u);  // 1 + 40 pushed, 16 kept
+  EXPECT_EQ(loaded.events.size(), 16u);
+  ASSERT_TRUE(loaded.first_of(dfr::EventType::kRunBegin).has_value());
+
+  // The surviving prefix is a valid recording: replay must not trip any
+  // invariant even though the run is truncated mid-flight.
+  TraceWriter writer;
+  replay_to_trace(loaded, writer);
+  EXPECT_GT(writer.size(), 0u);
+}
+
+TEST(Recorder, FileRoundTripPreservesEventsAndHeader) {
+  Recorder rec(2, 64);
+  rec.channel(0).record(event_at(0.5, 1));
+  rec.channel(1).record(event_at(0.25, 2));
+  rec.channel(0).record(event_at(1.0, 3));
+  rec.drain();
+  // Multi-channel drains merge by timestamp.
+  ASSERT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.events()[0].task, 2u);
+  EXPECT_EQ(rec.events()[1].task, 1u);
+  EXPECT_EQ(rec.events()[2].task, 3u);
+
+  const std::string path = temp_path("dvfs_roundtrip.dfr");
+  rec.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.header.version, dfr::kFormatVersion);
+  EXPECT_EQ(loaded.header.num_channels, 2u);
+  EXPECT_EQ(loaded.header.dropped, 0u);
+  ASSERT_EQ(loaded.events.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.events[i].task, rec.events()[i].task);
+    EXPECT_EQ(loaded.events[i].time_s, rec.events()[i].time_s);
+  }
+  EXPECT_EQ(loaded.metrics, nullptr);  // no epilogue captured
+}
+
+TEST(Recorder, LoadRejectsGarbage) {
+  const std::string path = temp_path("dvfs_garbage.dfr");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a recording", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(Recording::load(path), PreconditionError);
+  std::remove(path.c_str());
+  EXPECT_THROW(Recording::load(path), PreconditionError);  // missing file
+}
+
+TEST(Recorder, MetricsEpilogueReproducesRegistryJson) {
+  Registry reg;
+  reg.counter("epi.count").add(41);
+  reg.gauge("epi.gauge").set(2.75);
+  Histogram& h = reg.histogram("epi.hist");
+  h.observe(1);
+  h.observe(100);
+  h.observe(100000);
+
+  Recorder rec(1, 16);
+  rec.channel(0).record(event_at(0.0));
+  rec.drain();
+  rec.capture_metrics(reg);
+
+  const std::string path = temp_path("dvfs_epilogue.dfr");
+  rec.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_NE(loaded.metrics, nullptr);
+  // The epilogue registry re-serializes through Registry::to_json, so the
+  // JSON — including derived mean/percentiles — matches a live dump
+  // exactly.
+  EXPECT_EQ(loaded.metrics->to_json().dump(1), reg.to_json().dump(1));
+}
+
+TEST(Recorder, ConcurrentProducersDrainCleanly) {
+  constexpr std::size_t kPerThread = 5000;
+  Recorder rec(2, 1 << 14);
+  std::thread a([&] {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      rec.channel(0).record(event_at(static_cast<double>(i), i));
+    }
+  });
+  std::thread b([&] {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      rec.channel(1).record(event_at(static_cast<double>(i) + 0.5,
+                                     kPerThread + i));
+    }
+  });
+  a.join();
+  b.join();
+  rec.drain();
+  ASSERT_EQ(rec.events().size(), 2 * kPerThread);
+  for (std::size_t i = 1; i < rec.events().size(); ++i) {
+    EXPECT_LE(rec.events()[i - 1].time_s, rec.events()[i].time_s);
+  }
+}
+
+// The headline determinism guarantee behind `dvfs_inspect replay`: a live
+// run writes its Chrome trace while the recorder captures events; the
+// recording alone must rebuild the identical trace document.
+TEST(Replay, ReproducesLiveTraceByteForByte) {
+  constexpr std::size_t kCores = 3;
+  const core::EnergyModel model = core::EnergyModel::icpp2014_table2();
+  workload::JudgegirlConfig cfg;
+  cfg.duration = 40.0;
+  cfg.non_interactive_tasks = 30;
+  cfg.interactive_tasks = 120;
+  const workload::Trace trace = workload::generate_judgegirl(cfg, 11);
+
+  governors::LmcPolicy policy(std::vector<core::CostTable>(
+      kCores, core::CostTable(model, core::CostParams{0.4, 0.1})));
+  sim::Engine engine(std::vector<core::EnergyModel>(kCores, model),
+                     sim::ContentionModel::none());
+  TraceWriter live;
+  Recorder rec(1, 1 << 20);
+  engine.set_trace_writer(&live);
+  engine.set_recorder(&rec.channel(0));
+  (void)engine.run(trace, policy);
+  rec.drain();
+  EXPECT_EQ(rec.events_dropped(), 0u);
+
+  // Round-trip through the file to cover the serialized path too.
+  const std::string path = temp_path("dvfs_replay.dfr");
+  rec.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+
+  TraceWriter replayed;
+  replay_to_trace(loaded, replayed);
+  ASSERT_EQ(replayed.size(), live.size());
+  EXPECT_EQ(replayed.to_json().dump(-1), live.to_json().dump(-1));
+}
+
+TEST(Replay, RequiresEmptyWriter) {
+  Recorder rec(1, 16);
+  rec.channel(0).record(
+      {.type = static_cast<std::uint8_t>(dfr::EventType::kRunBegin),
+       .core = 1});
+  rec.drain();
+  Recording recording;
+  recording.events = rec.events();
+  TraceWriter writer;
+  writer.counter("busy_cores", 0.0, 0.0);
+  EXPECT_THROW(replay_to_trace(recording, writer), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dvfs::obs

@@ -29,6 +29,24 @@ int run(const std::string& command) {
   return WEXITSTATUS(status);
 }
 
+std::string run_capture(const std::string& command, int* exit_code) {
+  std::FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  *exit_code = WEXITSTATUS(::pclose(pipe));
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
 class ToolsFixture : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -135,6 +153,91 @@ TEST_F(ToolsFixture, ExecuteRunsPlanOnRealThreads) {
             0);
   EXPECT_NE(run(tool("dvfs_execute") + " --plan " + dir_ + "/missing.csv"),
             0);
+}
+
+// The flight-recorder acceptance loop: a recorded simulation replayed
+// through dvfs_inspect must reproduce the live --trace-out/--metrics-out
+// files byte for byte. On failure the artifacts are preserved for CI
+// (DVFS_ARTIFACT_DIR) so the divergence can be audited offline.
+TEST_F(ToolsFixture, RecordedRunReplaysByteIdentical) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind judgegirl --seed 9 --duration 90 --submissions 25"
+                " --interactive 150 --out " + trace),
+            0);
+  const std::string dfr = dir_ + "/run.dfr";
+  ASSERT_EQ(run(tool("dvfs_simulate") + " --trace " + trace +
+                " --policy lmc --cores 3" +
+                " --trace-out " + dir_ + "/live_trace.json" +
+                " --metrics-out " + dir_ + "/live_metrics.json" +
+                " --record-out " + dfr),
+            0);
+  ASSERT_EQ(run(tool("dvfs_inspect") + " replay --in " + dfr +
+                " --trace-out " + dir_ + "/replay_trace.json" +
+                " --metrics-out " + dir_ + "/replay_metrics.json"),
+            0);
+  EXPECT_EQ(slurp(dir_ + "/live_trace.json"),
+            slurp(dir_ + "/replay_trace.json"));
+  EXPECT_EQ(slurp(dir_ + "/live_metrics.json"),
+            slurp(dir_ + "/replay_metrics.json"));
+  if (HasFailure()) {
+    if (const char* art = std::getenv("DVFS_ARTIFACT_DIR")) {
+      fs::create_directories(art);
+      for (const char* leaf : {"run.dfr", "live_trace.json",
+                               "replay_trace.json", "live_metrics.json",
+                               "replay_metrics.json"}) {
+        fs::copy_file(dir_ + "/" + leaf, std::string(art) + "/" + leaf,
+                      fs::copy_options::overwrite_existing);
+      }
+    }
+  }
+}
+
+TEST_F(ToolsFixture, InspectExplainAndAuditSmoke) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind poisson --rate 2 --duration 30 --seed 4 --out " +
+                trace),
+            0);
+  const std::string dfr = dir_ + "/run.dfr";
+  ASSERT_EQ(run(tool("dvfs_simulate") + " --trace " + trace +
+                " --policy lmc --cores 2 --record-out " + dfr),
+            0);
+  int code = 0;
+  const std::string info = run_capture(
+      tool("dvfs_inspect") + " info --in " + dfr, &code);
+  EXPECT_EQ(code, 0) << info;
+  EXPECT_NE(info.find("policy lmc"), std::string::npos) << info;
+
+  const std::string explain = run_capture(
+      tool("dvfs_inspect") + " explain --in " + dfr + " --task 0", &code);
+  EXPECT_EQ(code, 0) << explain;
+  EXPECT_NE(explain.find("arrival"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("finish"), std::string::npos) << explain;
+
+  const std::string audit = run_capture(
+      tool("dvfs_inspect") + " audit --in " + dfr, &code);
+  EXPECT_EQ(code, 0) << audit;
+  EXPECT_NE(audit.find("end-to-end"), std::string::npos) << audit;
+
+  // Error paths stay errors.
+  EXPECT_NE(run(tool("dvfs_inspect") + " info --in " + dir_ + "/nope.dfr"),
+            0);
+  EXPECT_NE(run(tool("dvfs_inspect") + " bogus --in " + dfr), 0);
+  EXPECT_NE(run(tool("dvfs_inspect") + " explain --in " + dfr +
+                " --task 99999999"),
+            0);
+}
+
+TEST_F(ToolsFixture, SimulateHelpDocumentsObservabilityFlags) {
+  int code = 0;
+  const std::string help = run_capture(tool("dvfs_simulate") + " --help",
+                                       &code);
+  EXPECT_EQ(code, 0);
+  for (const char* flag : {"--trace-out", "--metrics-out", "--record-out",
+                           "--listen", "--serve-seconds"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
 }
 
 TEST_F(ToolsFixture, PinDryRunTouchesNothing) {

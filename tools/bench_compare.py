@@ -27,7 +27,9 @@ regression are gated differently:
 
 Rows present only in the baseline fail (coverage loss); rows present only
 in the candidate are reported but pass (new benchmarks need a baseline
-refresh, not a red build). Exit status: 0 clean, 1 regression, 2 usage or
+refresh, not a red build). The same asymmetry applies per field: a quality
+field with no baseline value is noted and skipped, while one that vanishes
+from the candidate fails. Exit status: 0 clean, 1 regression, 2 usage or
 I/O error.
 """
 
@@ -94,8 +96,23 @@ def compare_reports(base_doc, cand_doc, suite, opts, failures, notes):
                 f"{opts.wall_tolerance * 100.0:.0f}% allowed)"
             )
         for field in QUALITY_FIELDS:
-            bval = float(brow.get(field, 0.0))
-            cval = float(crow.get(field, 0.0))
+            if field not in brow:
+                # The row predates this field (a bench just started
+                # reporting it): nothing to gate against. Comparing to an
+                # implicit 0.0 would fail every nonzero candidate value.
+                if field in crow:
+                    notes.append(
+                        f"{label}: {field} has no baseline value; not gated"
+                    )
+                continue
+            if field not in crow:
+                failures.append(
+                    f"{label}: {field} missing from candidate (field "
+                    f"coverage loss)"
+                )
+                continue
+            bval = float(brow[field])
+            cval = float(crow[field])
             if cval > bval * (1.0 + opts.quality_tolerance) + opts.quality_tolerance:
                 failures.append(
                     f"{label}: {field} {bval:.6g} -> {cval:.6g} (any increase fails)"
@@ -119,8 +136,12 @@ def merge_min(docs):
                 merged["rows"].append(row)
                 continue
             for field in ("wall_ns", *QUALITY_FIELDS):
-                prev[field] = min(float(prev.get(field, 0.0)),
-                                  float(row.get(field, 0.0)))
+                # Only merge fields a run actually reported; defaulting an
+                # absent field to 0.0 would both fabricate a value and
+                # clobber the real one from the other run.
+                present = [float(d[field]) for d in (prev, row) if field in d]
+                if present:
+                    prev[field] = min(present)
     return merged
 
 
@@ -235,6 +256,24 @@ def self_test():
 
     extra = copy.deepcopy(base) + [_mk_row("new")]
     check("new row passes with a note", base, extra, 0)
+
+    # A bench that just started reporting a quality field must not be
+    # gated against an implicit 0.0 baseline.
+    no_energy_base = copy.deepcopy(base)
+    del no_energy_base[1]["energy_j"]
+    check("new quality field passes with a note", no_energy_base,
+          copy.deepcopy(base), 0)
+
+    lost_field = copy.deepcopy(base)
+    del lost_field[1]["energy_j"]
+    check("quality field dropped from candidate fails", base, lost_field, 1)
+
+    # Merging runs must not fabricate absent fields as 0.0 (which would
+    # mask a real regression behind a phantom minimum).
+    sparse_run = copy.deepcopy(worse_cost)
+    del sparse_run[1]["cost"]
+    check("min-of-N ignores absent fields when merging", base,
+          [copy.deepcopy(worse_cost), sparse_run], 1)
 
     worse_energy = copy.deepcopy(base)
     worse_energy[1]["energy_j"] = 50.5

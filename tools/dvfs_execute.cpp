@@ -10,10 +10,12 @@
 ///   --model       table2 | cubic:<n>                       (default table2)
 ///   --time-scale  wall seconds per model second            (default 1e-3)
 ///   --pin         pin worker threads to CPUs (best effort)
+///   --record-out  write a .dfr flight recording of the execution
 #include <cstdio>
 #include <set>
 
 #include "dvfs/core/plan_io.h"
+#include "dvfs/obs/recorder.h"
 #include "dvfs/rt/executor.h"
 #include "tool_common.h"
 
@@ -21,7 +23,8 @@ int main(int argc, char** argv) {
   using namespace dvfs;
   return tools::run_tool([&] {
     const util::Args args(argc, argv,
-                          {"plan", "model", "time-scale", "pin"});
+                          {"plan", "model", "time-scale", "pin",
+                           "record-out"});
     const core::Plan plan = core::read_plan_csv_file(args.get_string("plan"));
     const core::EnergyModel model =
         tools::model_from_flag(args.get_string("model", "table2"));
@@ -42,7 +45,18 @@ int main(int argc, char** argv) {
 
     rt::RealtimeExecutor exec(
         model, {.time_scale = scale, .pin_threads = args.has("pin")});
+    // One SPSC channel per worker thread (the executor requires it).
+    obs::Recorder recorder(std::max<std::size_t>(1, plan.num_cores()));
+    if (args.has("record-out")) exec.set_recorder(&recorder);
     const rt::RtResult r = exec.execute(plan);
+    if (args.has("record-out")) {
+      recorder.drain();
+      recorder.capture_metrics(obs::Registry::global());
+      const std::string path = args.get_string("record-out");
+      recorder.write_file(path);
+      std::printf("wrote %zu recorded events to %s\n",
+                  recorder.events().size(), path.c_str());
+    }
 
     std::printf("done: %zu tasks, wall makespan %.3f s "
                 "(model: %.3f s, drift %+.2f%%)\n",

@@ -1,0 +1,344 @@
+/// dvfs_inspect: read a `.dfr` flight recording back out as human answers.
+///
+///   dvfs_inspect info    --in run.dfr
+///   dvfs_inspect replay  --in run.dfr --trace-out t.json --metrics-out m.json
+///   dvfs_inspect explain --in run.dfr --task 17
+///   dvfs_inspect audit   --in run.dfr [--model table2] [--re R] [--rt R]
+///
+/// Subcommands:
+///   info     header + event census: what is in the recording
+///   replay   rebuild the Chrome trace / metrics JSON the live run would
+///            have written (byte-identical to --trace-out / --metrics-out)
+///   explain  one task's full story: arrival, every candidate core the
+///            governor priced with the losing margins, starts,
+///            preemptions, finish, energy and turnaround
+///   audit    re-plan every recorded placement offline (Workload Based
+///            Greedy over the reconstructed queue) and report the realized
+///            optimality gap, per decision and end to end
+///
+/// Flags:
+///   --in          input .dfr recording                  (required)
+///   --trace-out   replay: write Chrome trace JSON here
+///   --metrics-out replay: write metrics-registry JSON here
+///   --task        explain: task id to explain           (required)
+///   --model       audit: table2 | cubic:<n>             (default table2)
+///   --re, --rt    audit: cost weights (default: the recorded kParams)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dvfs/core/batch_multi.h"
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/schedule.h"
+#include "dvfs/core/task.h"
+#include "dvfs/obs/recorder.h"
+#include "dvfs/obs/trace.h"
+#include "tool_common.h"
+
+namespace {
+
+using namespace dvfs;
+using obs::dfr::Event;
+using obs::dfr::EventType;
+
+[[nodiscard]] constexpr const char* type_name(EventType t) {
+  switch (t) {
+    case EventType::kNone: return "none";
+    case EventType::kRunBegin: return "run_begin";
+    case EventType::kParams: return "params";
+    case EventType::kTaskArrival: return "task_arrival";
+    case EventType::kTaskStart: return "task_start";
+    case EventType::kSpanEnd: return "span_end";
+    case EventType::kTaskFinish: return "task_finish";
+    case EventType::kFreqChange: return "freq_change";
+    case EventType::kDecision: return "decision";
+    case EventType::kCandidate: return "candidate";
+    case EventType::kPlacement: return "placement";
+    case EventType::kReplan: return "replan";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* policy_name(obs::dfr::PolicyKind k) {
+  switch (k) {
+    case obs::dfr::PolicyKind::kLmc: return "lmc";
+    case obs::dfr::PolicyKind::kWbgRebalance: return "wbg-rebalance";
+    case obs::dfr::PolicyKind::kFifo: return "fifo";
+    case obs::dfr::PolicyKind::kPlannedBatch: return "planned-batch";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* scope_name(obs::dfr::DecisionScope s) {
+  switch (s) {
+    case obs::dfr::DecisionScope::kNonInteractive: return "non-interactive";
+    case obs::dfr::DecisionScope::kInteractive: return "interactive";
+    case obs::dfr::DecisionScope::kFifo: return "fifo";
+    case obs::dfr::DecisionScope::kPlanned: return "planned";
+  }
+  return "?";
+}
+
+int cmd_info(const obs::Recording& rec) {
+  std::printf("format v%u | %u channel(s) | %zu events | %llu dropped\n",
+              rec.header.version, rec.header.num_channels, rec.events.size(),
+              static_cast<unsigned long long>(rec.header.dropped));
+  if (const auto p = rec.first_of(EventType::kParams)) {
+    std::printf("policy %s on %u cores",
+                policy_name(static_cast<obs::dfr::PolicyKind>(p->aux)),
+                p->core);
+    if (p->f0 != 0.0 || p->f1 != 0.0) {
+      std::printf(" (Re=%g Rt=%g)", p->f0, p->f1);
+    }
+    std::printf("\n");
+  }
+  std::map<std::uint8_t, std::size_t> census;
+  double t_end = 0.0;
+  for (const Event& e : rec.events) {
+    ++census[e.type];
+    t_end = std::max(t_end, e.time_s);
+  }
+  std::printf("span: %.6f s\n", t_end);
+  for (const auto& [type, n] : census) {
+    std::printf("  %-14s %zu\n", type_name(static_cast<EventType>(type)), n);
+  }
+  std::printf("metrics epilogue: %s\n", rec.metrics ? "yes" : "no");
+  return 0;
+}
+
+int cmd_replay(const obs::Recording& rec, const util::Args& args) {
+  bool wrote = false;
+  if (args.has("trace-out")) {
+    obs::TraceWriter writer;
+    obs::replay_to_trace(rec, writer);
+    const std::string path = args.get_string("trace-out");
+    writer.write_file(path);
+    std::printf("replayed %zu trace events to %s\n", writer.size(),
+                path.c_str());
+    wrote = true;
+  }
+  if (args.has("metrics-out")) {
+    DVFS_REQUIRE(rec.metrics != nullptr,
+                 "recording has no metrics epilogue (record with "
+                 "dvfs_simulate --record-out, which captures one)");
+    const std::string path = args.get_string("metrics-out");
+    obs::write_json_file(path, rec.metrics->to_json());
+    std::printf("replayed metrics snapshot to %s\n", path.c_str());
+    wrote = true;
+  }
+  DVFS_REQUIRE(wrote, "replay needs --trace-out and/or --metrics-out");
+  return 0;
+}
+
+int cmd_explain(const obs::Recording& rec, const util::Args& args) {
+  const core::TaskId id = args.get_u64("task");
+  bool seen = false;
+  // Candidate runs are buffered until their closing kPlacement so the
+  // table can be printed sorted by cost with the margin to the winner.
+  std::vector<Event> candidates;
+  for (const Event& e : rec.events) {
+    if (e.task != id) continue;
+    seen = true;
+    switch (static_cast<EventType>(e.type)) {
+      case EventType::kTaskArrival:
+        std::printf("t=%-12.6f arrival  class=%s cycles=%llu", e.time_s,
+                    core::to_string(static_cast<core::TaskClass>(e.aux)),
+                    static_cast<unsigned long long>(e.u0));
+        if (std::isfinite(e.f0)) std::printf(" deadline=%.6f", e.f0);
+        std::printf("\n");
+        break;
+      case EventType::kCandidate:
+        candidates.push_back(e);
+        break;
+      case EventType::kPlacement: {
+        std::printf("t=%-12.6f placed   core=%u scope=%s cost=%.6f", e.time_s,
+                    e.core,
+                    scope_name(static_cast<obs::dfr::DecisionScope>(e.aux)),
+                    e.f0);
+        if (e.u0 != 0) {
+          std::printf(" est_cycles=%llu",
+                      static_cast<unsigned long long>(e.u0));
+        }
+        if (e.f1 != 0.0) std::printf(" queue_cost_after=%.6f", e.f1);
+        std::printf("\n");
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const Event& a, const Event& b) {
+                           return a.f0 < b.f0;
+                         });
+        const double chosen_cost = e.f0;
+        for (const Event& c : candidates) {
+          const bool won = (c.flags & obs::dfr::kFlagChosen) != 0;
+          std::printf("    core %-3u cost=%.6f  %s%+.6f vs chosen%s\n",
+                      c.core, c.f0, won ? "CHOSEN (" : "       (",
+                      c.f0 - chosen_cost, ")");
+        }
+        candidates.clear();
+        break;
+      }
+      case EventType::kTaskStart:
+        std::printf("t=%-12.6f start    core=%u rate_idx=%u "
+                    "remaining_cycles=%.0f\n",
+                    e.time_s, e.core, e.rate_idx, e.f0);
+        break;
+      case EventType::kSpanEnd:
+        if ((e.flags & obs::dfr::kFlagPreempted) != 0) {
+          std::printf("t=%-12.6f PREEMPT  core=%u (ran %.6f s)\n", e.time_s,
+                      e.core, e.time_s - e.f0);
+        }
+        break;
+      case EventType::kTaskFinish:
+        std::printf("t=%-12.6f finish   core=%u energy=%.4f J "
+                    "turnaround=%.6f s\n",
+                    e.time_s, e.core, e.f0, e.f1);
+        break;
+      default:
+        break;
+    }
+  }
+  DVFS_REQUIRE(seen, "task " + std::to_string(id) + " not in the recording");
+  return 0;
+}
+
+int cmd_audit(const obs::Recording& rec, const util::Args& args) {
+  const auto params = rec.first_of(EventType::kParams);
+  const auto begin = rec.first_of(EventType::kRunBegin);
+  const double re =
+      args.has("re") ? args.get_double("re") : (params ? params->f0 : 0.4);
+  const double rt =
+      args.has("rt") ? args.get_double("rt") : (params ? params->f1 : 0.1);
+  const std::size_t cores =
+      begin ? begin->core : (params ? params->core : 0);
+  DVFS_REQUIRE(cores > 0, "recording has no run_begin/params event");
+  const core::EnergyModel model =
+      tools::model_from_flag(args.get_string("model", "table2"));
+  const std::vector<core::CostTable> tables(
+      cores, core::CostTable(model, core::CostParams{re, rt}));
+
+  std::printf("audit: %zu cores, Re=%g Rt=%g, model %s\n", cores, re, rt,
+              args.get_string("model", "table2").c_str());
+
+  // Replay the event stream, maintaining the queued-task set the governor
+  // saw, and price each recorded non-interactive placement against a
+  // clairvoyant offline replan of that same queue.
+  std::map<core::TaskId, Event> arrivals;  // id -> kTaskArrival
+  std::set<core::TaskId> started;
+  std::size_t decisions = 0;
+  double worst_gap = 0.0, sum_gap = 0.0;
+  Joules realized_energy = 0.0;
+  Seconds realized_turnaround = 0.0;
+  std::size_t finished = 0;
+  for (const Event& e : rec.events) {
+    switch (static_cast<EventType>(e.type)) {
+      case EventType::kTaskArrival:
+        arrivals.emplace(e.task, e);
+        break;
+      case EventType::kTaskStart:
+        started.insert(e.task);
+        break;
+      case EventType::kTaskFinish:
+        realized_energy += e.f0;
+        realized_turnaround += e.f1;
+        ++finished;
+        break;
+      case EventType::kPlacement: {
+        if (static_cast<obs::dfr::DecisionScope>(e.aux) !=
+                obs::dfr::DecisionScope::kNonInteractive ||
+            e.f1 == 0.0) {
+          break;
+        }
+        // The queue at this instant: non-interactive tasks that have
+        // arrived but not started (the just-placed task included — its
+        // kTaskStart, if immediate, follows this event in the stream).
+        std::vector<core::Task> queued;
+        for (const auto& [id, a] : arrivals) {
+          if (started.contains(id)) continue;
+          if (static_cast<core::TaskClass>(a.aux) ==
+              core::TaskClass::kInteractive) {
+            continue;
+          }
+          queued.push_back(core::Task{.id = id, .cycles = a.u0});
+        }
+        if (queued.empty()) break;
+        const core::Plan plan = core::workload_based_greedy(queued, tables);
+        const Money offline = core::evaluate_plan(plan, tables).total();
+        const double gap =
+            offline > 0.0 ? e.f1 / offline - 1.0 : 0.0;
+        ++decisions;
+        sum_gap += gap;
+        if (gap > worst_gap) worst_gap = gap;
+        std::printf("  t=%-12.6f task=%-6llu core=%u queue_cost=%.4f "
+                    "offline_wbg=%.4f gap=%+.2f%%\n",
+                    e.time_s, static_cast<unsigned long long>(e.task), e.core,
+                    e.f1, offline, gap * 100.0);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (decisions > 0) {
+    std::printf("%zu audited decisions: mean gap %+.2f%%, worst %+.2f%%\n",
+                decisions, sum_gap / static_cast<double>(decisions) * 100.0,
+                worst_gap * 100.0);
+  } else {
+    std::printf("no non-interactive LMC placements to audit\n");
+  }
+
+  // End-to-end: what the run actually cost vs a clairvoyant batch plan
+  // over every recorded task (all arrive at 0 — a bound the online
+  // governor cannot reach when arrivals are spread out).
+  if (finished > 0 && !arrivals.empty()) {
+    std::vector<core::Task> all;
+    for (const auto& [id, a] : arrivals) {
+      all.push_back(core::Task{.id = id, .cycles = a.u0});
+    }
+    const core::Plan plan = core::workload_based_greedy(all, tables);
+    const Money offline = core::evaluate_plan(plan, tables).total();
+    const Money realized = re * realized_energy + rt * realized_turnaround;
+    std::printf("end-to-end: realized cost %.4f (energy %.1f J, turnaround "
+                "%.1f s over %zu tasks)\n",
+                realized, realized_energy, realized_turnaround, finished);
+    std::printf("            offline WBG bound %.4f", offline);
+    if (offline > 0.0) {
+      std::printf(" -> realized gap %+.2f%%", (realized / offline - 1.0) * 100.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+constexpr const char* kUsage =
+    "usage: dvfs_inspect <info|replay|explain|audit> --in run.dfr\n"
+    "  info     recording header and event census\n"
+    "  replay   --trace-out t.json --metrics-out m.json (byte-identical to\n"
+    "           the live run's --trace-out/--metrics-out)\n"
+    "  explain  --task <id>: that task's decisions, candidates and timeline\n"
+    "  audit    [--model table2|cubic:<n>] [--re R] [--rt R]: offline WBG\n"
+    "           replan of each recorded placement + end-to-end gap\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dvfs::tools::run_tool([&] {
+    const dvfs::util::Args args(argc, argv,
+                                {"in", "trace-out", "metrics-out", "task",
+                                 "model", "re", "rt", "help"});
+    if (args.has("help") || args.positional().empty()) {
+      std::fputs(kUsage, stdout);
+      return args.has("help") ? 0 : 2;
+    }
+    const std::string cmd = args.positional().front();
+    const dvfs::obs::Recording rec =
+        dvfs::obs::Recording::load(args.get_string("in"));
+    if (cmd == "info") return cmd_info(rec);
+    if (cmd == "replay") return cmd_replay(rec, args);
+    if (cmd == "explain") return cmd_explain(rec, args);
+    if (cmd == "audit") return cmd_audit(rec, args);
+    DVFS_REQUIRE(false, "unknown subcommand (want info|replay|explain|audit): " + cmd);
+    return 2;
+  });
+}

@@ -14,9 +14,19 @@
 ///   --contention  co-run slowdown alpha                (default 0)
 ///   --trace-out   write a Chrome trace_event JSON timeline here
 ///   --metrics-out write a metrics-registry JSON snapshot here
+///   --record-out  write a .dfr flight recording here (replay/explain/
+///                 audit it later with dvfs_inspect)
+///   --record-capacity  recorder ring slots (default: sized to the trace)
+///   --listen      serve /metrics (Prometheus text) on ":9464"-style
+///                 host:port after the run
+///   --serve-seconds    with --listen: exit after N seconds (default 0 =
+///                 serve until interrupted)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "dvfs/core/plan_io.h"
@@ -24,10 +34,33 @@
 #include "dvfs/governors/lmc_policy.h"
 #include "dvfs/governors/planned_policy.h"
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/promtext.h"
+#include "dvfs/obs/recorder.h"
 #include "dvfs/obs/trace.h"
 #include "dvfs/sim/engine.h"
 #include "dvfs/workload/trace.h"
 #include "tool_common.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: dvfs_simulate --trace t.csv --policy lmc [flags]\n"
+    "  --trace PATH         input workload trace CSV          (required)\n"
+    "  --policy NAME        lmc | olb | od | ps | planned     (required)\n"
+    "  --plan PATH          plan CSV (policy=planned only)\n"
+    "  --cores N            core count                        (default 4)\n"
+    "  --re R, --rt R       cost weights                      (0.4 / 0.1)\n"
+    "  --model SPEC         table2 | cubic:<n>                (table2)\n"
+    "  --contention A       co-run slowdown alpha             (0)\n"
+    "  --trace-out PATH     Chrome trace_event JSON timeline\n"
+    "  --metrics-out PATH   metrics-registry JSON snapshot\n"
+    "  --record-out PATH    .dfr flight recording (dvfs_inspect replays\n"
+    "                       it into the two files above byte-for-byte)\n"
+    "  --record-capacity N  recorder ring slots (default: trace-sized)\n"
+    "  --listen HOST:PORT   serve Prometheus /metrics after the run\n"
+    "  --serve-seconds N    with --listen: exit after N s (0 = forever)\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dvfs;
@@ -35,7 +68,12 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv,
                           {"trace", "policy", "plan", "cores", "re", "rt",
                            "model", "contention", "trace-out",
-                           "metrics-out"});
+                           "metrics-out", "record-out", "record-capacity",
+                           "listen", "serve-seconds", "help"});
+    if (args.has("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
     const workload::Trace trace =
         workload::read_csv_file(args.get_string("trace"));
     const std::string policy_name = args.get_string("policy");
@@ -76,12 +114,38 @@ int main(int argc, char** argv) {
                        contention);
     obs::TraceWriter tracer;
     if (args.has("trace-out")) engine.set_trace_writer(&tracer);
+    // Ring sized so a normal run never drops: every task costs at most
+    // ~16 events plus up to two candidate/decision events per core.
+    const std::size_t auto_capacity = std::clamp<std::size_t>(
+        trace.size() * (16 + 2 * cores), std::size_t{1} << 16,
+        std::size_t{1} << 22);
+    obs::Recorder recorder(
+        /*num_channels=*/1,
+        args.has("record-capacity") ? args.get_u64("record-capacity")
+                                    : auto_capacity);
+    if (args.has("record-out")) engine.set_recorder(&recorder.channel(0));
     const sim::SimResult r = engine.run(trace, *policy);
     if (args.has("trace-out")) {
       const std::string path = args.get_string("trace-out");
       tracer.write_file(path);
       std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
                   tracer.size(), path.c_str());
+    }
+    if (args.has("record-out")) {
+      recorder.drain();
+      recorder.capture_metrics(obs::Registry::global());
+      const std::string path = args.get_string("record-out");
+      recorder.write_file(path);
+      std::printf("wrote %zu recorded events to %s (inspect with "
+                  "dvfs_inspect)\n",
+                  recorder.events().size(), path.c_str());
+      if (recorder.events_dropped() > 0) {
+        std::fprintf(stderr,
+                     "warning: recorder ring overflowed, %llu events "
+                     "dropped (raise --record-capacity)\n",
+                     static_cast<unsigned long long>(
+                         recorder.events_dropped()));
+      }
     }
     if (args.has("metrics-out")) {
       const std::string path = args.get_string("metrics-out");
@@ -110,6 +174,24 @@ int main(int argc, char** argv) {
         std::printf(" %.1fGHz=%.0f%%", model.rates()[i], share[i] * 100.0);
       }
       std::printf("\n");
+    }
+    if (args.has("listen")) {
+      obs::MetricsHttpServer server(
+          obs::parse_listen(args.get_string("listen")),
+          [] { return obs::prometheus_text(obs::Registry::global()); });
+      server.start();
+      std::printf("serving Prometheus metrics on port %u at /metrics\n",
+                  server.port());
+      std::fflush(stdout);
+      const std::uint64_t serve_s = args.get_u64("serve-seconds", 0);
+      if (serve_s > 0) {
+        std::this_thread::sleep_for(std::chrono::seconds(serve_s));
+      } else {
+        while (true) {
+          std::this_thread::sleep_for(std::chrono::seconds(3600));
+        }
+      }
+      server.stop();
     }
     return 0;
   });

@@ -12,11 +12,13 @@
 /// the bare one; "cheap enough to leave on" is a gated claim, not a hope.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "bench_gbench.h"
 #include "dvfs/core/online_lmc.h"
+#include "dvfs/obs/hw_telemetry.h"
 #include "dvfs/obs/recorder.h"
 
 namespace {
@@ -112,6 +114,37 @@ void BM_PlaceNonInteractiveRecorded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlaceNonInteractiveRecorded)
+    ->ArgsProduct({{1, 4, 16}, {16, 256, 4096}});
+
+// Placement with hardware-telemetry span sampling riding along: the
+// timer-backed provider (two CLOCK_THREAD_CPUTIME_ID reads plus the span
+// bookkeeping) is the unprivileged path every worker thread takes when
+// `--hw` is on, so it is the overhead that must stay within the same
+// 25% wall gate as the bare placement. Rows are gated once they enter
+// bench/baselines (new rows pass with a note until the next refresh).
+void BM_PlaceNonInteractiveSampled(benchmark::State& state) {
+  const std::size_t cores = static_cast<std::size_t>(state.range(0));
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  auto lmc = prefilled(cores, depth, 11);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<Cycles> cyc(1'000'000, 10'000'000'000ULL);
+  core::TaskId id = 1'000'000;
+  obs::hw::LinuxHwProvider provider(
+      {.counters = obs::hw::LinuxHwProvider::Counters::kTimer,
+       .energy = obs::hw::LinuxHwProvider::Energy::kModel,
+       .respect_env = false});
+  const std::unique_ptr<obs::hw::ThreadTelemetry> telemetry =
+      provider.open_thread_telemetry(0);
+  for (auto _ : state) {
+    const Cycles c = cyc(rng);
+    const obs::hw::SpanPrediction predicted{c, 1e-6, 1e-6};
+    telemetry->begin_span(predicted);
+    const auto p = lmc.place_non_interactive(c, id++);
+    benchmark::DoNotOptimize(telemetry->end_span(predicted));
+    lmc.erase(p.core, p.ref);
+  }
+}
+BENCHMARK(BM_PlaceNonInteractiveSampled)
     ->ArgsProduct({{1, 4, 16}, {16, 256, 4096}});
 
 void BM_ChooseInteractiveCore(benchmark::State& state) {

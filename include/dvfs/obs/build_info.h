@@ -1,0 +1,22 @@
+/// \file build_info.h
+/// \brief The standard `build_info` gauge: a constant-1 metric whose
+///        labels carry the build's identity (version, compiler, build
+///        type), following the Prometheus convention for exposing version
+///        information as labels rather than values.
+#pragma once
+
+#include <string>
+
+namespace dvfs::obs {
+
+class Registry;
+
+/// The fully labeled registry name, e.g.
+/// `build_info{version="1.0.0",compiler="GNU 13.2.0",build_type="Release"}`.
+/// Label values are escaped for Prometheus text exposition.
+[[nodiscard]] const std::string& build_info_metric_name();
+
+/// Registers the gauge in `registry` and sets it to 1. Idempotent.
+void register_build_info(Registry& registry);
+
+}  // namespace dvfs::obs

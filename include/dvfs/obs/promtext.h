@@ -15,6 +15,12 @@
 /// namespace, so `sim.tasks.started` scrapes as
 /// `dvfs_sim_tasks_started_total`.
 ///
+/// A registry name may carry a literal label block —
+/// `build_info{version="1.0.0"}` — built with `prometheus_labels()`
+/// (which escapes the values). Only the part before `{` is mangled; for
+/// counters the `_total` suffix is inserted before the label block, as
+/// the exposition format requires.
+///
 /// `MetricsHttpServer` is the transport: a blocking accept loop on a
 /// background thread speaking just enough HTTP/1.1 for `curl` and a
 /// Prometheus scraper — GET `/metrics` returns the body the supplied
@@ -26,8 +32,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <thread>
+#include <utility>
 
 namespace dvfs::obs {
 
@@ -37,7 +45,14 @@ class Registry;
 [[nodiscard]] std::string prometheus_text(const Registry& registry);
 
 /// `sim.tasks.started` → `dvfs_sim_tasks_started` (no kind suffix).
+/// A `{...}` label block, if present, passes through unmangled.
 [[nodiscard]] std::string prometheus_name(const std::string& registry_name);
+
+/// Renders `{k="v",...}` with label *values* escaped per the exposition
+/// format (backslash, double quote, newline). Keys must already be valid
+/// label names. Empty list renders as "".
+[[nodiscard]] std::string prometheus_labels(
+    std::initializer_list<std::pair<std::string, std::string>> labels);
 
 /// Minimal scrape endpoint. Construct, `start()`, `stop()` (also runs on
 /// destruction). The body callback runs on the server thread per request

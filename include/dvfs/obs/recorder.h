@@ -136,8 +136,15 @@ struct Recording {
   /// re-serializes through the same code path as a live dump).
   std::shared_ptr<Registry> metrics;
 
-  /// Parses `path`. Throws dvfs::PreconditionError on bad magic, version
-  /// mismatch, or truncation mid-record.
+  /// Non-empty when the file carried an epilogue that could not be parsed
+  /// (torn tail after a crash mid-write). The event prefix is still
+  /// loaded; `metrics` stays null.
+  std::string epilogue_note;
+
+  /// Parses `path`. Throws dvfs::PreconditionError on bad magic, an
+  /// unsupported version (accepted: kMinFormatVersion..kFormatVersion),
+  /// or truncation mid-record. A torn metrics epilogue is tolerated: the
+  /// events load and `epilogue_note` says why the metrics did not.
   static Recording load(const std::string& path);
 
   [[nodiscard]] std::optional<dfr::Event> first_of(dfr::EventType t) const;

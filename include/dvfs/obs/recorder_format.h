@@ -32,7 +32,11 @@ namespace dvfs::obs::dfr {
 inline constexpr std::uint32_t kFileMagic = 0x31524644u;
 /// "DFRM": starts the optional metrics-snapshot epilogue.
 inline constexpr std::uint32_t kMetricsMagic = 0x4d524644u;
-inline constexpr std::uint8_t kFormatVersion = 1;
+/// v2 added the hardware-telemetry events kHwPlanned/kHwSpan (append-only
+/// — Event and FileHeader layouts are unchanged, so readers accept both
+/// versions; see kMinFormatVersion).
+inline constexpr std::uint8_t kFormatVersion = 2;
+inline constexpr std::uint8_t kMinFormatVersion = 1;
 
 /// What a 48-byte record means. Values are part of the format: append
 /// only, never renumber.
@@ -70,6 +74,16 @@ enum class EventType : std::uint8_t {
   kPlacement = 10,
   /// A WBG full replan. u0 = tasks replanned, aux = migrations caused.
   kReplan = 11,
+  /// (v2) What the model predicted an execution span would cost, emitted
+  /// just before the span runs. u0 = predicted cycles, f0 = predicted
+  /// joules, f1 = predicted wall seconds (time-scaled).
+  kHwPlanned = 12,
+  /// (v2) What hardware telemetry measured for the span, emitted at span
+  /// end. u0 = measured cycles, f0 = measured joules (already attributed
+  /// across busy workers when the meter is package-wide), f1 = measured
+  /// seconds, aux = the three provenance labels packed 5 bits each
+  /// (see obs::hw::encode_sources).
+  kHwSpan = 13,
 };
 
 /// Bit flags (Event::flags).

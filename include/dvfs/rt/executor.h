@@ -19,9 +19,13 @@
 ///  * results come back as per-task wall-clock records comparable against
 ///    the analytic model, closing the same loop as the paper's Fig. 1.
 ///
-/// Energy cannot be measured without a meter; it is charged from the
-/// model (cycles * E(rate)), which is the quantity the executor's caller
-/// already decided to trust.
+/// Energy and counters are *measured* when a hardware telemetry provider
+/// is attached (perf counters, RAPL via /sys/class/powercap — see
+/// obs/hw_telemetry.h); anything the host cannot measure is charged from
+/// the model and explicitly labeled so. Without a provider the executor
+/// behaves as before: energy is charged from the model (cycles *
+/// E(rate)), which is the quantity the executor's caller already decided
+/// to trust.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,8 @@
 
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/schedule.h"
+#include "dvfs/obs/drift.h"
+#include "dvfs/obs/hw_telemetry.h"
 
 namespace dvfs::obs {
 class Recorder;
@@ -62,12 +68,17 @@ struct RtTaskRecord {
   Seconds start = 0.0;            ///< wall time since run start
   Seconds finish = 0.0;
   Joules model_energy = 0.0;      ///< cycles * E(rate)
+  /// Hardware telemetry for the span, when a provider was attached;
+  /// sources stay kUnavailable otherwise.
+  obs::hw::SpanMeasurement measured;
 };
 
 struct RtResult {
   std::vector<RtTaskRecord> tasks;  ///< completion order (cross-core)
   Seconds wall_makespan = 0.0;
   Joules model_energy = 0.0;
+  /// Aggregate measured/predicted ratios; zeros without a provider.
+  obs::hw::DriftSummary drift;
 
   /// Largest |measured - planned| / planned over all tasks: how far real
   /// execution drifted from the model (scheduler jitter, clock overhead).
@@ -99,11 +110,22 @@ class RealtimeExecutor {
   /// wall-clock seconds since run start as their timestamp.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches a hardware telemetry provider for subsequent execute()
+  /// calls; nullptr detaches. Each worker opens its own per-thread
+  /// session (open_thread_telemetry runs on the worker thread, as perf
+  /// requires), spans are bracketed around the spin, drift ratios are
+  /// tracked in the global registry, and — when a recorder is also
+  /// attached — kHwPlanned/kHwSpan events are emitted (`.dfr` v2).
+  void set_hw_provider(obs::hw::HwProvider* provider) {
+    hw_provider_ = provider;
+  }
+
  private:
   core::EnergyModel model_;
   Config config_;
   SpinCalibrator calibrator_;
   obs::Recorder* recorder_ = nullptr;
+  obs::hw::HwProvider* hw_provider_ = nullptr;
 };
 
 }  // namespace dvfs::rt

@@ -1,0 +1,30 @@
+#include "dvfs/obs/build_info.h"
+
+#include "dvfs/obs/metrics.h"
+#include "dvfs/obs/promtext.h"
+
+#ifndef DVFS_VERSION
+#define DVFS_VERSION "unknown"
+#endif
+#ifndef DVFS_COMPILER
+#define DVFS_COMPILER "unknown"
+#endif
+#ifndef DVFS_BUILD_TYPE
+#define DVFS_BUILD_TYPE "unknown"
+#endif
+
+namespace dvfs::obs {
+
+const std::string& build_info_metric_name() {
+  static const std::string name =
+      "build_info" + prometheus_labels({{"version", DVFS_VERSION},
+                                        {"compiler", DVFS_COMPILER},
+                                        {"build_type", DVFS_BUILD_TYPE}});
+  return name;
+}
+
+void register_build_info(Registry& registry) {
+  registry.gauge(build_info_metric_name()).set(1.0);
+}
+
+}  // namespace dvfs::obs

@@ -38,14 +38,55 @@ void append_u64(std::string& out, std::uint64_t v) {
   out.append(buf, end);
 }
 
+// Splits a registry name into its mangle-able base and a literal label
+// block ("" when the name carries no labels).
+std::pair<std::string, std::string> split_labels(
+    const std::string& registry_name) {
+  const auto brace = registry_name.find('{');
+  if (brace == std::string::npos) return {registry_name, ""};
+  return {registry_name.substr(0, brace), registry_name.substr(brace)};
+}
+
+std::string mangle(const std::string& base) {
+  std::string out = "dvfs_";
+  out.reserve(out.size() + base.size());
+  for (const char c : base) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string prometheus_name(const std::string& registry_name) {
-  std::string out = "dvfs_";
-  out.reserve(out.size() + registry_name.size());
-  for (const char c : registry_name) {
-    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  const auto [base, labels] = split_labels(registry_name);
+  return mangle(base) + labels;
+}
+
+std::string prometheus_labels(
+    std::initializer_list<std::pair<std::string, std::string>> labels) {
+  if (labels.size() == 0) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"";
+    for (const char c : value) {
+      // Exposition-format escaping for label values.
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out += "\"";
   }
+  out += "}";
   return out;
 }
 
@@ -53,15 +94,19 @@ std::string prometheus_text(const Registry& registry) {
   std::string out;
 
   for (const auto& [name, value] : registry.counters_snapshot()) {
-    const std::string pname = prometheus_name(name) + "_total";
-    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    const auto [base, labels] = split_labels(name);
+    // `_total` belongs to the metric family name, so it goes before the
+    // label block; the TYPE line names the family without labels.
+    const std::string family = mangle(base) + "_total";
+    out += "# TYPE " + family + " counter\n" + family + labels + " ";
     append_u64(out, value);
     out += "\n";
   }
 
   for (const auto& [name, value] : registry.gauges_snapshot()) {
-    const std::string pname = prometheus_name(name);
-    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    const auto [base, labels] = split_labels(name);
+    const std::string family = mangle(base);
+    out += "# TYPE " + family + " gauge\n" + family + labels + " ";
     append_double(out, value);
     out += "\n";
   }

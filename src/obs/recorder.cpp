@@ -191,7 +191,8 @@ Recording Recording::load(const std::string& path) {
   rec.header = get<dfr::FileHeader>(is);
   DVFS_REQUIRE(rec.header.magic == dfr::kFileMagic,
                path + ": not a .dfr recording (bad magic)");
-  DVFS_REQUIRE(rec.header.version == dfr::kFormatVersion,
+  DVFS_REQUIRE(rec.header.version >= dfr::kMinFormatVersion &&
+                   rec.header.version <= dfr::kFormatVersion,
                path + ": unsupported .dfr format version " +
                    std::to_string(rec.header.version));
 
@@ -228,41 +229,50 @@ Recording Recording::load(const std::string& path) {
     rec.header.event_count = rec.events.size();
   }
 
-  // Optional metrics epilogue.
+  // Optional metrics epilogue. A torn epilogue (crash mid-write, partial
+  // copy) must not cost the caller the events it already has: parse
+  // failures downgrade to a note on the recording.
   std::uint32_t magic = 0;
   is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   if (!is.eof()) {
-    DVFS_REQUIRE(is.good() && magic == dfr::kMetricsMagic,
-                 path + ": corrupt metrics epilogue");
-    rec.metrics = std::make_shared<Registry>();
-    const auto entries = get<std::uint32_t>(is);
-    for (std::uint32_t i = 0; i < entries; ++i) {
-      const auto kind = get<dfr::MetricKind>(is);
-      const std::string name = get_name(is);
-      switch (kind) {
-        case dfr::MetricKind::kCounter:
-          rec.metrics->counter(name).add(get<std::uint64_t>(is));
-          break;
-        case dfr::MetricKind::kGauge:
-          rec.metrics->gauge(name).set(get<double>(is));
-          break;
-        case dfr::MetricKind::kHistogram: {
-          const auto count = get<std::uint64_t>(is);
-          const auto sum = get<std::uint64_t>(is);
-          const auto n = get<std::uint32_t>(is);
-          std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
-          buckets.reserve(n);
-          for (std::uint32_t b = 0; b < n; ++b) {
-            const auto lower = get<std::uint64_t>(is);
-            const auto cnt = get<std::uint64_t>(is);
-            buckets.emplace_back(lower, cnt);
+    try {
+      DVFS_REQUIRE(is.good() && magic == dfr::kMetricsMagic,
+                   path + ": corrupt metrics epilogue");
+      auto metrics = std::make_shared<Registry>();
+      const auto entries = get<std::uint32_t>(is);
+      for (std::uint32_t i = 0; i < entries; ++i) {
+        const auto kind = get<dfr::MetricKind>(is);
+        const std::string name = get_name(is);
+        switch (kind) {
+          case dfr::MetricKind::kCounter:
+            metrics->counter(name).add(get<std::uint64_t>(is));
+            break;
+          case dfr::MetricKind::kGauge:
+            metrics->gauge(name).set(get<double>(is));
+            break;
+          case dfr::MetricKind::kHistogram: {
+            const auto count = get<std::uint64_t>(is);
+            const auto sum = get<std::uint64_t>(is);
+            const auto n = get<std::uint32_t>(is);
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+            buckets.reserve(n);
+            for (std::uint32_t b = 0; b < n; ++b) {
+              const auto lower = get<std::uint64_t>(is);
+              const auto cnt = get<std::uint64_t>(is);
+              buckets.emplace_back(lower, cnt);
+            }
+            metrics->histogram(name).restore(count, sum, buckets);
+            break;
           }
-          rec.metrics->histogram(name).restore(count, sum, buckets);
-          break;
+          default:
+            DVFS_REQUIRE(false, path + ": unknown metric kind in epilogue");
         }
-        default:
-          DVFS_REQUIRE(false, path + ": unknown metric kind in epilogue");
       }
+      rec.metrics = std::move(metrics);
+    } catch (const PreconditionError& e) {
+      rec.metrics = nullptr;
+      rec.epilogue_note =
+          std::string("metrics epilogue unreadable: ") + e.what();
     }
   }
   return rec;

@@ -1,9 +1,12 @@
 #include "dvfs/rt/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #if defined(__linux__)
@@ -123,6 +126,14 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
   obs::Counter& rate_switches = reg.counter("rt.rate_switches");
   obs::Histogram& task_wall_ns = reg.histogram("rt.task_wall_ns");
 
+  // Drift tracking only exists when a telemetry provider is attached —
+  // the gauges would otherwise report a meaningless 0 forever.
+  std::optional<obs::hw::DriftTracker> drift;
+  if (hw_provider_ != nullptr) drift.emplace(reg);
+  // Concurrently busy workers, for attributing package-wide (chip-level)
+  // energy meters across cores: each worker bumps it around its span.
+  std::atomic<std::uint32_t> busy_workers{0};
+
   if (recorder_ != nullptr) {
     DVFS_REQUIRE(recorder_->num_channels() >= plan.cores.size(),
                  "recorder needs one channel per plan core");
@@ -140,6 +151,11 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
       // Worker j owns recorder channel j exclusively (SPSC producer).
       obs::RecorderChannel* rc =
           recorder_ != nullptr ? &recorder_->channel(j) : nullptr;
+      // Telemetry sessions are per-thread by contract: perf counters
+      // attach to the opening thread, so the open happens here.
+      std::unique_ptr<obs::hw::ThreadTelemetry> telemetry =
+          hw_provider_ != nullptr ? hw_provider_->open_thread_telemetry(j)
+                                  : nullptr;
       std::uint64_t sink = 0;
       std::size_t last_rate = static_cast<std::size_t>(-1);
       for (const core::ScheduledTask& st : plan.cores[j].sequence) {
@@ -173,7 +189,39 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
                       .task = st.task_id,
                       .f0 = static_cast<double>(st.cycles)});
         }
+        obs::hw::SpanPrediction predicted{.cycles = st.cycles,
+                                          .seconds = rec.planned_seconds,
+                                          .joules = rec.model_energy};
+        std::uint32_t busy_at_start = 1;
+        if (telemetry != nullptr) {
+          busy_at_start = busy_workers.fetch_add(1) + 1;
+          if (rc != nullptr) {
+            rc->record({.type = static_cast<std::uint8_t>(
+                            obs::dfr::EventType::kHwPlanned),
+                        .core = static_cast<std::uint16_t>(j),
+                        .rate_idx = static_cast<std::uint16_t>(st.rate_idx),
+                        .time_s = rec.start,
+                        .task = st.task_id,
+                        .u0 = predicted.cycles,
+                        .f0 = predicted.joules,
+                        .f1 = predicted.seconds});
+          }
+          telemetry->begin_span(predicted);
+        }
         sink += SpinCalibrator::spin_for(rec.planned_seconds, ips);
+        if (telemetry != nullptr) {
+          rec.measured = telemetry->end_span(predicted);
+          const std::uint32_t busy_at_end = busy_workers.fetch_sub(1);
+          if (rec.measured.energy_is_shared) {
+            // A package meter charges the whole chip to whoever reads it;
+            // divide by the busy-worker population (endpoint average) so
+            // concurrent spans do not each claim the full delta.
+            const double avg_busy = std::max(
+                1.0, (static_cast<double>(busy_at_start) +
+                      static_cast<double>(busy_at_end)) / 2.0);
+            rec.measured.joules /= avg_busy;
+          }
+        }
         rec.finish = seconds_since(t0);
         tasks_executed.inc();
         task_wall_ns.observe(
@@ -194,6 +242,24 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
                       .f0 = rec.model_energy,
                       .f1 = rec.finish - rec.start});
         }
+        if (telemetry != nullptr) {
+          if (rc != nullptr) {
+            rc->record({.type = static_cast<std::uint8_t>(
+                            obs::dfr::EventType::kHwSpan),
+                        .core = static_cast<std::uint16_t>(j),
+                        .rate_idx = static_cast<std::uint16_t>(st.rate_idx),
+                        .aux = obs::hw::encode_sources(
+                            rec.measured.counter_source,
+                            rec.measured.time_source,
+                            rec.measured.energy_source),
+                        .time_s = rec.finish,
+                        .task = st.task_id,
+                        .u0 = rec.measured.cycles,
+                        .f0 = rec.measured.joules,
+                        .f1 = rec.measured.seconds});
+          }
+          drift->observe(predicted, rec.measured);
+        }
         {
           const std::scoped_lock lock(result_mutex);
           result.tasks.push_back(rec);
@@ -209,6 +275,7 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
   for (const RtTaskRecord& t : result.tasks) {
     result.model_energy += t.model_energy;
   }
+  if (drift.has_value()) result.drift = drift->summary();
   return result;
 }
 

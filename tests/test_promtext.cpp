@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "dvfs/obs/build_info.h"
 #include "dvfs/obs/metrics.h"
 
 namespace dvfs::obs {
@@ -63,6 +64,46 @@ TEST(PromText, CoversEveryRegistryMetric) {
        {"dvfs_one_total", "dvfs_two_total", "dvfs_three", "dvfs_four_count"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
+}
+
+TEST(PromText, LabeledNamesMangleOnlyTheBase) {
+  EXPECT_EQ(prometheus_name("build_info{version=\"1.0\"}"),
+            "dvfs_build_info{version=\"1.0\"}");
+  EXPECT_EQ(prometheus_labels({}), "");
+  EXPECT_EQ(prometheus_labels({{"a", "x"}, {"b", "y"}}),
+            "{a=\"x\",b=\"y\"}");
+}
+
+TEST(PromText, LabelValuesAreEscaped) {
+  // The exposition format escapes backslash, double quote, and newline in
+  // label values.
+  EXPECT_EQ(prometheus_labels({{"v", "a\\b\"c\nd"}}),
+            "{v=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(PromText, LabeledMetricsRenderWithSuffixBeforeLabels) {
+  Registry reg;
+  reg.gauge("info" + prometheus_labels({{"version", "1.2.3"}})).set(1.0);
+  reg.counter("hits" + prometheus_labels({{"path", "/x"}})).add(5);
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE dvfs_info gauge\n"
+                      "dvfs_info{version=\"1.2.3\"} 1\n"),
+            std::string::npos);
+  // `_total` belongs to the family name: before the label block.
+  EXPECT_NE(text.find("# TYPE dvfs_hits_total counter\n"
+                      "dvfs_hits_total{path=\"/x\"} 5\n"),
+            std::string::npos);
+}
+
+TEST(PromText, BuildInfoGaugeIsRegisteredWithLabels) {
+  Registry reg;
+  register_build_info(reg);
+  register_build_info(reg);  // idempotent
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("dvfs_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\""), std::string::npos);
+  EXPECT_NE(text.find("build_type=\""), std::string::npos);
+  EXPECT_NE(text.find("} 1\n"), std::string::npos);
 }
 
 TEST(PromText, ParseListen) {

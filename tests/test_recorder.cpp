@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -157,6 +159,82 @@ TEST(Recorder, MetricsEpilogueReproducesRegistryJson) {
   // JSON — including derived mean/percentiles — matches a live dump
   // exactly.
   EXPECT_EQ(loaded.metrics->to_json().dump(1), reg.to_json().dump(1));
+}
+
+TEST(Recorder, TornEpilogueLoadsEventPrefixWithNote) {
+  Registry reg;
+  reg.counter("torn.count").add(7);
+  reg.histogram("torn.hist").observe(12345);
+  Recorder rec(1, 16);
+  rec.channel(0).record(event_at(0.0, 1));
+  rec.channel(0).record(event_at(1.0, 2));
+  rec.drain();
+  rec.capture_metrics(reg);
+
+  const std::string path = temp_path("dvfs_torn.dfr");
+  rec.write_file(path);
+  // Tear the file mid-epilogue: keep all events plus the epilogue magic
+  // and a few bytes, drop the rest (a crash or partial copy).
+  const auto full_size = std::filesystem::file_size(path);
+  const auto events_end = sizeof(dfr::FileHeader) + 2 * sizeof(dfr::Event);
+  ASSERT_GT(full_size, events_end + 8);
+  std::filesystem::resize_file(path, events_end + 8);
+
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(loaded.events[1].task, 2u);
+  EXPECT_EQ(loaded.metrics, nullptr);
+  EXPECT_NE(loaded.epilogue_note.find("metrics epilogue unreadable"),
+            std::string::npos)
+      << loaded.epilogue_note;
+}
+
+TEST(Recorder, LoadsVersion1Files) {
+  // v2 only appended event types; a v1 file is byte-compatible. Write a
+  // current file and patch the header's version byte back to 1.
+  Recorder rec(1, 16);
+  rec.channel(0).record(event_at(0.25, 9));
+  rec.drain();
+  const std::string path = temp_path("dvfs_v1.dfr");
+  rec.write_file(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(offsetof(dfr::FileHeader, version));
+    const char v1 = 1;
+    f.write(&v1, 1);
+  }
+  const Recording loaded = Recording::load(path);
+  EXPECT_EQ(loaded.header.version, 1u);
+  ASSERT_EQ(loaded.events.size(), 1u);
+  EXPECT_EQ(loaded.events[0].task, 9u);
+
+  // Future versions stay rejected.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(offsetof(dfr::FileHeader, version));
+    const char v9 = 9;
+    f.write(&v9, 1);
+  }
+  EXPECT_THROW(Recording::load(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+// The checked-in v1 fixture (recorded before the v2 bump) must keep
+// loading and replaying unchanged — the compatibility promise users with
+// archived recordings rely on.
+TEST(Recorder, V1FixtureLoadsAndReplays) {
+  const std::string path = std::string(DVFS_RECORDINGS_DIR) + "/v1_lmc.dfr";
+  const Recording loaded = Recording::load(path);
+  EXPECT_EQ(loaded.header.version, 1u);
+  EXPECT_GT(loaded.events.size(), 0u);
+  ASSERT_TRUE(loaded.first_of(dfr::EventType::kRunBegin).has_value());
+  ASSERT_NE(loaded.metrics, nullptr);
+  EXPECT_TRUE(loaded.epilogue_note.empty());
+  TraceWriter writer;
+  replay_to_trace(loaded, writer);
+  EXPECT_GT(writer.size(), 0u);
 }
 
 TEST(Recorder, ConcurrentProducersDrainCleanly) {

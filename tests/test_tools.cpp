@@ -3,6 +3,7 @@
 /// directory and check outputs and exit codes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,7 @@
 
 #include "dvfs/core/plan_io.h"
 #include "dvfs/cpufreq/cpufreq.h"
+#include "dvfs/obs/json.h"
 #include "dvfs/workload/trace.h"
 
 #ifndef DVFS_TOOLS_DIR
@@ -238,6 +240,109 @@ TEST_F(ToolsFixture, SimulateHelpDocumentsObservabilityFlags) {
                            "--listen", "--serve-seconds"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST_F(ToolsFixture, ExecuteHelpDocumentsTelemetryFlags) {
+  int code = 0;
+  const std::string help = run_capture(tool("dvfs_execute") + " --help",
+                                       &code);
+  EXPECT_EQ(code, 0);
+  for (const char* flag : {"--hw", "--trace-out", "--metrics-out",
+                           "--record-out"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST_F(ToolsFixture, ExecuteTraceOutRequiresRecordOut) {
+  const std::string batch = dir_ + "/tiny.csv";
+  {
+    std::ofstream os(batch);
+    os << "id,arrival,cycles,class,deadline\n0,0,1000000000,batch,\n";
+  }
+  const std::string plan_path = dir_ + "/plan.csv";
+  ASSERT_EQ(run(tool("dvfs_plan") + " --tasks " + batch +
+                " --cores 1 --out " + plan_path),
+            0);
+  EXPECT_NE(run(tool("dvfs_execute") + " --plan " + plan_path +
+                " --time-scale 1e-4 --trace-out " + dir_ + "/t.json"),
+            0);
+}
+
+/// Shared setup for the drift acceptance gates: plan a small batch, run it
+/// on real threads with a fake telemetry provider, record, and summarize
+/// with `dvfs_inspect drift --json-out`.
+dvfs::obs::Json drift_report(const std::string& dir, const std::string& tool_dir,
+                             const std::string& hw_spec,
+                             const std::string& extra_execute_flags = "",
+                             const std::string& extra_drift_flags = "") {
+  const auto bin = [&](const std::string& name) {
+    return tool_dir + "/" + name;
+  };
+  const std::string batch = dir + "/batch.csv";
+  {
+    std::ofstream os(batch);
+    os << "id,arrival,cycles,class,deadline\n";
+    for (int i = 0; i < 8; ++i) {
+      os << i << ",0," << (i + 1) * 1'000'000'000LL << ",batch,\n";
+    }
+  }
+  const std::string plan_path = dir + "/plan.csv";
+  EXPECT_EQ(run(bin("dvfs_plan") + " --tasks " + batch +
+                " --cores 2 --out " + plan_path),
+            0);
+  const std::string dfr = dir + "/run.dfr";
+  int code = 0;
+  const std::string out = run_capture(
+      bin("dvfs_execute") + " --plan " + plan_path +
+          " --time-scale 1e-4 --hw " + hw_spec + " --record-out " + dfr +
+          extra_execute_flags,
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("hardware telemetry:"), std::string::npos) << out;
+  EXPECT_NE(out.find("telemetry drift"), std::string::npos) << out;
+  const std::string report = dir + "/drift.json";
+  const std::string drift = run_capture(
+      bin("dvfs_inspect") + " drift --in " + dfr + " --json-out " + report +
+          extra_drift_flags,
+      &code);
+  EXPECT_EQ(code, 0) << drift;
+  return dvfs::obs::Json::parse(slurp(report));
+}
+
+// Acceptance gate 1: a fake provider replaying the model's own predictions
+// must report drift ratios of exactly 1.0 and a corrected re-plan that
+// flips zero decisions.
+TEST_F(ToolsFixture, DriftGateExactReplayIsPerfectlyCalibrated) {
+  const dvfs::obs::Json doc =
+      drift_report(dir_, DVFS_TOOLS_DIR, "fake",
+                   " --trace-out " + dir_ + "/t.json --metrics-out " +
+                       dir_ + "/m.json");
+  EXPECT_EQ(doc.at("schema").as_string(), "dvfs-drift-v1");
+  EXPECT_EQ(doc.at("spans").at("total").as_double(), 8.0);
+  EXPECT_EQ(doc.at("spans").at("model_only").as_double(), 0.0);
+  for (const char* dim : {"cycles", "duration", "energy"}) {
+    EXPECT_LT(std::abs(doc.at("ratios").at(dim).as_double() - 1.0), 1e-6)
+        << dim;
+  }
+  EXPECT_EQ(doc.at("replan").at("flipped").as_double(), 0.0);
+  // The satellite wiring: both observability outputs were produced.
+  EXPECT_NE(slurp(dir_ + "/t.json").find("trace"), std::string::npos);
+  EXPECT_NE(slurp(dir_ + "/m.json").find("build_info"), std::string::npos);
+}
+
+// Acceptance gate 2: a provider injecting a 2x energy skew must surface in
+// the drift metrics, and the measurement-corrected re-plan must actually
+// change decisions (nonzero flips).
+TEST_F(ToolsFixture, DriftGateEnergySkewFlipsDecisions) {
+  // Time-heavy weights so the uncorrected plan runs at high rates; a 2x
+  // energy correction then makes WBG retreat to cheaper rates (flips).
+  const dvfs::obs::Json doc =
+      drift_report(dir_, DVFS_TOOLS_DIR, "fake:energy=2", "",
+                   " --re 0.1 --rt 0.4");
+  EXPECT_LT(std::abs(doc.at("ratios").at("energy").as_double() - 2.0), 1e-6);
+  EXPECT_LT(std::abs(doc.at("ratios").at("cycles").as_double() - 1.0), 1e-6);
+  EXPECT_GT(doc.at("replan").at("flipped").as_double(), 0.0);
+  EXPECT_NE(doc.at("replan").at("cost_delta").as_double(), 0.0);
 }
 
 TEST_F(ToolsFixture, PinDryRunTouchesNothing) {

@@ -3,28 +3,55 @@
 /// evaluation, time-dilated to taste.
 ///
 ///   dvfs_execute --plan plan.csv --time-scale 1e-3
-///   dvfs_execute --plan plan.csv --time-scale 1e-4 --pin
+///   dvfs_execute --plan plan.csv --hw auto --record-out run.dfr
 ///
-/// Flags:
-///   --plan        plan CSV                                 (required)
-///   --model       table2 | cubic:<n>                       (default table2)
-///   --time-scale  wall seconds per model second            (default 1e-3)
-///   --pin         pin worker threads to CPUs (best effort)
-///   --record-out  write a .dfr flight recording of the execution
+/// Flags: see kUsage below (also printed by --help).
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "dvfs/core/plan_io.h"
+#include "dvfs/obs/build_info.h"
+#include "dvfs/obs/hw_telemetry.h"
 #include "dvfs/obs/recorder.h"
+#include "dvfs/obs/trace.h"
 #include "dvfs/rt/executor.h"
 #include "tool_common.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: dvfs_execute --plan plan.csv [flags]\n"
+    "  --plan PATH          plan CSV                          (required)\n"
+    "  --model SPEC         table2 | cubic:<n>                (table2)\n"
+    "  --time-scale S       wall seconds per model second     (1e-3)\n"
+    "  --pin                pin worker threads to CPUs (best effort)\n"
+    "  --hw SPEC            hardware telemetry provider:\n"
+    "                       auto | perf | timer | model | off |\n"
+    "                       fake[:cycles=A,time=B,energy=C,ipc=D]\n"
+    "                       (default off; measures per-task cycles/CPI\n"
+    "                       via perf_event_open and energy via RAPL,\n"
+    "                       falling back to the thread timer / model\n"
+    "                       with explicit source labels)\n"
+    "  --trace-out PATH     Chrome trace_event JSON timeline of the run\n"
+    "  --metrics-out PATH   metrics-registry JSON snapshot\n"
+    "  --record-out PATH    .dfr flight recording (v2 when --hw is on;\n"
+    "                       summarize drift with `dvfs_inspect drift`)\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dvfs;
   return tools::run_tool([&] {
     const util::Args args(argc, argv,
-                          {"plan", "model", "time-scale", "pin",
-                           "record-out"});
+                          {"plan", "model", "time-scale", "pin", "hw",
+                           "trace-out", "metrics-out", "record-out",
+                           "help"});
+    if (args.has("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    obs::register_build_info(obs::Registry::global());
     const core::Plan plan = core::read_plan_csv_file(args.get_string("plan"));
     const core::EnergyModel model =
         tools::model_from_flag(args.get_string("model", "table2"));
@@ -45,6 +72,12 @@ int main(int argc, char** argv) {
 
     rt::RealtimeExecutor exec(
         model, {.time_scale = scale, .pin_threads = args.has("pin")});
+    const std::unique_ptr<obs::hw::HwProvider> hw =
+        obs::hw::make_provider(args.get_string("hw", "off"));
+    if (hw != nullptr) {
+      exec.set_hw_provider(hw.get());
+      std::printf("hardware telemetry: %s\n", hw->describe().c_str());
+    }
     // One SPSC channel per worker thread (the executor requires it).
     obs::Recorder recorder(std::max<std::size_t>(1, plan.num_cores()));
     if (args.has("record-out")) exec.set_recorder(&recorder);
@@ -57,6 +90,27 @@ int main(int argc, char** argv) {
       std::printf("wrote %zu recorded events to %s\n",
                   recorder.events().size(), path.c_str());
     }
+    if (args.has("trace-out")) {
+      // The executor records rather than traces directly; the recording
+      // replays into the same trace JSON a live tracer would have
+      // produced (dvfs_inspect replay does the identical transform).
+      DVFS_REQUIRE(args.has("record-out"),
+                   "--trace-out needs --record-out (the trace is replayed "
+                   "from the recording)");
+      obs::TraceWriter writer;
+      obs::Recording recording;
+      recording.events = recorder.events();
+      obs::replay_to_trace(recording, writer);
+      const std::string path = args.get_string("trace-out");
+      writer.write_file(path);
+      std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
+                  writer.size(), path.c_str());
+    }
+    if (args.has("metrics-out")) {
+      const std::string path = args.get_string("metrics-out");
+      obs::write_json_file(path, obs::Registry::global().to_json());
+      std::printf("wrote metrics snapshot to %s\n", path.c_str());
+    }
 
     std::printf("done: %zu tasks, wall makespan %.3f s "
                 "(model: %.3f s, drift %+.2f%%)\n",
@@ -65,6 +119,15 @@ int main(int argc, char** argv) {
     std::printf("model energy charged: %.1f J; worst per-task duration "
                 "drift %.1f%%\n",
                 r.model_energy, r.worst_relative_drift() * 100.0);
+    if (hw != nullptr) {
+      std::printf("telemetry drift (measured/predicted): cycles %.6f | "
+                  "duration %.6f | energy %.6f (%llu measured spans, "
+                  "%llu model-charged)\n",
+                  r.drift.cycles_ratio, r.drift.duration_ratio,
+                  r.drift.energy_ratio,
+                  static_cast<unsigned long long>(r.drift.spans_measured),
+                  static_cast<unsigned long long>(r.drift.spans_model));
+    }
     return 0;
   });
 }

@@ -35,6 +35,8 @@
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/schedule.h"
 #include "dvfs/core/task.h"
+#include "dvfs/obs/hw_telemetry.h"
+#include "dvfs/obs/json.h"
 #include "dvfs/obs/recorder.h"
 #include "dvfs/obs/trace.h"
 #include "tool_common.h"
@@ -59,6 +61,8 @@ using obs::dfr::EventType;
     case EventType::kCandidate: return "candidate";
     case EventType::kPlacement: return "placement";
     case EventType::kReplan: return "replan";
+    case EventType::kHwPlanned: return "hw_planned";
+    case EventType::kHwSpan: return "hw_span";
   }
   return "?";
 }
@@ -107,6 +111,9 @@ int cmd_info(const obs::Recording& rec) {
     std::printf("  %-14s %zu\n", type_name(static_cast<EventType>(type)), n);
   }
   std::printf("metrics epilogue: %s\n", rec.metrics ? "yes" : "no");
+  if (!rec.epilogue_note.empty()) {
+    std::printf("note: %s\n", rec.epilogue_note.c_str());
+  }
   return 0;
 }
 
@@ -311,14 +318,200 @@ int cmd_audit(const obs::Recording& rec, const util::Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------- drift
+
+/// Aggregates the kHwPlanned/kHwSpan pairs of a `.dfr` v2 recording into
+/// calibration-error ratios, then re-plans the recorded workload with a
+/// measurement-corrected model (energy-per-cycle scaled by the observed
+/// energy ratio, time-per-cycle by the duration ratio) and reports which
+/// placement/rate decisions WBG would flip and what the model error cost.
+int cmd_drift(const obs::Recording& rec, const util::Args& args) {
+  struct DimAgg {
+    double predicted = 0.0;
+    double measured = 0.0;
+    std::size_t spans = 0;
+    [[nodiscard]] double ratio() const {
+      return predicted > 0.0 ? measured / predicted : 0.0;
+    }
+  };
+  DimAgg cycles, duration, energy;
+  std::map<core::TaskId, Event> planned;
+  std::map<std::string, std::size_t> source_census;
+  std::size_t spans = 0, model_spans = 0;
+
+  for (const Event& e : rec.events) {
+    switch (static_cast<EventType>(e.type)) {
+      case EventType::kHwPlanned:
+        planned[e.task] = e;
+        break;
+      case EventType::kHwSpan: {
+        const auto it = planned.find(e.task);
+        if (it == planned.end()) break;
+        const Event& p = it->second;
+        ++spans;
+        const auto counter_src = obs::hw::decode_counter_source(e.aux);
+        const auto time_src = obs::hw::decode_time_source(e.aux);
+        const auto energy_src = obs::hw::decode_energy_source(e.aux);
+        ++source_census[std::string("counter=") + to_string(counter_src)];
+        ++source_census[std::string("time=") + to_string(time_src)];
+        ++source_census[std::string("energy=") + to_string(energy_src)];
+        bool any_measured = false;
+        if (obs::hw::is_measured(counter_src)) {
+          cycles.predicted += static_cast<double>(p.u0);
+          cycles.measured += static_cast<double>(e.u0);
+          ++cycles.spans;
+          any_measured = true;
+        }
+        if (obs::hw::is_measured(time_src)) {
+          duration.predicted += p.f1;
+          duration.measured += e.f1;
+          ++duration.spans;
+          any_measured = true;
+        }
+        if (obs::hw::is_measured(energy_src)) {
+          energy.predicted += p.f0;
+          energy.measured += e.f0;
+          ++energy.spans;
+          any_measured = true;
+        }
+        if (!any_measured) ++model_spans;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  DVFS_REQUIRE(spans > 0,
+               "recording has no hw telemetry spans (record with "
+               "dvfs_execute --hw ... --record-out)");
+
+  std::printf("drift: %zu telemetry spans (%zu fully model-charged)\n",
+              spans, model_spans);
+  const auto print_dim = [](const char* name, const DimAgg& d) {
+    if (d.spans > 0) {
+      std::printf("  %-8s measured/predicted = %.6f over %zu spans\n", name,
+                  d.ratio(), d.spans);
+    } else {
+      std::printf("  %-8s no measured spans (model-charged)\n", name);
+    }
+  };
+  print_dim("cycles", cycles);
+  print_dim("duration", duration);
+  print_dim("energy", energy);
+  for (const auto& [label, n] : source_census) {
+    std::printf("    source %-22s %zu\n", label.c_str(), n);
+  }
+
+  // Re-plan the recorded workload with the measurement-corrected model.
+  // An unmeasured dimension keeps its modeled curve (scale 1): the
+  // correction only applies what was actually observed.
+  const auto begin = rec.first_of(EventType::kRunBegin);
+  DVFS_REQUIRE(begin.has_value() && begin->core > 0,
+               "recording has no run_begin event");
+  const std::size_t cores = begin->core;
+  const double re = args.get_double("re", 0.4);
+  const double rt = args.get_double("rt", 0.1);
+  const core::EnergyModel base =
+      tools::model_from_flag(args.get_string("model", "table2"));
+  const double energy_scale = energy.spans > 0 ? energy.ratio() : 1.0;
+  const double time_scale = duration.spans > 0 ? duration.ratio() : 1.0;
+  std::vector<double> epc, tpc;
+  for (std::size_t i = 0; i < base.num_rates(); ++i) {
+    epc.push_back(base.energy_per_cycle(i) * energy_scale);
+    tpc.push_back(base.time_per_cycle(i) * time_scale);
+  }
+  const core::EnergyModel corrected(base.rates(), epc, tpc);
+
+  std::vector<core::Task> tasks;
+  for (const auto& [id, p] : planned) {
+    tasks.push_back(core::Task{.id = id, .cycles = p.u0});
+  }
+  const std::vector<core::CostTable> base_tables(
+      cores, core::CostTable(base, core::CostParams{re, rt}));
+  const std::vector<core::CostTable> corrected_tables(
+      cores, core::CostTable(corrected, core::CostParams{re, rt}));
+  const core::Plan base_plan = core::workload_based_greedy(tasks, base_tables);
+  const core::Plan corrected_plan =
+      core::workload_based_greedy(tasks, corrected_tables);
+
+  std::map<core::TaskId, std::pair<std::size_t, std::size_t>> base_at;
+  for (std::size_t c = 0; c < base_plan.cores.size(); ++c) {
+    for (const core::ScheduledTask& st : base_plan.cores[c].sequence) {
+      base_at[st.task_id] = {c, st.rate_idx};
+    }
+  }
+  std::size_t flipped = 0;
+  for (std::size_t c = 0; c < corrected_plan.cores.size(); ++c) {
+    for (const core::ScheduledTask& st : corrected_plan.cores[c].sequence) {
+      const auto it = base_at.find(st.task_id);
+      if (it == base_at.end() ||
+          it->second != std::make_pair(c, st.rate_idx)) {
+        ++flipped;
+      }
+    }
+  }
+  // Price both plans under the corrected (believed-true) cost tables:
+  // the delta is what trusting the uncorrected model costs.
+  const Money base_cost =
+      core::evaluate_plan(base_plan, corrected_tables).total();
+  const Money corrected_cost =
+      core::evaluate_plan(corrected_plan, corrected_tables).total();
+  std::printf("replan (%zu tasks, %zu cores, Re=%g Rt=%g): %zu decision(s) "
+              "flip under the corrected model\n",
+              tasks.size(), cores, re, rt, flipped);
+  std::printf("  cost of recorded-model plan, corrected prices: %.6f\n",
+              base_cost);
+  std::printf("  cost of corrected re-plan:                     %.6f\n",
+              corrected_cost);
+  std::printf("  model-error cost delta:                        %+.6f\n",
+              base_cost - corrected_cost);
+
+  if (args.has("json-out")) {
+    obs::Json::Object sources;
+    for (const auto& [label, n] : source_census) {
+      sources.emplace(label, obs::Json(static_cast<std::uint64_t>(n)));
+    }
+    const obs::Json doc(obs::Json::Object{
+        {"schema", obs::Json("dvfs-drift-v1")},
+        {"spans", obs::Json(obs::Json::Object{
+                      {"total", obs::Json(static_cast<std::uint64_t>(spans))},
+                      {"model_only",
+                       obs::Json(static_cast<std::uint64_t>(model_spans))}})},
+        {"ratios",
+         obs::Json(obs::Json::Object{{"cycles", obs::Json(cycles.ratio())},
+                                     {"duration", obs::Json(duration.ratio())},
+                                     {"energy", obs::Json(energy.ratio())}})},
+        {"sources", obs::Json(std::move(sources))},
+        {"replan",
+         obs::Json(obs::Json::Object{
+             {"tasks", obs::Json(static_cast<std::uint64_t>(tasks.size()))},
+             {"cores", obs::Json(static_cast<std::uint64_t>(cores))},
+             {"re", obs::Json(re)},
+             {"rt", obs::Json(rt)},
+             {"flipped", obs::Json(static_cast<std::uint64_t>(flipped))},
+             {"recorded_plan_cost", obs::Json(base_cost)},
+             {"corrected_plan_cost", obs::Json(corrected_cost)},
+             {"cost_delta", obs::Json(base_cost - corrected_cost)}})}});
+    const std::string path = args.get_string("json-out");
+    obs::write_json_file(path, doc);
+    std::printf("wrote drift report to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 constexpr const char* kUsage =
-    "usage: dvfs_inspect <info|replay|explain|audit> --in run.dfr\n"
+    "usage: dvfs_inspect <info|replay|explain|audit|drift> --in run.dfr\n"
     "  info     recording header and event census\n"
     "  replay   --trace-out t.json --metrics-out m.json (byte-identical to\n"
     "           the live run's --trace-out/--metrics-out)\n"
     "  explain  --task <id>: that task's decisions, candidates and timeline\n"
     "  audit    [--model table2|cubic:<n>] [--re R] [--rt R]: offline WBG\n"
-    "           replan of each recorded placement + end-to-end gap\n";
+    "           replan of each recorded placement + end-to-end gap\n"
+    "  drift    [--model SPEC] [--re R] [--rt R] [--json-out d.json]:\n"
+    "           summarize predicted-vs-measured telemetry ratios (v2\n"
+    "           recordings from dvfs_execute --hw) and re-plan with the\n"
+    "           measurement-corrected model, reporting flipped decisions\n"
+    "           and the model-error cost delta\n";
 
 }  // namespace
 
@@ -326,7 +519,7 @@ int main(int argc, char** argv) {
   return dvfs::tools::run_tool([&] {
     const dvfs::util::Args args(argc, argv,
                                 {"in", "trace-out", "metrics-out", "task",
-                                 "model", "re", "rt", "help"});
+                                 "model", "re", "rt", "json-out", "help"});
     if (args.has("help") || args.positional().empty()) {
       std::fputs(kUsage, stdout);
       return args.has("help") ? 0 : 2;
@@ -338,7 +531,10 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(rec, args);
     if (cmd == "explain") return cmd_explain(rec, args);
     if (cmd == "audit") return cmd_audit(rec, args);
-    DVFS_REQUIRE(false, "unknown subcommand (want info|replay|explain|audit): " + cmd);
+    if (cmd == "drift") return cmd_drift(rec, args);
+    DVFS_REQUIRE(false,
+                 "unknown subcommand (want info|replay|explain|audit|drift): " +
+                     cmd);
     return 2;
   });
 }

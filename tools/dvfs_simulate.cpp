@@ -33,6 +33,7 @@
 #include "dvfs/governors/fifo_policy.h"
 #include "dvfs/governors/lmc_policy.h"
 #include "dvfs/governors/planned_policy.h"
+#include "dvfs/obs/build_info.h"
 #include "dvfs/obs/metrics.h"
 #include "dvfs/obs/promtext.h"
 #include "dvfs/obs/recorder.h"
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
       std::fputs(kUsage, stdout);
       return 0;
     }
+    obs::register_build_info(obs::Registry::global());
     const workload::Trace trace =
         workload::read_csv_file(args.get_string("trace"));
     const std::string policy_name = args.get_string("policy");

@@ -1,0 +1,50 @@
+/// \file cost_margin.h
+/// \brief Realized-vs-best decision-cost accounting for governors.
+///
+/// Every placement decision has a candidate vector (the cost of putting
+/// the task on each core) and a winner. For the paper's cost-driven
+/// governors the winner *is* the argmin, so the realized cost equals the
+/// best available one by construction; a baseline placement rule (round-
+/// robin) routinely picks a worse candidate. `CostMarginTracker`
+/// accumulates both sums and publishes the overhead as the gauge
+/// `governor.cost.margin_ratio`:
+///
+///     margin_ratio = (sum(chosen) - sum(best)) / sum(chosen)
+///
+/// i.e. the fraction of realized decision cost that a better choice of
+/// core would have avoided, in [0, 1). The SLO engine's
+/// "governor-cost-overhead" rule alerts on it.
+#pragma once
+
+#include <cstdint>
+
+#include "dvfs/obs/metrics.h"
+
+namespace dvfs::governors {
+
+class CostMarginTracker {
+ public:
+  /// The gauge name the ratio publishes under.
+  static constexpr const char* kGaugeName = "governor.cost.margin_ratio";
+
+  CostMarginTracker();
+
+  /// Zeroes the sums and the published gauge (call from attach()).
+  void reset();
+
+  /// Accounts one decision. `best_cost` is the cheapest candidate of the
+  /// same decision; an argmin policy passes chosen == best. Negative
+  /// margins (float dust) clamp to zero.
+  void observe(double chosen_cost, double best_cost);
+
+  [[nodiscard]] double ratio() const;
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  double chosen_sum_ = 0.0;
+  double best_sum_ = 0.0;
+  std::uint64_t decisions_ = 0;
+  obs::Gauge& gauge_;
+};
+
+}  // namespace dvfs::governors

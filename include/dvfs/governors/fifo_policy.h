@@ -23,6 +23,7 @@
 #include <deque>
 #include <vector>
 
+#include "dvfs/governors/cost_margin.h"
 #include "dvfs/sim/engine.h"
 
 namespace dvfs::governors {
@@ -94,6 +95,7 @@ class FifoPolicy final : public sim::Policy {
   std::vector<CoreQueues> per_core_;
   std::size_t cap_ = 0;        // resolved rate cap
   std::size_t rr_next_ = 0;    // round-robin cursor
+  CostMarginTracker margin_;   // realized vs best drain time per placement
 };
 
 }  // namespace dvfs::governors

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dvfs/core/online_lmc.h"
+#include "dvfs/governors/cost_margin.h"
 #include "dvfs/sim/engine.h"
 
 namespace dvfs::governors {
@@ -76,6 +77,7 @@ class LmcPolicy final : public sim::Policy {
   std::vector<CoreState> per_core_;
   Estimator estimator_;
   std::function<void(core::TaskId, Cycles)> on_completion_;
+  CostMarginTracker margin_;  // zero by construction (argmin placement)
 };
 
 }  // namespace dvfs::governors

@@ -29,6 +29,7 @@
 
 #include "dvfs/core/batch_multi.h"
 #include "dvfs/core/cost_model.h"
+#include "dvfs/governors/cost_margin.h"
 #include "dvfs/sim/engine.h"
 
 namespace dvfs::governors {
@@ -78,6 +79,7 @@ class WbgRebalancePolicy final : public sim::Policy {
   std::unordered_map<core::TaskId, QueuedTask> queued_;
   std::size_t migrations_ = 0;
   std::size_t replans_ = 0;
+  CostMarginTracker margin_;  // zero by construction (argmin placement)
 };
 
 }  // namespace dvfs::governors

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -110,9 +111,21 @@ class Histogram {
     return n == 0 ? 0.0
                   : static_cast<double>(sum()) / static_cast<double>(n);
   }
-  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
-  /// Zero when empty.
-  [[nodiscard]] std::uint64_t percentile_upper_bound(double p) const;
+  /// Upper bound of the bucket containing the nearest-rank p-quantile
+  /// (p in [0, 1]), or nullopt when the histogram is empty — an empty
+  /// histogram has no quantiles, and reporting 0 would be
+  /// indistinguishable from a real all-zero distribution.
+  ///
+  /// Error bound: the true quantile q lies in the log2 bucket whose
+  /// inclusive bounds this returns, so
+  ///
+  ///     q <= percentile_upper_bound(p) < 2 * max(q, 1)
+  ///
+  /// i.e. the reported value is never below the true quantile and
+  /// overshoots by strictly less than one power of two (a factor of 2).
+  /// Within any bucket the report is exact for the bucket's top value.
+  [[nodiscard]] std::optional<std::uint64_t> percentile_upper_bound(
+      double p) const;
 
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
@@ -156,6 +169,8 @@ class Registry {
   ///   {"counters": {name: n}, "gauges": {name: x},
   ///    "histograms": {name: {count, sum, mean, p50, p99,
   ///                          buckets: [[lower, n], ...nonzero only]}}}
+  /// mean/p50/p99 are omitted while a histogram is empty (no data is not
+  /// the same as 0).
   [[nodiscard]] Json to_json() const;
 
   /// Zeroes every metric (registration survives). Tests and bench

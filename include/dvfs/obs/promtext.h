@@ -23,16 +23,20 @@
 ///
 /// `MetricsHttpServer` is the transport: a blocking accept loop on a
 /// background thread speaking just enough HTTP/1.1 for `curl` and a
-/// Prometheus scraper — GET `/metrics` returns the body the supplied
-/// callback produces, anything else 404. POSIX sockets only; no
-/// third-party dependency, in keeping with the repo rule that
-/// observability must not add libraries.
+/// Prometheus scraper — GET against a registered route returns that
+/// handler's response (`/metrics` and `/` serve the supplied body
+/// callback as `text/plain; version=0.0.4`), anything else 404. Every
+/// response carries Content-Type and an exact Content-Length, and a
+/// request whose `Accept` header rules out the handler's media type gets
+/// 406. POSIX sockets only; no third-party dependency, in keeping with
+/// the repo rule that observability must not add libraries.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <map>
 #include <string>
 #include <thread>
 #include <utility>
@@ -55,8 +59,8 @@ class Registry;
     std::initializer_list<std::pair<std::string, std::string>> labels);
 
 /// Minimal scrape endpoint. Construct, `start()`, `stop()` (also runs on
-/// destruction). The body callback runs on the server thread per request
-/// — keep it a pure snapshot render.
+/// destruction). Handlers run on the server thread per request — keep
+/// them pure snapshot renders.
 class MetricsHttpServer {
  public:
   struct Options {
@@ -67,11 +71,35 @@ class MetricsHttpServer {
   };
   using BodyFn = std::function<std::string()>;
 
+  /// What one route answers. The server adds Content-Length (always,
+  /// from body.size()) and Connection: close.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response()>;
+
+  /// Registers `body` under `/metrics` and `/`, served as
+  /// `text/plain; version=0.0.4; charset=utf-8`.
   MetricsHttpServer(Options options, BodyFn body);
   ~MetricsHttpServer();
 
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Registers (or replaces) a GET route under an exact path, e.g.
+  /// `/healthz`. Call before `start()`; routes are not guarded against
+  /// the serving thread.
+  void add_route(const std::string& path, Handler handler);
+
+  /// True when an `Accept` request header admits `mime` (a bare media
+  /// type like "text/plain"): exact match, `type/*`, or `*/*`, ignoring
+  /// parameters such as q-values (a match with `q=0` still counts — this
+  /// is deliberately the minimal useful subset of RFC 9110 content
+  /// negotiation). An empty header admits everything.
+  [[nodiscard]] static bool accept_allows(const std::string& accept_header,
+                                          const std::string& mime);
 
   /// Binds, listens, and spawns the accept thread. Throws
   /// dvfs::PreconditionError when the address cannot be bound.
@@ -85,9 +113,10 @@ class MetricsHttpServer {
 
  private:
   void serve_loop();
+  void handle_client(int client);
 
   Options options_;
-  BodyFn body_;
+  std::map<std::string, Handler> routes_;
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> stopping_{false};

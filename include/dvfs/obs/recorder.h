@@ -89,6 +89,12 @@ class Recorder {
   [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
   [[nodiscard]] RecorderChannel& channel(std::size_t i);
 
+  /// Appends one more channel with its own capacity — for a producer
+  /// whose events must survive the main rings overflowing (the health
+  /// monitor: a drop storm in channel 0 is exactly what it reports on).
+  /// Call before producers start; not thread-safe against record().
+  RecorderChannel& add_channel(std::size_t capacity);
+
   /// Consumes every channel into the in-memory log, merging by event
   /// timestamp (stable: ties keep channel order, and a single channel —
   /// the simulator — is already monotone, so its order is untouched).

@@ -32,10 +32,11 @@ namespace dvfs::obs::dfr {
 inline constexpr std::uint32_t kFileMagic = 0x31524644u;
 /// "DFRM": starts the optional metrics-snapshot epilogue.
 inline constexpr std::uint32_t kMetricsMagic = 0x4d524644u;
-/// v2 added the hardware-telemetry events kHwPlanned/kHwSpan (append-only
-/// — Event and FileHeader layouts are unchanged, so readers accept both
-/// versions; see kMinFormatVersion).
-inline constexpr std::uint8_t kFormatVersion = 2;
+/// v2 added the hardware-telemetry events kHwPlanned/kHwSpan; v3 added
+/// the SLO-engine events kHealthSample/kAlert. Both bumps are append-only
+/// — Event and FileHeader layouts are unchanged, so readers accept every
+/// version from kMinFormatVersion up.
+inline constexpr std::uint8_t kFormatVersion = 3;
 inline constexpr std::uint8_t kMinFormatVersion = 1;
 
 /// What a 48-byte record means. Values are part of the format: append
@@ -84,6 +85,18 @@ enum class EventType : std::uint8_t {
   /// seconds, aux = the three provenance labels packed 5 bits each
   /// (see obs::hw::encode_sources).
   kHwSpan = 13,
+  /// (v3) One SLO-rule evaluation by the health monitor. aux = rule
+  /// index, task = FNV-1a hash of the rule name (guards replay against a
+  /// mismatched rule config), f0/f1 = the evaluated short-/long-window
+  /// signal values (NaN when the signal had no data), u0 = the
+  /// health::AlertState after this evaluation. time_s is the monitor's
+  /// wall-clock seconds since it started — its own axis, distinct from
+  /// the simulated/scaled time of the scheduler events.
+  kHealthSample = 14,
+  /// (v3) An alert state transition. aux = rule index, task = rule-name
+  /// hash, flags = the previous health::AlertState, u0 = the new one,
+  /// f0/f1 = the short-/long-window values that triggered the change.
+  kAlert = 15,
 };
 
 /// Bit flags (Event::flags).

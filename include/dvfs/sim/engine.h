@@ -166,6 +166,7 @@ class Engine {
     obs::Counter& freq_transitions;
     obs::Histogram& queue_depth;
     obs::Histogram& decision_ns;
+    obs::Histogram& queue_wait_us;
   };
 
   /// Charges the transition stall (and counts/traces the frequency

@@ -1,0 +1,31 @@
+#include "dvfs/governors/cost_margin.h"
+
+#include <algorithm>
+
+namespace dvfs::governors {
+
+CostMarginTracker::CostMarginTracker()
+    : gauge_(obs::Registry::global().gauge(kGaugeName)) {}
+
+void CostMarginTracker::reset() {
+  chosen_sum_ = 0.0;
+  best_sum_ = 0.0;
+  decisions_ = 0;
+  gauge_.set(0.0);
+}
+
+void CostMarginTracker::observe(double chosen_cost, double best_cost) {
+  chosen_sum_ += chosen_cost;
+  // A "best" above the realized cost can only be float dust from
+  // computing the two along different paths; the margin is zero then.
+  best_sum_ += std::min(best_cost, chosen_cost);
+  ++decisions_;
+  gauge_.set(ratio());
+}
+
+double CostMarginTracker::ratio() const {
+  if (chosen_sum_ <= 0.0) return 0.0;
+  return (chosen_sum_ - best_sum_) / chosen_sum_;
+}
+
+}  // namespace dvfs::governors

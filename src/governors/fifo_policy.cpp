@@ -24,6 +24,7 @@ FifoStats& fifo_stats() {
 void FifoPolicy::attach(sim::Engine& engine) {
   per_core_.assign(engine.num_cores(), CoreQueues{});
   rr_next_ = 0;
+  margin_.reset();
   // Resolve the cap against each core's model; heterogeneous cores may
   // have different rate counts, so clamp per core at use. The stored cap
   // is validated against the smallest model.
@@ -60,6 +61,18 @@ std::size_t FifoPolicy::choose_core(const sim::Engine& engine,
   if (config_.placement == Placement::kRoundRobin) {
     const std::size_t core = rr_next_;
     rr_next_ = (rr_next_ + 1) % per_core_.size();
+    // Round-robin ignores the queues, so price the decision it actually
+    // made against the best one available: drain time (seconds of pending
+    // work at the cap rate) of the chosen core vs the least-loaded one.
+    double chosen_drain = 0.0;
+    double best_drain = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < per_core_.size(); ++j) {
+      const double drain =
+          per_core_[j].backlog_cycles * engine.model(j).time_per_cycle(cap_);
+      if (j == core) chosen_drain = drain;
+      best_drain = std::min(best_drain, drain);
+    }
+    margin_.observe(chosen_drain, best_drain);
     if (rc != nullptr) {
       rc->record({.type = static_cast<std::uint8_t>(
                       obs::dfr::EventType::kPlacement),
@@ -85,6 +98,7 @@ std::size_t FifoPolicy::choose_core(const sim::Engine& engine,
       best = j;
     }
   }
+  margin_.observe(best_ready, best_ready);  // argmin: zero margin
   if (rc != nullptr) {
     // The candidate vector for OLB placement is each core's drain time.
     for (std::size_t j = 0; j < per_core_.size(); ++j) {

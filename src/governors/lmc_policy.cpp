@@ -43,6 +43,7 @@ void LmcPolicy::attach(sim::Engine& engine) {
         "cost table and engine model disagree on the rate set");
   }
   per_core_.assign(engine.num_cores(), CoreState{});
+  margin_.reset();
   if (obs::RecorderChannel* rc = engine.recorder()) {
     const core::CostParams& p = lmc_.queue(0).table().params();
     rc->record(
@@ -108,6 +109,11 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
     // Eq. 27 evaluates the interactive-cost expression on every core.
     lmc_stats().interactive_evals.add(per_core_.size());
     const std::size_t core = lmc_.choose_interactive_core(estimate, extra);
+    // The argmin choice realizes the best candidate; account it so the
+    // margin gauge reflects this policy (ratio stays 0 by construction).
+    const Money chosen_cost = lmc_.interactive_marginal_cost(
+        core, estimate, lmc_.queue(core).size() + extra[core]);
+    margin_.observe(chosen_cost, chosen_cost);
     if (obs::RecorderChannel* rc = engine.recorder()) {
       // Persist the full candidate vector (every core's Eq. 27 cost, the
       // winner flagged) so `dvfs_inspect explain` can show why the
@@ -179,6 +185,7 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
   std::vector<Money> probed;
   const auto placement = lmc_.place_non_interactive(
       estimate, task.id, offsets, rc != nullptr ? &probed : nullptr);
+  margin_.observe(placement.marginal, placement.marginal);  // argmin
   if (rc != nullptr) {
     for (std::size_t j = 0; j < probed.size(); ++j) {
       rc->record({.type = static_cast<std::uint8_t>(

@@ -38,6 +38,7 @@ void WbgRebalancePolicy::attach(sim::Engine& engine) {
   queued_.clear();
   migrations_ = 0;
   replans_ = 0;
+  margin_.reset();
   if (obs::RecorderChannel* rc = engine.recorder()) {
     const core::CostParams& p = tables_[0].params();
     rc->record(
@@ -164,6 +165,8 @@ void WbgRebalancePolicy::on_arrival(sim::Engine& engine,
                                     const core::Task& task) {
   if (task.klass == core::TaskClass::kInteractive) {
     const std::size_t core = choose_interactive_core(task.cycles);
+    const Money chosen_cost = interactive_cost(core, task.cycles);
+    margin_.observe(chosen_cost, chosen_cost);  // argmin: zero margin
     if (obs::RecorderChannel* rc = engine.recorder()) {
       for (std::size_t j = 0; j < per_core_.size(); ++j) {
         rc->record({.type = static_cast<std::uint8_t>(

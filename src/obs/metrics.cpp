@@ -5,10 +5,11 @@
 
 namespace dvfs::obs {
 
-std::uint64_t Histogram::percentile_upper_bound(double p) const {
+std::optional<std::uint64_t> Histogram::percentile_upper_bound(
+    double p) const {
   DVFS_REQUIRE(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
   const std::uint64_t n = count();
-  if (n == 0) return 0;
+  if (n == 0) return std::nullopt;
   // Nearest-rank: the smallest sample with at least ceil(p*n) samples at
   // or below it, so p99 of a small set still lands in the tail bucket.
   const auto target = std::max<std::uint64_t>(
@@ -77,9 +78,13 @@ Json Registry::to_json() const {
     Json::Object entry;
     entry.emplace("count", Json(h.count()));
     entry.emplace("sum", Json(h.sum()));
-    entry.emplace("mean", Json(h.mean()));
-    entry.emplace("p50", Json(h.percentile_upper_bound(0.5)));
-    entry.emplace("p99", Json(h.percentile_upper_bound(0.99)));
+    // An empty histogram has no mean or quantiles; omitting the fields
+    // keeps "no data" distinguishable from a legitimate value of 0.
+    if (h.count() > 0) {
+      entry.emplace("mean", Json(h.mean()));
+      entry.emplace("p50", Json(*h.percentile_upper_bound(0.5)));
+      entry.emplace("p99", Json(*h.percentile_upper_bound(0.99)));
+    }
     Json::Array buckets;
     for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       const std::uint64_t n = h.bucket(i);

@@ -140,9 +140,74 @@ std::string prometheus_text(const Registry& registry) {
 
 // ------------------------------------------------------------- HTTP server
 
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 406: return "Not Acceptable";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+                        static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
 MetricsHttpServer::MetricsHttpServer(Options options, BodyFn body)
-    : options_(std::move(options)), body_(std::move(body)) {
-  DVFS_REQUIRE(body_ != nullptr, "metrics server needs a body callback");
+    : options_(std::move(options)) {
+  DVFS_REQUIRE(body != nullptr, "metrics server needs a body callback");
+  const Handler metrics = [body = std::move(body)] {
+    return Response{200, "text/plain; version=0.0.4; charset=utf-8", body()};
+  };
+  routes_["/metrics"] = metrics;
+  routes_["/"] = metrics;
+}
+
+void MetricsHttpServer::add_route(const std::string& path, Handler handler) {
+  DVFS_REQUIRE(!path.empty() && path.front() == '/',
+               "route path must start with '/'");
+  DVFS_REQUIRE(handler != nullptr, "route needs a handler");
+  routes_[path] = std::move(handler);
+}
+
+bool MetricsHttpServer::accept_allows(const std::string& accept_header,
+                                      const std::string& mime) {
+  const std::string want = lower(trim(mime));
+  const auto want_slash = want.find('/');
+  if (accept_header.empty() || want_slash == std::string::npos) return true;
+  const std::string want_type = want.substr(0, want_slash);
+
+  std::size_t pos = 0;
+  while (pos <= accept_header.size()) {
+    const auto comma = accept_header.find(',', pos);
+    std::string range = comma == std::string::npos
+                            ? accept_header.substr(pos)
+                            : accept_header.substr(pos, comma - pos);
+    // Drop media-type parameters (";q=0.9", ";charset=...").
+    const auto semi = range.find(';');
+    if (semi != std::string::npos) range = range.substr(0, semi);
+    range = lower(trim(range));
+    if (range == "*/*" || range == want || range == want_type + "/*") {
+      return true;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
 }
 
 MetricsHttpServer::~MetricsHttpServer() { stop(); }
@@ -199,49 +264,73 @@ void MetricsHttpServer::serve_loop() {
 
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-
-    // One short request per connection: read the request line, answer,
-    // close. Enough HTTP for curl and a Prometheus scraper.
-    char buf[2048];
-    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
-    std::string response;
-    if (n > 0) {
-      buf[n] = '\0';
-      const std::string request(buf);
-      const auto line_end = request.find("\r\n");
-      const std::string line =
-          line_end == std::string::npos ? request : request.substr(0, line_end);
-      const bool is_get = line.rfind("GET ", 0) == 0;
-      const auto path_end = line.find(' ', 4);
-      const std::string path =
-          is_get && path_end != std::string::npos
-              ? line.substr(4, path_end - 4)
-              : std::string();
-      if (is_get && (path == "/metrics" || path == "/")) {
-        const std::string body = body_();
-        response =
-            "HTTP/1.1 200 OK\r\n"
-            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-            "Content-Length: " + std::to_string(body.size()) +
-            "\r\nConnection: close\r\n\r\n" + body;
-      } else {
-        static constexpr char kNotFound[] = "not found\n";
-        response =
-            "HTTP/1.1 404 Not Found\r\n"
-            "Content-Type: text/plain\r\n"
-            "Content-Length: " + std::to_string(sizeof(kNotFound) - 1) +
-            "\r\nConnection: close\r\n\r\n" + kNotFound;
-      }
-      std::size_t off = 0;
-      while (off < response.size()) {
-        const ssize_t sent =
-            ::send(client, response.data() + off, response.size() - off, 0);
-        if (sent <= 0) break;
-        off += static_cast<std::size_t>(sent);
-      }
-    }
+    handle_client(client);
     ::shutdown(client, SHUT_RDWR);
     ::close(client);
+  }
+}
+
+void MetricsHttpServer::handle_client(int client) {
+  // One short request per connection: read the request line + headers,
+  // answer, close. Enough HTTP for curl and a Prometheus scraper.
+  char buf[4096];
+  const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string request(buf);
+
+  const auto line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const bool is_get = line.rfind("GET ", 0) == 0;
+  const auto path_end = line.find(' ', 4);
+  const std::string path = is_get && path_end != std::string::npos
+                               ? line.substr(4, path_end - 4)
+                               : std::string();
+
+  // Scan headers for Accept (field names are case-insensitive).
+  std::string accept;
+  std::size_t pos =
+      line_end == std::string::npos ? request.size() : line_end + 2;
+  while (pos < request.size()) {
+    const auto eol = request.find("\r\n", pos);
+    const std::string header = request.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    if (header.empty()) break;  // blank line: end of headers
+    const auto colon = header.find(':');
+    if (colon != std::string::npos &&
+        lower(header.substr(0, colon)) == "accept") {
+      accept = trim(header.substr(colon + 1));
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 2;
+  }
+
+  Response res{404, "text/plain; charset=utf-8", "not found\n"};
+  const auto route = routes_.find(path);
+  if (is_get && route != routes_.end()) {
+    res = route->second();
+    const auto semi = res.content_type.find(';');
+    const std::string mime = semi == std::string::npos
+                                 ? res.content_type
+                                 : res.content_type.substr(0, semi);
+    if (!accept_allows(accept, trim(mime))) {
+      res = Response{406, "text/plain; charset=utf-8", "not acceptable\n"};
+    }
+  }
+
+  std::string response = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                         status_text(res.status) +
+                         "\r\nContent-Type: " + res.content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(res.body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + res.body;
+  std::size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t sent =
+        ::send(client, response.data() + off, response.size() - off, 0);
+    if (sent <= 0) break;
+    off += static_cast<std::size_t>(sent);
   }
 }
 

@@ -75,6 +75,11 @@ RecorderChannel& Recorder::channel(std::size_t i) {
   return *channels_[i];
 }
 
+RecorderChannel& Recorder::add_channel(std::size_t capacity) {
+  channels_.push_back(std::make_unique<RecorderChannel>(capacity));
+  return *channels_.back();
+}
+
 void Recorder::drain() {
   std::vector<dfr::Event> batch;
   for (auto& ch : channels_) ch->drain_into(batch);

@@ -32,7 +32,9 @@ Engine::Stats::Stats()
       freq_transitions(obs::Registry::global().counter("sim.freq_transitions")),
       queue_depth(obs::Registry::global().histogram("sim.event_queue_depth")),
       decision_ns(
-          obs::Registry::global().histogram("sim.governor.decision_ns")) {}
+          obs::Registry::global().histogram("sim.governor.decision_ns")),
+      queue_wait_us(
+          obs::Registry::global().histogram("sim.task.queue_wait_us")) {}
 
 Seconds SimResult::busy_seconds(std::size_t core) const {
   DVFS_REQUIRE(core < rate_residency.size(), "core index out of range");
@@ -287,7 +289,13 @@ void Engine::start(std::size_t core, core::TaskId task,
   const std::size_t idx = record_index(task);
   TaskRecord& rec = result_.tasks[idx];
   DVFS_REQUIRE(!rec.completed(), "task already completed");
-  if (!rec.started()) rec.first_start = now_;
+  if (!rec.started()) {
+    rec.first_start = now_;
+    // Queue wait = arrival to first start, in integer microseconds (the
+    // histogram buckets integers; sub-microsecond waits land in bucket 0).
+    stats_.queue_wait_us.observe(
+        static_cast<std::uint64_t>(std::max(0.0, now_ - rec.arrival) * 1e6));
+  }
 
   CoreState& c = cores_[core];
   c.busy = true;

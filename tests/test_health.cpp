@@ -1,0 +1,514 @@
+/// SLO engine and health-monitor tests: ring-buffer windowed aggregation,
+/// burn-rate math against hand-computed fixtures, alert-lifecycle
+/// hysteresis (flapping input must not flap the alert), config JSON
+/// round-trips, and the `.dfr` cross-version compatibility promise for
+/// the kHealthSample/kAlert events that v3 introduced.
+#include "dvfs/obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dvfs/common.h"
+#include "dvfs/obs/recorder.h"
+#include "dvfs/obs/timeseries.h"
+#include "dvfs/obs/trace.h"
+
+#ifndef DVFS_RECORDINGS_DIR
+#error "DVFS_RECORDINGS_DIR must be defined by the build"
+#endif
+
+namespace dvfs::obs::health {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+// ------------------------------------------------------------ SeriesRing
+
+TEST(SeriesRing, WindowedAggregationOverARollingWindow) {
+  SeriesRing ring(8);
+  for (int i = 0; i <= 9; ++i) {
+    ring.push(static_cast<double>(i), 10.0 * i);
+  }
+  // Capacity 8: samples t=0,1 were evicted.
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.at(0).t, 2.0);
+  EXPECT_EQ(ring.back().v, 90.0);
+
+  // Window [6, 9]: samples t=6..9 (cutoff is inclusive).
+  const SeriesRing::WindowStats s = ring.window_stats(9.0, 3.0);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.first, 60.0);
+  EXPECT_EQ(s.last, 90.0);
+  EXPECT_EQ(s.min, 60.0);
+  EXPECT_EQ(s.max, 90.0);
+  EXPECT_EQ(s.mean, 75.0);
+
+  EXPECT_EQ(ring.delta(9.0, 3.0), 30.0);
+  EXPECT_EQ(ring.rate(9.0, 3.0), 10.0);  // 30 over 3 elapsed seconds
+  // Nearest-rank median of {60, 70, 80, 90} is the rank-2 sample.
+  EXPECT_EQ(ring.quantile_over_window(9.0, 3.0, 0.5), 70.0);
+  EXPECT_EQ(ring.quantile_over_window(9.0, 3.0, 1.0), 90.0);
+}
+
+TEST(SeriesRing, NoDataIsNanNotZero) {
+  SeriesRing ring(4);
+  EXPECT_TRUE(std::isnan(ring.delta(1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(ring.rate(1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(ring.quantile_over_window(1.0, 1.0, 0.5)));
+  EXPECT_EQ(ring.window_stats(1.0, 1.0).count, 0u);
+  EXPECT_TRUE(std::isnan(ring.window_stats(1.0, 1.0).mean));
+
+  // One sample: a delta/rate still has nothing to subtract.
+  ring.push(0.5, 7.0);
+  EXPECT_TRUE(std::isnan(ring.delta(1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(ring.rate(1.0, 1.0)));
+  EXPECT_EQ(ring.quantile_over_window(1.0, 1.0, 0.5), 7.0);
+
+  // A window that slid past every sample is back to no-data.
+  EXPECT_TRUE(std::isnan(ring.quantile_over_window(100.0, 1.0, 0.5)));
+}
+
+TEST(SeriesRing, RejectsNonMonotoneTimestamps) {
+  SeriesRing ring(4);
+  ring.push(2.0, 1.0);
+  ring.push(2.0, 2.0);  // equal is fine
+  EXPECT_THROW(ring.push(1.0, 3.0), PreconditionError);
+}
+
+TEST(SeriesRing, StoreDerivesTrackedHistogramQuantiles) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(1.5);
+  Histogram& h = reg.histogram("h");
+  TimeSeriesStore store(16);
+  store.track_quantile("h", 0.99);
+  store.track_quantile("h", 0.99);  // idempotent
+
+  store.sample(reg, 1.0);  // histogram still empty -> NaN sample
+  for (int i = 0; i < 100; ++i) h.observe(100);
+  reg.counter("c").add(3);
+  store.sample(reg, 2.0);
+
+  const SeriesRing* c = store.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->delta(2.0, 10.0), 3.0);
+  ASSERT_NE(store.find("g"), nullptr);
+  EXPECT_EQ(store.find("g")->back().v, 1.5);
+
+  const SeriesRing* q = store.find(TimeSeriesStore::quantile_key("h", 0.99));
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->size(), 2u);
+  EXPECT_TRUE(std::isnan(q->at(0).v)) << "empty histogram must sample NaN";
+  EXPECT_EQ(q->back().v, 127.0);  // log2 bucket upper bound for 100
+  EXPECT_EQ(store.samples_taken(), 2u);
+}
+
+// ------------------------------------------------------------- SloEngine
+
+Rule gauge_rule(double threshold, double for_s = 0.0,
+                double keep_firing_s = 0.0) {
+  Rule r;
+  r.name = "test-rule";
+  r.signal.kind = SignalKind::kGauge;
+  r.signal.metric = "m";
+  r.op = Op::kGreater;
+  r.threshold = threshold;
+  r.short_window_s = 1.0;
+  r.long_window_s = 5.0;
+  r.for_s = for_s;
+  r.keep_firing_s = keep_firing_s;
+  return r;
+}
+
+TEST(SloEngine, BreachRequiresBothWindows) {
+  SloEngine engine({gauge_rule(1.0)});
+  // Short window hot, long window still cold: no alert (the long window
+  // is what keeps one noisy sample from paging).
+  EXPECT_EQ(engine.step(0, 1.0, 5.0, 0.5).after, AlertState::kOk);
+  // Both hot: with for_s == 0 the alert fires immediately.
+  const auto ev = engine.step(0, 2.0, 5.0, 5.0);
+  EXPECT_EQ(ev.before, AlertState::kOk);
+  EXPECT_EQ(ev.after, AlertState::kFiring);
+  EXPECT_TRUE(ev.transition());
+  EXPECT_EQ(engine.firing_count(), 1u);
+}
+
+TEST(SloEngine, ForDurationHoldsPendingBeforeFiring) {
+  SloEngine engine({gauge_rule(1.0, /*for_s=*/2.0)});
+  EXPECT_EQ(engine.step(0, 0.0, 9.0, 9.0).after, AlertState::kPending);
+  EXPECT_EQ(engine.step(0, 1.0, 9.0, 9.0).after, AlertState::kPending);
+  // t=2: the breach has persisted for_s seconds.
+  EXPECT_EQ(engine.step(0, 2.0, 9.0, 9.0).after, AlertState::kFiring);
+
+  // A pending alert whose breach clears drops straight back to ok, and
+  // the for-clock restarts from zero on the next breach.
+  SloEngine e2({gauge_rule(1.0, /*for_s=*/2.0)});
+  EXPECT_EQ(e2.step(0, 0.0, 9.0, 9.0).after, AlertState::kPending);
+  EXPECT_EQ(e2.step(0, 1.0, 0.0, 0.0).after, AlertState::kOk);
+  EXPECT_EQ(e2.step(0, 1.5, 9.0, 9.0).after, AlertState::kPending);
+  EXPECT_EQ(e2.step(0, 3.0, 9.0, 9.0).after, AlertState::kPending);
+  EXPECT_EQ(e2.step(0, 3.5, 9.0, 9.0).after, AlertState::kFiring);
+}
+
+TEST(SloEngine, FlappingInputDoesNotFlapTheAlert) {
+  // keep_firing_s = 3: once firing, the alert may only resolve after 3
+  // breach-free seconds. Input flaps every second; the alert must not.
+  SloEngine engine({gauge_rule(1.0, 0.0, /*keep_firing_s=*/3.0)});
+  std::size_t transitions = 0;
+  for (int t = 0; t < 20; ++t) {
+    const double v = (t % 2 == 0) ? 9.0 : 0.0;  // flap
+    const auto ev = engine.step(0, static_cast<double>(t), v, v);
+    if (ev.transition()) ++transitions;
+    if (t >= 1) {
+      EXPECT_EQ(ev.after, AlertState::kFiring) << "flapped at t=" << t;
+    }
+  }
+  EXPECT_EQ(transitions, 1u);  // ok -> firing, once
+
+  // Last breach was t=18; once the input stays quiet for keep_firing_s,
+  // resolve exactly once: firing -> resolved (one tick) -> ok.
+  EXPECT_EQ(engine.step(0, 20.0, 0.0, 0.0).after, AlertState::kFiring);
+  const auto resolved = engine.step(0, 21.0, 0.0, 0.0);
+  EXPECT_EQ(resolved.before, AlertState::kFiring);
+  EXPECT_EQ(resolved.after, AlertState::kResolved);
+  EXPECT_EQ(engine.step(0, 22.0, 0.0, 0.0).after, AlertState::kOk);
+}
+
+TEST(SloEngine, MissingDataNeverBreachesAndNeverFastResolves) {
+  const double nan = std::nan("");
+  SloEngine engine({gauge_rule(1.0, 0.0, /*keep_firing_s=*/5.0)});
+  // NaN in either window: no breach.
+  EXPECT_EQ(engine.step(0, 0.0, nan, nan).after, AlertState::kOk);
+  EXPECT_EQ(engine.step(0, 1.0, 9.0, nan).after, AlertState::kOk);
+  // Fire, then lose the data: hysteresis still applies.
+  EXPECT_EQ(engine.step(0, 2.0, 9.0, 9.0).after, AlertState::kFiring);
+  EXPECT_EQ(engine.step(0, 3.0, nan, nan).after, AlertState::kFiring);
+  EXPECT_EQ(engine.step(0, 7.0, nan, nan).after, AlertState::kResolved);
+}
+
+TEST(SloEngine, LessThanOpAndCenterDeviation) {
+  Rule r = gauge_rule(0.5);
+  r.op = Op::kLess;
+  SloEngine engine({r});
+  EXPECT_EQ(engine.step(0, 0.0, 0.9, 0.9).after, AlertState::kOk);
+  EXPECT_EQ(engine.step(0, 1.0, 0.1, 0.1).after, AlertState::kFiring);
+
+  // A centered gauge alerts on |value - center| via evaluate().
+  Rule drift = gauge_rule(0.5);
+  drift.signal.center = 1.0;
+  drift.signal.has_center = true;
+  drift.signal.ignore_zero = true;
+  SloEngine e2({drift});
+  TimeSeriesStore store(16);
+  SeriesRing& m = store.series("m");
+  m.push(0.0, 0.0);  // "not measured yet" -- must be ignored, not |0-1|=1
+  auto evs = e2.evaluate(store, 0.5);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_TRUE(std::isnan(evs[0].short_value));
+  EXPECT_EQ(evs[0].after, AlertState::kOk);
+
+  m.push(0.6, 2.0);  // |2 - 1| = 1 > 0.5 in both windows
+  evs = e2.evaluate(store, 0.7);
+  EXPECT_EQ(evs[0].short_value, 1.0);
+  EXPECT_EQ(evs[0].after, AlertState::kFiring);
+}
+
+TEST(SloEngine, RatioSignalsWindowedAndLatching) {
+  Rule r;
+  r.name = "drop-rate";
+  r.signal.kind = SignalKind::kCounterRatio;
+  r.signal.metric = "dropped";
+  r.signal.denominator = {"recorded", "dropped"};
+  r.threshold = 0.01;
+  r.short_window_s = 2.0;
+  r.long_window_s = 2.0;
+  SloEngine windowed({r});
+  r.signal.kind = SignalKind::kCounterRatioTotal;
+  SloEngine latching({r});
+
+  TimeSeriesStore store(64);
+  SeriesRing& dropped = store.series("dropped");
+  SeriesRing& recorded = store.series("recorded");
+  // A burst: 50 of 150 events dropped by t=1.
+  dropped.push(0.0, 0.0);
+  recorded.push(0.0, 0.0);
+  dropped.push(1.0, 50.0);
+  recorded.push(1.0, 100.0);
+  EXPECT_EQ(windowed.evaluate(store, 1.0)[0].short_value, 50.0 / 150.0);
+  EXPECT_EQ(latching.evaluate(store, 1.0)[0].short_value, 50.0 / 150.0);
+
+  // Ten quiet seconds later the *windowed* ratio has no in-window deltas
+  // (NaN), but the latching total still reports the cumulative 1/3 —
+  // that is why the drop-rate rule uses it: dropped decisions stay lost.
+  dropped.push(11.0, 50.0);
+  recorded.push(11.0, 100.0);
+  EXPECT_TRUE(std::isnan(windowed.evaluate(store, 11.0)[0].short_value));
+  EXPECT_EQ(latching.evaluate(store, 11.0)[0].short_value, 50.0 / 150.0);
+
+  // Zero denominator: no traffic is no data, not a 0% ratio.
+  TimeSeriesStore empty(16);
+  empty.series("dropped").push(0.0, 0.0);
+  empty.series("recorded").push(0.0, 0.0);
+  EXPECT_TRUE(std::isnan(latching.evaluate(empty, 0.5)[0].short_value));
+}
+
+TEST(SloEngine, PublishesAlertStateGauges) {
+  Registry reg;
+  SloEngine engine({gauge_rule(1.0, /*for_s=*/10.0)});
+  engine.step(0, 0.0, 9.0, 9.0);  // pending
+  engine.publish(reg);
+  const Json doc = reg.to_json();
+  EXPECT_EQ(doc.at("gauges").at("alert.state{alert=\"test-rule\"}")
+                .as_double(),
+            1.0);
+  EXPECT_EQ(doc.at("gauges").at("health.firing").as_double(), 0.0);
+
+  const Json status = engine.status_json(0.0);
+  EXPECT_EQ(status.at("schema").as_string(), "dvfs-healthz-v1");
+  EXPECT_TRUE(status.at("healthy").as_bool());
+  EXPECT_EQ(status.at("alerts").as_array().size(), 1u);
+  EXPECT_EQ(status.at("alerts").at(0).at("state").as_string(), "pending");
+}
+
+TEST(SloEngine, StatusJsonSerializesMissingDataAsNull) {
+  const double nan = std::nan("");
+  SloEngine engine({gauge_rule(1.0)});
+  engine.step(0, 0.0, nan, nan);
+  // NaN is not representable in JSON; the writer would reject it.
+  const std::string body = engine.status_json(0.0).dump(-1);
+  EXPECT_NE(body.find("\"short_value\":null"), std::string::npos) << body;
+}
+
+// ---------------------------------------------------------- HealthConfig
+
+TEST(HealthConfig, BuiltinRulesRoundTripThroughJson) {
+  const std::vector<Rule> builtin = builtin_rules();
+  ASSERT_EQ(builtin.size(), 5u);
+  const std::vector<Rule> reparsed = rules_from_json(rules_to_json(builtin));
+  ASSERT_EQ(reparsed.size(), builtin.size());
+  for (std::size_t i = 0; i < builtin.size(); ++i) {
+    EXPECT_EQ(reparsed[i].name, builtin[i].name);
+    EXPECT_EQ(reparsed[i].signal.kind, builtin[i].signal.kind);
+    EXPECT_EQ(reparsed[i].signal.metric, builtin[i].signal.metric);
+    EXPECT_EQ(reparsed[i].signal.denominator, builtin[i].signal.denominator);
+    EXPECT_EQ(reparsed[i].signal.has_center, builtin[i].signal.has_center);
+    EXPECT_EQ(reparsed[i].signal.ignore_zero, builtin[i].signal.ignore_zero);
+    EXPECT_EQ(reparsed[i].op, builtin[i].op);
+    EXPECT_EQ(reparsed[i].threshold, builtin[i].threshold);
+    EXPECT_EQ(reparsed[i].short_window_s, builtin[i].short_window_s);
+    EXPECT_EQ(reparsed[i].long_window_s, builtin[i].long_window_s);
+    EXPECT_EQ(reparsed[i].for_s, builtin[i].for_s);
+    EXPECT_EQ(reparsed[i].keep_firing_s, builtin[i].keep_firing_s);
+  }
+}
+
+TEST(HealthConfig, RejectsMalformedDocuments) {
+  const auto parse = [](const std::string& text) {
+    return rules_from_json(Json::parse(text));
+  };
+  // Wrong or missing schema tag.
+  EXPECT_THROW(parse(R"({"rules": []})"), PreconditionError);
+  EXPECT_THROW(parse(R"({"schema": "dvfs-health-v2", "rules": []})"),
+               PreconditionError);
+  // Unknown enum strings.
+  EXPECT_THROW(parse(R"({"schema": "dvfs-health-v1", "rules": [{
+      "name": "x", "threshold": 1,
+      "signal": {"kind": "alien", "metric": "m"}}]})"),
+               PreconditionError);
+  EXPECT_THROW(parse(R"({"schema": "dvfs-health-v1", "rules": [{
+      "name": "x", "threshold": 1, "op": ">=",
+      "signal": {"kind": "gauge", "metric": "m"}}]})"),
+               PreconditionError);
+  // Short window longer than the long window.
+  EXPECT_THROW(parse(R"({"schema": "dvfs-health-v1", "rules": [{
+      "name": "x", "threshold": 1, "short_window_s": 9, "long_window_s": 1,
+      "signal": {"kind": "gauge", "metric": "m"}}]})"),
+               PreconditionError);
+  // Ratio without a denominator.
+  EXPECT_THROW(parse(R"({"schema": "dvfs-health-v1", "rules": [{
+      "name": "x", "threshold": 1,
+      "signal": {"kind": "counter_ratio", "metric": "m"}}]})"),
+               PreconditionError);
+  // Duplicate rule names.
+  EXPECT_THROW(parse(R"({"schema": "dvfs-health-v1", "rules": [
+      {"name": "x", "threshold": 1,
+       "signal": {"kind": "gauge", "metric": "m"}},
+      {"name": "x", "threshold": 2,
+       "signal": {"kind": "gauge", "metric": "m"}}]})"),
+               PreconditionError);
+}
+
+TEST(HealthConfig, LoadRulesResolvesBuiltinAndFiles) {
+  EXPECT_EQ(load_rules("").size(), builtin_rules().size());
+  EXPECT_EQ(load_rules("builtin").size(), builtin_rules().size());
+  const std::string path = temp_path("dvfs_health_rules.json");
+  write_json_file(path, rules_to_json(builtin_rules()));
+  EXPECT_EQ(load_rules(path).size(), builtin_rules().size());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_rules(temp_path("dvfs_health_missing.json")),
+               PreconditionError);
+}
+
+// --------------------------------------------------------- HealthMonitor
+
+TEST(HealthMonitor, TicksRecordEventsAndReplayDeterministically) {
+  Registry reg;
+  Gauge& m = reg.gauge("m");
+  Recorder recorder(1, 1 << 10);
+  RecorderChannel& channel = recorder.add_channel(1 << 10);
+
+  Rule rule = gauge_rule(1.0, 0.0, /*keep_firing_s=*/1000.0);
+  HealthMonitor monitor(reg, {rule},
+                        HealthMonitor::Options{.period_s = 0.001});
+  monitor.set_channel(&channel);
+
+  // Manual ticks (no background thread): breach on the third tick.
+  monitor.tick();
+  monitor.tick();
+  m.set(9.0);
+  monitor.tick();
+  EXPECT_EQ(monitor.firing_count(), 1u);
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_EQ(monitor.ticks(), 3u);
+  ASSERT_EQ(monitor.states().size(), 1u);
+  EXPECT_EQ(monitor.states()[0], AlertState::kFiring);
+  EXPECT_FALSE(monitor.status_json().at("healthy").as_bool());
+  // The gauges landed in the *monitored* registry.
+  EXPECT_EQ(reg.to_json()
+                .at("gauges")
+                .at("alert.state{alert=\"test-rule\"}")
+                .as_double(),
+            2.0);
+
+  recorder.drain();
+  std::vector<dfr::Event> samples;
+  std::vector<dfr::Event> alerts;
+  for (const dfr::Event& e : recorder.events()) {
+    if (e.type == static_cast<std::uint8_t>(dfr::EventType::kHealthSample)) {
+      samples.push_back(e);
+    }
+    if (e.type == static_cast<std::uint8_t>(dfr::EventType::kAlert)) {
+      alerts.push_back(e);
+    }
+  }
+  ASSERT_EQ(samples.size(), 3u);  // one per tick per rule
+  ASSERT_EQ(alerts.size(), 1u);   // the single ok -> firing transition
+  EXPECT_EQ(samples[0].task, rule_hash("test-rule"));
+  EXPECT_EQ(alerts[0].flags,
+            static_cast<std::uint8_t>(AlertState::kOk));
+  EXPECT_EQ(alerts[0].u0,
+            static_cast<std::uint64_t>(AlertState::kFiring));
+
+  // Offline replay through a fresh engine: stepping the recorded
+  // (t, short, long) tuples reproduces the recorded state sequence —
+  // the determinism `dvfs_inspect health` relies on.
+  SloEngine replay({rule});
+  for (const dfr::Event& e : samples) {
+    const auto ev = replay.step(e.aux, e.time_s, e.f0, e.f1);
+    EXPECT_EQ(static_cast<std::uint64_t>(ev.after), e.u0);
+  }
+  EXPECT_EQ(replay.firing_count(), 1u);
+}
+
+TEST(HealthMonitor, BackgroundThreadAndSettleReachTerminalStates) {
+  Registry reg;
+  reg.gauge("m").set(9.0);  // breaching from the start
+  Rule rule = gauge_rule(1.0, /*for_s=*/0.02);
+  HealthMonitor monitor(reg, {rule},
+                        HealthMonitor::Options{.period_s = 0.005});
+  monitor.start();
+  // settle() keeps ticking until no rule is pending, so even a short run
+  // gives the for_s clock time to elapse.
+  monitor.settle();
+  monitor.stop();
+  EXPECT_EQ(monitor.states()[0], AlertState::kFiring);
+  EXPECT_GE(monitor.ticks(), 2u);
+  // stop() is idempotent; a second settle/stop after stop is harmless.
+  monitor.stop();
+}
+
+TEST(HealthMonitor, RejectsNonPositivePeriodAndBadRules) {
+  Registry reg;
+  EXPECT_THROW(HealthMonitor(reg, builtin_rules(),
+                             HealthMonitor::Options{.period_s = 0.0}),
+               PreconditionError);
+  Rule bad = gauge_rule(1.0);
+  bad.signal.metric.clear();
+  EXPECT_THROW(HealthMonitor(reg, {bad}), PreconditionError);
+}
+
+// ---------------------------------------------------- HealthFormatCompat
+
+// Cross-version load promise: v1 and v2 fixtures recorded before the
+// health events existed keep loading under the v3 reader, and a fresh v3
+// file with health events loads and replays (replay ignores monitor
+// events — they carry no trace semantics).
+TEST(HealthFormatCompat, V1AndV2FixturesStillLoad) {
+  const std::string v1 = std::string(DVFS_RECORDINGS_DIR) + "/v1_lmc.dfr";
+  const Recording r1 = Recording::load(v1);
+  EXPECT_EQ(r1.header.version, 1u);
+  EXPECT_GT(r1.events.size(), 0u);
+
+  const std::string v2 =
+      std::string(DVFS_RECORDINGS_DIR) + "/v2_rt_fake.dfr";
+  const Recording r2 = Recording::load(v2);
+  EXPECT_EQ(r2.header.version, 2u);
+  EXPECT_GT(r2.events.size(), 0u);
+  for (const Recording* r : {&r1, &r2}) {
+    for (const dfr::Event& e : r->events) {
+      EXPECT_NE(e.type,
+                static_cast<std::uint8_t>(dfr::EventType::kHealthSample));
+      EXPECT_NE(e.type, static_cast<std::uint8_t>(dfr::EventType::kAlert));
+    }
+  }
+}
+
+TEST(HealthFormatCompat, V3RoundTripCarriesHealthEvents) {
+  Registry reg;
+  Gauge& m = reg.gauge("m");
+  Recorder recorder(1, 1 << 10);
+  // A minimal run prologue in channel 0 so replay has its anchor...
+  recorder.channel(0).record(
+      {.type = static_cast<std::uint8_t>(dfr::EventType::kRunBegin),
+       .core = 1});
+  // ...and monitor events in their own channel, as the tools wire it.
+  HealthMonitor monitor(reg, {gauge_rule(1.0)},
+                        HealthMonitor::Options{.period_s = 0.001});
+  monitor.set_channel(&recorder.add_channel(1 << 10));
+  m.set(9.0);
+  monitor.tick();
+  recorder.drain();
+  recorder.capture_metrics(reg);
+
+  const std::string path = temp_path("dvfs_health_v3.dfr");
+  recorder.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.header.version, dfr::kFormatVersion);
+  EXPECT_EQ(loaded.header.version, 3u);
+  std::size_t samples = 0, alerts = 0;
+  for (const dfr::Event& e : loaded.events) {
+    samples +=
+        e.type == static_cast<std::uint8_t>(dfr::EventType::kHealthSample);
+    alerts += e.type == static_cast<std::uint8_t>(dfr::EventType::kAlert);
+  }
+  EXPECT_EQ(samples, 1u);
+  EXPECT_EQ(alerts, 1u);
+  ASSERT_NE(loaded.metrics, nullptr);
+
+  // Trace replay of a health-bearing recording must not trip on the new
+  // event types.
+  TraceWriter writer;
+  replay_to_trace(loaded, writer);
+}
+
+}  // namespace
+}  // namespace dvfs::obs::health

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -56,7 +59,47 @@ TEST(Metrics, HistogramObserveAndStats) {
   // inclusive upper bound is 3; p99 is the max (100), in [64, 128) -> 127.
   EXPECT_EQ(h.percentile_upper_bound(0.5), 3u);
   EXPECT_EQ(h.percentile_upper_bound(0.99), 127u);
-  EXPECT_EQ(Histogram{}.percentile_upper_bound(0.5), 0u);
+}
+
+TEST(Metrics, EmptyHistogramHasNoQuantiles) {
+  // "No data" must stay distinguishable from a real all-zero
+  // distribution: empty reports nullopt, an observed 0 reports 0.
+  EXPECT_EQ(Histogram{}.percentile_upper_bound(0.5), std::nullopt);
+  Histogram h;
+  h.observe(0);
+  EXPECT_EQ(h.percentile_upper_bound(0.5), 0u);
+
+  Registry reg;
+  reg.histogram("unused");
+  const Json& j = reg.to_json().at("histograms").at("unused");
+  EXPECT_FALSE(j.contains("mean"));
+  EXPECT_FALSE(j.contains("p50"));
+  EXPECT_FALSE(j.contains("p99"));
+  EXPECT_EQ(j.at("count").as_double(), 0.0);
+}
+
+TEST(Metrics, PercentileErrorBoundOnLogBuckets) {
+  // The documented guarantee: the reported quantile is never below the
+  // true nearest-rank quantile and overshoots by less than a factor of
+  // two (one log2 bucket). Deterministic workload: 1..1000.
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.observe(v);
+    values.push_back(v);
+  }
+  for (const double p : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(values.size()))));
+    const std::uint64_t truth = values[rank - 1];
+    const std::uint64_t reported = *h.percentile_upper_bound(p);
+    EXPECT_GE(reported, truth) << "p=" << p;
+    EXPECT_LT(reported, 2 * truth) << "p=" << p;
+  }
+  // p99: true quantile 990 lies in [512, 1024) -> reported bound 1023,
+  // i.e. within one bucket boundary of the truth.
+  EXPECT_EQ(*h.percentile_upper_bound(0.99), 1023u);
 }
 
 TEST(Metrics, RegistryGetOrCreateReturnsSameInstance) {

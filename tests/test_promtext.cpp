@@ -11,8 +11,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "dvfs/obs/build_info.h"
 #include "dvfs/obs/metrics.h"
@@ -118,8 +120,10 @@ TEST(PromText, ParseListen) {
   EXPECT_THROW(parse_listen(""), PreconditionError);
 }
 
-/// Minimal HTTP client: one request, reads until the peer closes.
-std::string http_get(std::uint16_t port, const std::string& path) {
+/// Minimal HTTP client: one request (with optional extra header lines,
+/// each already "Name: value"), reads until the peer closes.
+std::string http_get(std::uint16_t port, const std::string& path,
+                     const std::vector<std::string>& extra_headers = {}) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
   sockaddr_in addr{};
@@ -128,8 +132,9 @@ std::string http_get(std::uint16_t port, const std::string& path) {
   EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
   EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
-  const std::string req =
-      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n";
+  for (const std::string& h : extra_headers) req += h + "\r\n";
+  req += "\r\n";
   EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
             static_cast<ssize_t>(req.size()));
   std::string response;
@@ -140,6 +145,19 @@ std::string http_get(std::uint16_t port, const std::string& path) {
   }
   ::close(fd);
   return response;
+}
+
+/// The decimal value of a response's Content-Length header, or -1.
+long content_length_of(const std::string& response) {
+  const std::size_t pos = response.find("Content-Length: ");
+  if (pos == std::string::npos) return -1;
+  return std::strtol(response.c_str() + pos + 16, nullptr, 10);
+}
+
+/// The body: everything after the blank line ending the headers.
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
 }
 
 TEST(MetricsHttpServer, ServesMetricsAndRejectsOtherPaths) {
@@ -159,6 +177,90 @@ TEST(MetricsHttpServer, ServesMetricsAndRejectsOtherPaths) {
 
   server.stop();
   server.stop();  // idempotent
+}
+
+TEST(MetricsHttpServer, EveryResponseCarriesTypeAndExactLength) {
+  MetricsHttpServer server({.host = "127.0.0.1", .port = 0},
+                           [] { return std::string("payload 123\n"); });
+  server.start();
+
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_EQ(content_length_of(ok), 12);
+  EXPECT_EQ(body_of(ok), "payload 123\n");
+  EXPECT_NE(ok.find("Connection: close"), std::string::npos);
+
+  // The 404 is a real response too: typed body, exact length.
+  const std::string missing = http_get(server.port(), "/other");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_EQ(content_length_of(missing),
+            static_cast<long>(body_of(missing).size()));
+  EXPECT_GT(body_of(missing).size(), 0u);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, AcceptNegotiation) {
+  MetricsHttpServer server({.host = "127.0.0.1", .port = 0},
+                           [] { return std::string("x\n"); });
+  server.start();
+  // Compatible Accept headers are served.
+  for (const char* accept :
+       {"Accept: */*", "Accept: text/*", "Accept: text/plain",
+        "Accept: text/plain; q=0.9, application/json"}) {
+    EXPECT_NE(http_get(server.port(), "/metrics", {accept})
+                  .find("HTTP/1.1 200 OK"),
+              std::string::npos)
+        << accept;
+  }
+  // An Accept that rules out text/plain gets 406 with an exact length.
+  const std::string refused = http_get(server.port(), "/metrics",
+                                       {"Accept: application/json"});
+  EXPECT_NE(refused.find("HTTP/1.1 406 Not Acceptable"), std::string::npos);
+  EXPECT_EQ(content_length_of(refused),
+            static_cast<long>(body_of(refused).size()));
+  server.stop();
+}
+
+TEST(MetricsHttpServer, AcceptAllowsMatchingRules) {
+  using S = MetricsHttpServer;
+  EXPECT_TRUE(S::accept_allows("", "text/plain"));  // no header: anything
+  EXPECT_TRUE(S::accept_allows("*/*", "text/plain"));
+  EXPECT_TRUE(S::accept_allows("text/*", "text/plain"));
+  EXPECT_TRUE(S::accept_allows("text/plain", "text/plain"));
+  EXPECT_TRUE(S::accept_allows("application/json, text/plain;q=0.5",
+                               "text/plain"));
+  EXPECT_TRUE(S::accept_allows("TEXT/PLAIN", "text/plain"));
+  EXPECT_FALSE(S::accept_allows("application/json", "text/plain"));
+  EXPECT_FALSE(S::accept_allows("application/*", "text/plain"));
+  EXPECT_FALSE(S::accept_allows("text/html", "text/plain"));
+}
+
+TEST(MetricsHttpServer, CustomRoutesNegotiateTheirOwnType) {
+  MetricsHttpServer server({.host = "127.0.0.1", .port = 0},
+                           [] { return std::string("metrics\n"); });
+  server.add_route("/healthz", [] {
+    return MetricsHttpServer::Response{
+        .status = 503,
+        .content_type = "application/json; charset=utf-8",
+        .body = "{\"healthy\":false}\n"};
+  });
+  server.start();
+
+  const std::string hz = http_get(server.port(), "/healthz");
+  EXPECT_NE(hz.find("HTTP/1.1 503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(hz.find("Content-Type: application/json; charset=utf-8"),
+            std::string::npos);
+  EXPECT_EQ(body_of(hz), "{\"healthy\":false}\n");
+  EXPECT_EQ(content_length_of(hz), 18);
+
+  // Negotiation applies per route: JSON accepted, JSON refused.
+  EXPECT_NE(http_get(server.port(), "/healthz", {"Accept: application/json"})
+                .find("HTTP/1.1 503"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/healthz", {"Accept: text/html"})
+                .find("HTTP/1.1 406"),
+            std::string::npos);
+  server.stop();
 }
 
 TEST(MetricsHttpServer, ServesLiveRegistrySnapshot) {

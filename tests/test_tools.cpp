@@ -3,15 +3,20 @@
 /// directory and check outputs and exit codes.
 #include <gtest/gtest.h>
 
+#include <signal.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "dvfs/core/plan_io.h"
 #include "dvfs/cpufreq/cpufreq.h"
 #include "dvfs/obs/json.h"
+#include "dvfs/obs/recorder.h"
 #include "dvfs/workload/trace.h"
 
 #ifndef DVFS_TOOLS_DIR
@@ -237,7 +242,8 @@ TEST_F(ToolsFixture, SimulateHelpDocumentsObservabilityFlags) {
                                        &code);
   EXPECT_EQ(code, 0);
   for (const char* flag : {"--trace-out", "--metrics-out", "--record-out",
-                           "--listen", "--serve-seconds"}) {
+                           "--listen", "--serve-seconds", "--health-config",
+                           "--health-period"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag;
   }
 }
@@ -248,7 +254,8 @@ TEST_F(ToolsFixture, ExecuteHelpDocumentsTelemetryFlags) {
                                        &code);
   EXPECT_EQ(code, 0);
   for (const char* flag : {"--hw", "--trace-out", "--metrics-out",
-                           "--record-out"}) {
+                           "--record-out", "--health-config",
+                           "--health-period"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag;
   }
 }
@@ -343,6 +350,173 @@ TEST_F(ToolsFixture, DriftGateEnergySkewFlipsDecisions) {
   EXPECT_LT(std::abs(doc.at("ratios").at("cycles").as_double() - 1.0), 1e-6);
   EXPECT_GT(doc.at("replan").at("flipped").as_double(), 0.0);
   EXPECT_NE(doc.at("replan").at("cost_delta").as_double(), 0.0);
+}
+
+double alert_gauge(const dvfs::obs::Json& metrics, const std::string& name) {
+  return metrics.at("gauges")
+      .at("alert.state{alert=\"" + name + "\"}")
+      .as_double();
+}
+
+// Health acceptance gate 1: a run with a pathological condition (a
+// recorder ring far too small for the trace -> a drop storm) must end
+// with the matching alert firing, visible in the metrics snapshot AND
+// reproduced by the offline replay of the recording through the same
+// engine.
+TEST_F(ToolsFixture, HealthGateDropStormFiresAndReplaysOffline) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind poisson --rate 3 --duration 30 --seed 2 --out " +
+                trace),
+            0);
+  const std::string dfr = dir_ + "/run.dfr";
+  ASSERT_EQ(run(tool("dvfs_simulate") + " --trace " + trace +
+                " --policy lmc --cores 2 --record-out " + dfr +
+                " --record-capacity 64 --health-period 0.05"
+                " --metrics-out " + dir_ + "/m.json"),
+            0);
+  const dvfs::obs::Json metrics =
+      dvfs::obs::Json::parse(slurp(dir_ + "/m.json"));
+  EXPECT_EQ(alert_gauge(metrics, "recorder-drop-rate"), 2.0);  // firing
+  EXPECT_EQ(alert_gauge(metrics, "governor-cost-overhead"), 0.0);
+  EXPECT_GE(metrics.at("gauges").at("health.firing").as_double(), 1.0);
+
+  // The offline replay must agree with the live monitor, state for state.
+  int code = 0;
+  const std::string health = run_capture(
+      tool("dvfs_inspect") + " health --in " + dfr, &code);
+  EXPECT_EQ(code, 0) << health;
+  EXPECT_NE(health.find("all states match the live monitor"),
+            std::string::npos)
+      << health;
+  EXPECT_NE(health.find("recorder-drop-rate       firing"),
+            std::string::npos)
+      << health;
+  EXPECT_NE(health.find("firing at end: 1"), std::string::npos) << health;
+}
+
+// Health acceptance gate 2: the same workload with an adequately sized
+// ring must end with zero alerts firing.
+TEST_F(ToolsFixture, HealthGateCleanRunStaysQuiet) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind poisson --rate 3 --duration 30 --seed 2 --out " +
+                trace),
+            0);
+  const std::string dfr = dir_ + "/run.dfr";
+  ASSERT_EQ(run(tool("dvfs_simulate") + " --trace " + trace +
+                " --policy lmc --cores 2 --record-out " + dfr +
+                " --health-period 0.05 --metrics-out " + dir_ + "/m.json"),
+            0);
+  const dvfs::obs::Json metrics =
+      dvfs::obs::Json::parse(slurp(dir_ + "/m.json"));
+  EXPECT_EQ(metrics.at("gauges").at("health.firing").as_double(), 0.0);
+  for (const char* rule :
+       {"governor-cost-overhead", "queue-wait-p99", "recorder-drop-rate",
+        "hw-drift-energy", "hw-drift-duration"}) {
+    EXPECT_EQ(alert_gauge(metrics, rule), 0.0) << rule;
+  }
+  int code = 0;
+  const std::string health = run_capture(
+      tool("dvfs_inspect") + " health --in " + dfr, &code);
+  EXPECT_EQ(code, 0) << health;
+  EXPECT_NE(health.find("firing at end: 0"), std::string::npos) << health;
+}
+
+// Health acceptance gate 3: an injected 2x energy skew on the real-thread
+// executor trips the hw-drift-energy deviation alert (|2 - 1| > 0.5)
+// while the well-calibrated duration axis stays quiet.
+TEST_F(ToolsFixture, HealthGateDriftSkewFiresEnergyAlert) {
+  const std::string batch = dir_ + "/batch.csv";
+  {
+    std::ofstream os(batch);
+    os << "id,arrival,cycles,class,deadline\n";
+    for (int i = 0; i < 8; ++i) {
+      os << i << ",0," << (i + 1) * 1'000'000'000LL << ",batch,\n";
+    }
+  }
+  const std::string plan_path = dir_ + "/plan.csv";
+  ASSERT_EQ(run(tool("dvfs_plan") + " --tasks " + batch +
+                " --cores 2 --out " + plan_path),
+            0);
+  int code = 0;
+  const std::string out = run_capture(
+      tool("dvfs_execute") + " --plan " + plan_path +
+          " --time-scale 1e-4 --hw fake:energy=2 --health-period 0.02"
+          " --metrics-out " + dir_ + "/m.json",
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("health: 1 alert(s) firing"), std::string::npos) << out;
+  const dvfs::obs::Json metrics =
+      dvfs::obs::Json::parse(slurp(dir_ + "/m.json"));
+  EXPECT_EQ(alert_gauge(metrics, "hw-drift-energy"), 2.0);
+  EXPECT_EQ(alert_gauge(metrics, "hw-drift-duration"), 0.0);
+}
+
+TEST_F(ToolsFixture, InspectHealthRequiresHealthSamples) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind poisson --rate 2 --duration 10 --seed 4 --out " +
+                trace),
+            0);
+  const std::string dfr = dir_ + "/run.dfr";
+  ASSERT_EQ(run(tool("dvfs_simulate") + " --trace " + trace +
+                " --policy lmc --cores 2 --record-out " + dfr),
+            0);
+  // Recorded without --health-*: there is nothing to replay.
+  EXPECT_NE(run(tool("dvfs_inspect") + " health --in " + dfr), 0);
+}
+
+// Graceful-shutdown gate: SIGTERM against a serving run must flush the
+// recording (with its metrics epilogue) and the final snapshot before
+// exiting. The run is started through the shell so the test can signal
+// it mid-serve.
+TEST_F(ToolsFixture, ServeShutsDownCleanlyOnSigterm) {
+  const std::string trace = dir_ + "/online.csv";
+  ASSERT_EQ(run(tool("dvfs_trace_gen") +
+                " --kind poisson --rate 2 --duration 10 --seed 4 --out " +
+                trace),
+            0);
+  const std::string dfr = dir_ + "/sig.dfr";
+  const std::string log = dir_ + "/serve.log";
+  const std::string pid_file = dir_ + "/pid";
+  ASSERT_EQ(std::system((tool("dvfs_simulate") + " --trace " + trace +
+                         " --policy lmc --cores 2 --record-out " + dfr +
+                         " --health-period 0.05 --metrics-out " + dir_ +
+                         "/m.json --listen 127.0.0.1:0 > " + log +
+                         " 2>&1 & echo $! > " + pid_file)
+                            .c_str()),
+            0);
+  const auto wait_for = [&](const char* needle) {
+    for (int i = 0; i < 200; ++i) {  // up to 20 s
+      if (slurp(log).find(needle) != std::string::npos) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+  };
+  ASSERT_TRUE(wait_for("serving Prometheus metrics")) << slurp(log);
+  int pid = 0;
+  {
+    std::ifstream is(pid_file);
+    ASSERT_TRUE(is >> pid);
+  }
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  ASSERT_TRUE(wait_for("wrote metrics snapshot")) << slurp(log);
+  const std::string output = slurp(log);
+  EXPECT_NE(output.find("caught signal 15"), std::string::npos) << output;
+  EXPECT_NE(output.find("recorded events"), std::string::npos) << output;
+
+  // The interrupted run still produced a complete, loadable recording:
+  // finalized header, intact metrics epilogue, health events included.
+  const dvfs::obs::Recording rec = dvfs::obs::Recording::load(dfr);
+  ASSERT_NE(rec.metrics, nullptr);
+  EXPECT_TRUE(rec.epilogue_note.empty()) << rec.epilogue_note;
+  EXPECT_GT(rec.events.size(), 0u);
+  EXPECT_TRUE(
+      rec.first_of(dvfs::obs::dfr::EventType::kHealthSample).has_value());
+  const dvfs::obs::Json metrics =
+      dvfs::obs::Json::parse(slurp(dir_ + "/m.json"));
+  EXPECT_TRUE(metrics.at("gauges").contains("health.firing"));
 }
 
 TEST_F(ToolsFixture, PinDryRunTouchesNothing) {

@@ -5,8 +5,12 @@ Usage:
     bench_compare.py --baseline DIR_OR_FILE --candidate DIR_OR_FILE
                      [--candidate DIR_OR_FILE ...]
                      [--wall-tolerance 0.25] [--quality-tolerance 1e-6]
-                     [--min-wall-ns 1e6]
+                     [--min-wall-ns 1e6] [--markdown-out summary.md]
     bench_compare.py --self-test
+
+--markdown-out additionally writes the comparison as a Markdown table
+(one row per gated benchmark with wall-time and quality deltas plus a
+pass/fail verdict); CI appends it to $GITHUB_STEP_SUMMARY.
 
 Repeat --candidate to pass several runs of the same suites; rows are
 merged by taking the per-row minimum of wall_ns (and of the quality
@@ -77,15 +81,20 @@ def collect_reports(path):
         yield os.path.splitext(os.path.basename(path))[0], path
 
 
-def compare_reports(base_doc, cand_doc, suite, opts, failures, notes):
+def compare_reports(base_doc, cand_doc, suite, opts, failures, notes,
+                    table=None):
     base = index_rows(base_doc, f"{suite} (baseline)")
     cand = index_rows(cand_doc, f"{suite} (candidate)")
 
     for key, brow in base.items():
         crow = cand.get(key)
         label = f"{suite}:{brow['name']} {key[1]}"
+        failures_before = len(failures)
         if crow is None:
             failures.append(f"{label}: row missing from candidate")
+            if table is not None:
+                table.append({"label": label, "bwall": None, "cwall": None,
+                              "quality": "row missing", "ok": False})
             continue
         bwall = float(brow.get("wall_ns", 0.0))
         cwall = float(crow.get("wall_ns", 0.0))
@@ -117,6 +126,20 @@ def compare_reports(base_doc, cand_doc, suite, opts, failures, notes):
                 failures.append(
                     f"{label}: {field} {bval:.6g} -> {cval:.6g} (any increase fails)"
                 )
+        if table is not None:
+            deltas = []
+            for field in QUALITY_FIELDS:
+                if field in brow and field in crow and float(brow[field]):
+                    rel = float(crow[field]) / float(brow[field]) - 1.0
+                    if abs(rel) > opts.quality_tolerance:
+                        deltas.append(f"{field} {rel:+.2%}")
+            table.append({
+                "label": label,
+                "bwall": bwall,
+                "cwall": cwall,
+                "quality": ", ".join(deltas) if deltas else "unchanged",
+                "ok": len(failures) == failures_before,
+            })
 
     for key in cand:
         if key not in base:
@@ -145,6 +168,50 @@ def merge_min(docs):
     return merged
 
 
+def _fmt_wall(ns):
+    return "—" if ns is None else f"{ns / 1e6:.3g} ms"
+
+
+def _fmt_delta(bwall, cwall):
+    if bwall is None or cwall is None or bwall == 0.0:
+        return "—"
+    return f"{cwall / bwall - 1.0:+.1%}"
+
+
+def render_markdown(table, notes, failures):
+    """The same comparison as a Markdown document — pasted into CI job
+    summaries ($GITHUB_STEP_SUMMARY) so a red gate explains itself
+    without digging through logs."""
+    lines = ["## Bench regression gate", ""]
+    verdict = (f"**FAIL** — {len(failures)} regression(s)" if failures
+               else "**PASS** — no regressions")
+    lines += [verdict, ""]
+    if table:
+        lines += [
+            "| benchmark | baseline wall | candidate wall | Δ wall "
+            "| quality | status |",
+            "|---|---:|---:|---:|---|:---:|",
+        ]
+        for e in table:
+            status = "✅" if e["ok"] else "❌"
+            lines.append(
+                f"| `{e['label']}` | {_fmt_wall(e['bwall'])} "
+                f"| {_fmt_wall(e['cwall'])} "
+                f"| {_fmt_delta(e['bwall'], e['cwall'])} "
+                f"| {e['quality']} | {status} |"
+            )
+        lines.append("")
+    if failures:
+        lines += ["### Regressions", ""]
+        lines += [f"- {f}" for f in failures]
+        lines.append("")
+    if notes:
+        lines += ["### Notes", ""]
+        lines += [f"- {n}" for n in notes]
+        lines.append("")
+    return "\n".join(lines)
+
+
 def run_compare(opts):
     base_files = dict(collect_reports(opts.baseline))
     cand_files = {}
@@ -154,16 +221,23 @@ def run_compare(opts):
 
     failures = []
     notes = []
+    table = []
     for suite, bpath in sorted(base_files.items()):
         cpaths = cand_files.get(suite)
         if not cpaths:
             failures.append(f"{suite}: candidate report missing")
+            table.append({"label": suite, "bwall": None, "cwall": None,
+                          "quality": "suite missing", "ok": False})
             continue
         cand_doc = merge_min([load_report(p) for p in cpaths])
         compare_reports(load_report(bpath), cand_doc, suite, opts,
-                        failures, notes)
+                        failures, notes, table)
     for suite in sorted(set(cand_files) - set(base_files)):
         notes.append(f"{suite}: new suite (no baseline)")
+
+    if opts.markdown_out:
+        with open(opts.markdown_out, "w") as f:
+            f.write(render_markdown(table, notes, failures))
 
     for note in notes:
         print(f"note: {note}")
@@ -286,6 +360,29 @@ def self_test():
     check("regression in every run still fails", base,
           [worse_wall, copy.deepcopy(worse_wall)], 1)
 
+    # The Markdown summary mirrors the verdict in both directions: a
+    # clean run renders PASS with every row checked, a regression renders
+    # FAIL with the offending row crossed and the reason listed.
+    with tempfile.TemporaryDirectory() as tmp:
+        md = os.path.join(tmp, "summary.md")
+        check("markdown summary written on pass", base, copy.deepcopy(base),
+              0, argv_extra=("--markdown-out", md))
+        with open(md) as f:
+            text = f.read()
+        assert "**PASS**" in text, text
+        assert "| benchmark |" in text, text
+        assert "`t:a" in text and "✅" in text, text
+        assert "❌" not in text, text
+
+        check("markdown summary written on fail", base, worse_wall, 1,
+              argv_extra=("--markdown-out", md))
+        with open(md) as f:
+            text = f.read()
+        assert "**FAIL** — 1 regression(s)" in text, text
+        assert "❌" in text and "### Regressions" in text, text
+        assert "+100.0%" in text, text
+        print("self-test ok: markdown summaries")
+
     print("self-test: all cases passed")
     return 0
 
@@ -302,6 +399,9 @@ def parse_args(argv):
                    help="relative slack for cost/energy/turnaround")
     p.add_argument("--min-wall-ns", type=float, default=1e6,
                    help="ignore wall regressions below this baseline (ns)")
+    p.add_argument("--markdown-out",
+                   help="also write the comparison as a Markdown summary "
+                        "table (for CI job summaries)")
     p.add_argument("--self-test", action="store_true")
     opts = p.parse_args(argv)
     if not opts.self_test and (not opts.baseline or not opts.candidate):

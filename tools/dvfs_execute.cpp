@@ -12,6 +12,7 @@
 
 #include "dvfs/core/plan_io.h"
 #include "dvfs/obs/build_info.h"
+#include "dvfs/obs/health.h"
 #include "dvfs/obs/hw_telemetry.h"
 #include "dvfs/obs/recorder.h"
 #include "dvfs/obs/trace.h"
@@ -36,7 +37,11 @@ constexpr const char* kUsage =
     "  --trace-out PATH     Chrome trace_event JSON timeline of the run\n"
     "  --metrics-out PATH   metrics-registry JSON snapshot\n"
     "  --record-out PATH    .dfr flight recording (v2 when --hw is on;\n"
-    "                       summarize drift with `dvfs_inspect drift`)\n";
+    "                       summarize drift with `dvfs_inspect drift`)\n"
+    "  --health-config C    SLO rules: \"builtin\" or a dvfs-health-v1\n"
+    "                       JSON path; enables burn-rate alerting\n"
+    "  --health-period S    health sampling period in seconds (0.5);\n"
+    "                       also enables the monitor (builtin rules)\n";
 
 }  // namespace
 
@@ -46,7 +51,7 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv,
                           {"plan", "model", "time-scale", "pin", "hw",
                            "trace-out", "metrics-out", "record-out",
-                           "help"});
+                           "health-config", "health-period", "help"});
     if (args.has("help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -81,7 +86,30 @@ int main(int argc, char** argv) {
     // One SPSC channel per worker thread (the executor requires it).
     obs::Recorder recorder(std::max<std::size_t>(1, plan.num_cores()));
     if (args.has("record-out")) exec.set_recorder(&recorder);
+    std::unique_ptr<obs::health::HealthMonitor> monitor;
+    if (args.has("health-config") || args.has("health-period")) {
+      monitor = std::make_unique<obs::health::HealthMonitor>(
+          obs::Registry::global(),
+          obs::health::load_rules(args.get_string("health-config", "")),
+          obs::health::HealthMonitor::Options{
+              .period_s = args.get_double("health-period", 0.5)});
+      if (args.has("record-out")) {
+        // Own ring: health events must survive worker rings overflowing.
+        monitor->set_channel(
+            &recorder.add_channel(obs::Recorder::kDefaultCapacity));
+      }
+      monitor->start();
+    }
     const rt::RtResult r = exec.execute(plan);
+    if (monitor != nullptr) {
+      // Settle and take the final tick before the drain below, so the
+      // recording and the snapshot carry the alerts' end state.
+      monitor->settle();
+      monitor->stop();
+      std::printf("health: %zu alert(s) firing after %llu ticks\n",
+                  monitor->firing_count(),
+                  static_cast<unsigned long long>(monitor->ticks()));
+    }
     if (args.has("record-out")) {
       recorder.drain();
       recorder.capture_metrics(obs::Registry::global());

@@ -4,6 +4,8 @@
 ///   dvfs_inspect replay  --in run.dfr --trace-out t.json --metrics-out m.json
 ///   dvfs_inspect explain --in run.dfr --task 17
 ///   dvfs_inspect audit   --in run.dfr [--model table2] [--re R] [--rt R]
+///   dvfs_inspect drift   --in run.dfr [--json-out d.json]
+///   dvfs_inspect health  --in run.dfr [--health-config rules.json]
 ///
 /// Subcommands:
 ///   info     header + event census: what is in the recording
@@ -15,14 +17,25 @@
 ///   audit    re-plan every recorded placement offline (Workload Based
 ///            Greedy over the reconstructed queue) and report the realized
 ///            optimality gap, per decision and end to end
+///   drift    summarize predicted-vs-measured telemetry ratios (v2
+///            recordings from dvfs_execute --hw) and re-plan with the
+///            measurement-corrected model
+///   health   replay the recorded SLO evaluations (v3 recordings from
+///            --health-config/--health-period runs) through the engine
+///            offline, verify every state against the live monitor, and
+///            print the alert transitions
 ///
 /// Flags:
-///   --in          input .dfr recording                  (required)
-///   --trace-out   replay: write Chrome trace JSON here
-///   --metrics-out replay: write metrics-registry JSON here
-///   --task        explain: task id to explain           (required)
-///   --model       audit: table2 | cubic:<n>             (default table2)
-///   --re, --rt    audit: cost weights (default: the recorded kParams)
+///   --in            input .dfr recording                  (required)
+///   --trace-out     replay: write Chrome trace JSON here
+///   --metrics-out   replay: write metrics-registry JSON here
+///   --task          explain: task id to explain           (required)
+///   --model         audit/drift: table2 | cubic:<n>       (default table2)
+///   --re, --rt      audit/drift: cost weights (default: recorded kParams)
+///   --json-out      drift: write a dvfs-drift-v1 report here
+///   --health-config health: rule set to replay with (default: the
+///                   builtin rules; must match the live run's rules for
+///                   the state cross-check to be meaningful)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -35,6 +48,7 @@
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/schedule.h"
 #include "dvfs/core/task.h"
+#include "dvfs/obs/health.h"
 #include "dvfs/obs/hw_telemetry.h"
 #include "dvfs/obs/json.h"
 #include "dvfs/obs/recorder.h"
@@ -63,6 +77,8 @@ using obs::dfr::EventType;
     case EventType::kReplan: return "replan";
     case EventType::kHwPlanned: return "hw_planned";
     case EventType::kHwSpan: return "hw_span";
+    case EventType::kHealthSample: return "health_sample";
+    case EventType::kAlert: return "alert";
   }
   return "?";
 }
@@ -499,8 +515,77 @@ int cmd_drift(const obs::Recording& rec, const util::Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------- health
+
+/// Replays the v3 kHealthSample stream through the *same* SloEngine the
+/// live monitor ran, cross-checking at every step that the offline state
+/// machine lands where the live one did (u0 carries the live after-state)
+/// and that the rule config matches (task carries the rule-name hash).
+int cmd_health(const obs::Recording& rec, const util::Args& args) {
+  namespace health = obs::health;
+  const std::vector<health::Rule> rules =
+      health::load_rules(args.get_string("health-config", ""));
+  health::SloEngine engine(rules);
+
+  std::size_t samples = 0, transitions = 0, recorded_alerts = 0;
+  for (const Event& e : rec.events) {
+    const auto type = static_cast<EventType>(e.type);
+    if (type == EventType::kAlert) {
+      ++recorded_alerts;
+      continue;
+    }
+    if (type != EventType::kHealthSample) continue;
+    const std::size_t idx = e.aux;
+    DVFS_REQUIRE(idx < rules.size(),
+                 "health sample references rule index " + std::to_string(idx) +
+                     " but this config has only " +
+                     std::to_string(rules.size()) +
+                     " rules (was the recording made with a different "
+                     "--health-config?)");
+    DVFS_REQUIRE(e.task == health::rule_hash(rules[idx].name),
+                 "rule-name hash mismatch at index " + std::to_string(idx) +
+                     " (" + rules[idx].name +
+                     "): the recording was made with a different health "
+                     "config; pass the matching --health-config");
+    const health::SloEngine::Evaluation ev =
+        engine.step(idx, e.time_s, e.f0, e.f1);
+    ++samples;
+    DVFS_REQUIRE(
+        static_cast<std::uint64_t>(ev.after) == e.u0,
+        "offline replay diverged from the live monitor on rule " +
+            rules[idx].name + " at t=" + std::to_string(e.time_s) +
+            " (offline " + health::to_string(ev.after) + ", recorded " +
+            health::to_string(static_cast<health::AlertState>(e.u0)) + ")");
+    if (ev.transition()) {
+      ++transitions;
+      std::printf("t=%-12.6f alert %-24s %s -> %s (short=%g long=%g, %s %g)\n",
+                  ev.t, rules[idx].name.c_str(),
+                  health::to_string(ev.before), health::to_string(ev.after),
+                  ev.short_value, ev.long_value,
+                  health::to_string(rules[idx].op), rules[idx].threshold);
+    }
+  }
+  DVFS_REQUIRE(samples > 0,
+               "recording has no health samples (record one with "
+               "dvfs_simulate/dvfs_execute --health-config ... --record-out)");
+  DVFS_REQUIRE(transitions == recorded_alerts,
+               "offline replay derived " + std::to_string(transitions) +
+                   " transitions but the recording carries " +
+                   std::to_string(recorded_alerts) + " alert events");
+  std::printf("replayed %zu health samples, %zu transitions, all states "
+              "match the live monitor\n",
+              samples, transitions);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::printf("final: %-24s %s\n", rules[i].name.c_str(),
+                health::to_string(engine.state(i)));
+  }
+  std::printf("firing at end: %zu\n", engine.firing_count());
+  return 0;
+}
+
 constexpr const char* kUsage =
-    "usage: dvfs_inspect <info|replay|explain|audit|drift> --in run.dfr\n"
+    "usage: dvfs_inspect <info|replay|explain|audit|drift|health> --in "
+    "run.dfr\n"
     "  info     recording header and event census\n"
     "  replay   --trace-out t.json --metrics-out m.json (byte-identical to\n"
     "           the live run's --trace-out/--metrics-out)\n"
@@ -511,7 +596,10 @@ constexpr const char* kUsage =
     "           summarize predicted-vs-measured telemetry ratios (v2\n"
     "           recordings from dvfs_execute --hw) and re-plan with the\n"
     "           measurement-corrected model, reporting flipped decisions\n"
-    "           and the model-error cost delta\n";
+    "           and the model-error cost delta\n"
+    "  health   [--health-config rules.json]: replay the recorded SLO\n"
+    "           evaluations (v3) through the engine offline, verify every\n"
+    "           state against the live monitor, print alert transitions\n";
 
 }  // namespace
 
@@ -519,7 +607,8 @@ int main(int argc, char** argv) {
   return dvfs::tools::run_tool([&] {
     const dvfs::util::Args args(argc, argv,
                                 {"in", "trace-out", "metrics-out", "task",
-                                 "model", "re", "rt", "json-out", "help"});
+                                 "model", "re", "rt", "json-out",
+                                 "health-config", "help"});
     if (args.has("help") || args.positional().empty()) {
       std::fputs(kUsage, stdout);
       return args.has("help") ? 0 : 2;
@@ -532,9 +621,11 @@ int main(int argc, char** argv) {
     if (cmd == "explain") return cmd_explain(rec, args);
     if (cmd == "audit") return cmd_audit(rec, args);
     if (cmd == "drift") return cmd_drift(rec, args);
-    DVFS_REQUIRE(false,
-                 "unknown subcommand (want info|replay|explain|audit|drift): " +
-                     cmd);
+    if (cmd == "health") return cmd_health(rec, args);
+    DVFS_REQUIRE(
+        false,
+        "unknown subcommand (want info|replay|explain|audit|drift|health): " +
+            cmd);
     return 2;
   });
 }

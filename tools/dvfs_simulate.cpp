@@ -17,12 +17,23 @@
 ///   --record-out  write a .dfr flight recording here (replay/explain/
 ///                 audit it later with dvfs_inspect)
 ///   --record-capacity  recorder ring slots (default: sized to the trace)
-///   --listen      serve /metrics (Prometheus text) on ":9464"-style
-///                 host:port after the run
+///   --health-config    SLO rules JSON ("builtin" or a path); enables the
+///                 health monitor (burn-rate alerts over the registry)
+///   --health-period    health sampling period in seconds (default 0.5;
+///                 also enables the monitor with the builtin rules)
+///   --listen      serve /metrics (Prometheus text) and, with the health
+///                 monitor on, /healthz (200 ok / 503 firing) on
+///                 ":9464"-style host:port after the run
 ///   --serve-seconds    with --listen: exit after N seconds (default 0 =
 ///                 serve until interrupted)
+///
+/// SIGINT/SIGTERM while serving exits gracefully: the health monitor is
+/// settled and stopped, then --trace-out/--record-out/--metrics-out are
+/// flushed (the recording gets its metrics epilogue), then exit 0.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -34,6 +45,7 @@
 #include "dvfs/governors/lmc_policy.h"
 #include "dvfs/governors/planned_policy.h"
 #include "dvfs/obs/build_info.h"
+#include "dvfs/obs/health.h"
 #include "dvfs/obs/metrics.h"
 #include "dvfs/obs/promtext.h"
 #include "dvfs/obs/recorder.h"
@@ -58,8 +70,20 @@ constexpr const char* kUsage =
     "  --record-out PATH    .dfr flight recording (dvfs_inspect replays\n"
     "                       it into the two files above byte-for-byte)\n"
     "  --record-capacity N  recorder ring slots (default: trace-sized)\n"
-    "  --listen HOST:PORT   serve Prometheus /metrics after the run\n"
-    "  --serve-seconds N    with --listen: exit after N s (0 = forever)\n";
+    "  --health-config C    SLO rules: \"builtin\" or a dvfs-health-v1\n"
+    "                       JSON path; enables burn-rate alerting\n"
+    "  --health-period S    health sampling period in seconds (0.5);\n"
+    "                       also enables the monitor (builtin rules)\n"
+    "  --listen HOST:PORT   serve Prometheus /metrics (and /healthz when\n"
+    "                       the health monitor is on) after the run\n"
+    "  --serve-seconds N    with --listen: exit after N s (0 = until\n"
+    "                       SIGINT/SIGTERM; both exit gracefully)\n";
+
+// Written by the signal handler, polled by the serve loop. sig_atomic_t
+// per the C standard; volatile so the poll is not hoisted.
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int signum) { g_signal = signum; }
 
 }  // namespace
 
@@ -70,7 +94,8 @@ int main(int argc, char** argv) {
                           {"trace", "policy", "plan", "cores", "re", "rt",
                            "model", "contention", "trace-out",
                            "metrics-out", "record-out", "record-capacity",
-                           "listen", "serve-seconds", "help"});
+                           "health-config", "health-period", "listen",
+                           "serve-seconds", "help"});
     if (args.has("help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -126,7 +151,95 @@ int main(int argc, char** argv) {
         args.has("record-capacity") ? args.get_u64("record-capacity")
                                     : auto_capacity);
     if (args.has("record-out")) engine.set_recorder(&recorder.channel(0));
+
+    std::unique_ptr<obs::health::HealthMonitor> monitor;
+    if (args.has("health-config") || args.has("health-period")) {
+      monitor = std::make_unique<obs::health::HealthMonitor>(
+          obs::Registry::global(),
+          obs::health::load_rules(args.get_string("health-config", "")),
+          obs::health::HealthMonitor::Options{
+              .period_s = args.get_double("health-period", 0.5)});
+      if (args.has("record-out")) {
+        // The monitor gets its own ring: the main ring overflowing is one
+        // of the conditions it alerts on, so its events must survive it.
+        monitor->set_channel(
+            &recorder.add_channel(obs::Recorder::kDefaultCapacity));
+      }
+      monitor->start();
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
     const sim::SimResult r = engine.run(trace, *policy);
+
+    std::printf("policy %s on %zu cores: %zu/%zu tasks completed\n",
+                policy_name.c_str(), cores, r.completed_count(),
+                trace.size());
+    std::printf("energy %.1f J | turnaround %.1f s | makespan %.1f s\n",
+                r.busy_energy, r.total_turnaround(), r.end_time);
+    std::printf("cost: %.2f (energy %.2f + time %.2f) at Re=%.3g Rt=%.3g\n",
+                r.total_cost(cp), r.energy_cost(cp), r.time_cost(cp), cp.re,
+                cp.rt);
+    if (trace.count(core::TaskClass::kInteractive) > 0) {
+      std::printf("interactive: mean turnaround %.4f s, deadline misses "
+                  "%zu\n",
+                  r.mean_turnaround(core::TaskClass::kInteractive),
+                  r.deadline_misses(core::TaskClass::kInteractive));
+    }
+    const std::vector<double> share = r.rate_share();
+    if (!share.empty()) {
+      std::printf("frequency residency:");
+      for (std::size_t i = 0; i < share.size(); ++i) {
+        std::printf(" %.1fGHz=%.0f%%", model.rates()[i], share[i] * 100.0);
+      }
+      std::printf("\n");
+    }
+
+    if (args.has("listen")) {
+      obs::MetricsHttpServer server(
+          obs::parse_listen(args.get_string("listen")),
+          [] { return obs::prometheus_text(obs::Registry::global()); });
+      if (monitor != nullptr) {
+        obs::health::HealthMonitor* m = monitor.get();
+        server.add_route("/healthz", [m] {
+          return obs::MetricsHttpServer::Response{
+              .status = m->healthy() ? 200 : 503,
+              .content_type = "application/json; charset=utf-8",
+              .body = m->status_json().dump(2) + "\n"};
+        });
+      }
+      server.start();
+      std::printf("serving Prometheus metrics on port %u at /metrics%s\n",
+                  server.port(),
+                  monitor != nullptr ? " (health at /healthz)" : "");
+      std::fflush(stdout);
+      const std::uint64_t serve_s = args.get_u64("serve-seconds", 0);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(serve_s);
+      while (g_signal == 0 &&
+             (serve_s == 0 || std::chrono::steady_clock::now() < deadline)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      server.stop();
+      if (g_signal != 0) {
+        std::printf("caught signal %d, shutting down\n",
+                    static_cast<int>(g_signal));
+      }
+    }
+
+    if (monitor != nullptr) {
+      // Let pending alerts reach a terminal state, take the final tick,
+      // and join — so the gauges and the recording show the end state.
+      monitor->settle();
+      monitor->stop();
+      std::printf("health: %zu alert(s) firing after %llu ticks\n",
+                  monitor->firing_count(),
+                  static_cast<unsigned long long>(monitor->ticks()));
+    }
+
+    // Outputs flush last so a signal-interrupted serve still produces a
+    // finalized recording (epilogue included) and a final snapshot.
     if (args.has("trace-out")) {
       const std::string path = args.get_string("trace-out");
       tracer.write_file(path);
@@ -153,47 +266,6 @@ int main(int argc, char** argv) {
       const std::string path = args.get_string("metrics-out");
       obs::write_json_file(path, obs::Registry::global().to_json());
       std::printf("wrote metrics snapshot to %s\n", path.c_str());
-    }
-
-    std::printf("policy %s on %zu cores: %zu/%zu tasks completed\n",
-                policy_name.c_str(), cores, r.completed_count(),
-                trace.size());
-    std::printf("energy %.1f J | turnaround %.1f s | makespan %.1f s\n",
-                r.busy_energy, r.total_turnaround(), r.end_time);
-    std::printf("cost: %.2f (energy %.2f + time %.2f) at Re=%.3g Rt=%.3g\n",
-                r.total_cost(cp), r.energy_cost(cp), r.time_cost(cp), cp.re,
-                cp.rt);
-    if (trace.count(core::TaskClass::kInteractive) > 0) {
-      std::printf("interactive: mean turnaround %.4f s, deadline misses "
-                  "%zu\n",
-                  r.mean_turnaround(core::TaskClass::kInteractive),
-                  r.deadline_misses(core::TaskClass::kInteractive));
-    }
-    const std::vector<double> share = r.rate_share();
-    if (!share.empty()) {
-      std::printf("frequency residency:");
-      for (std::size_t i = 0; i < share.size(); ++i) {
-        std::printf(" %.1fGHz=%.0f%%", model.rates()[i], share[i] * 100.0);
-      }
-      std::printf("\n");
-    }
-    if (args.has("listen")) {
-      obs::MetricsHttpServer server(
-          obs::parse_listen(args.get_string("listen")),
-          [] { return obs::prometheus_text(obs::Registry::global()); });
-      server.start();
-      std::printf("serving Prometheus metrics on port %u at /metrics\n",
-                  server.port());
-      std::fflush(stdout);
-      const std::uint64_t serve_s = args.get_u64("serve-seconds", 0);
-      if (serve_s > 0) {
-        std::this_thread::sleep_for(std::chrono::seconds(serve_s));
-      } else {
-        while (true) {
-          std::this_thread::sleep_for(std::chrono::seconds(3600));
-        }
-      }
-      server.stop();
     }
     return 0;
   });

@@ -78,6 +78,50 @@ void BM_BestRateLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_BestRateLookup)->RangeMultiplier(4)->Range(2, 128);
 
+// Full CostTable construction with the process-wide memo defeated each
+// iteration: envelope + range sort + small-k table, the price the first
+// table on a new rate configuration pays.
+void BM_CostTableConstructionCold(benchmark::State& state) {
+  const auto m = model_with_rates(static_cast<std::size_t>(state.range(0)));
+  const core::CostParams cp{0.3, 0.7};
+  for (auto _ : state) {
+    core::CostTable::clear_shared_cache();
+    core::CostTable table(m, cp);
+    benchmark::DoNotOptimize(&table);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CostTableConstructionCold)->RangeMultiplier(2)->Range(2, 256)
+    ->Complexity(benchmark::oN);
+
+// Same construction hitting the shared cache: what the 2nd..Rth core of a
+// homogeneous platform (and every rebuilt table on an unchanged rate set)
+// pays after the memoization — a key comparison plus a shared_ptr copy.
+void BM_CostTableConstructionMemoized(benchmark::State& state) {
+  const auto m = model_with_rates(static_cast<std::size_t>(state.range(0)));
+  const core::CostParams cp{0.3, 0.7};
+  const core::CostTable warm(m, cp);  // populate the cache entry
+  for (auto _ : state) {
+    core::CostTable table(m, cp);
+    benchmark::DoNotOptimize(&table);
+  }
+}
+BENCHMARK(BM_CostTableConstructionMemoized)->RangeMultiplier(2)->Range(2, 256);
+
+// The ds-layer single-slot memo: a get() on an unchanged rate set is one
+// element-wise key comparison, no hull pass.
+void BM_MemoizedEnvelopeHit(benchmark::State& state) {
+  const auto m = model_with_rates(static_cast<std::size_t>(state.range(0)));
+  const core::CostParams cp{0.3, 0.7};
+  const auto lines = lines_for(m, cp);
+  ds::MemoizedEnvelope memo;
+  (void)memo.get(lines);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&memo.get(lines));
+  }
+}
+BENCHMARK(BM_MemoizedEnvelopeHit)->RangeMultiplier(2)->Range(2, 256);
+
 }  // namespace
 
 int main(int argc, char** argv) {

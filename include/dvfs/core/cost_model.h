@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -43,6 +44,19 @@ struct DominatingRange {
   std::size_t rate_idx = 0;
   ds::IntegerRange range;
 };
+
+namespace detail {
+/// Immutable Algorithm 1 output, shared (via shared_ptr) between every
+/// CostTable built on the same rate lines: the envelope is memoized per
+/// rate configuration instead of recomputed per table, and copying a
+/// CostTable no longer copies the small-k lookup table.
+struct CostTablePrecomputed {
+  std::vector<ds::Line> key;  ///< the inducing lines (cache identity)
+  std::vector<DominatingRange> ranges;
+  std::vector<std::size_t> active_rates;
+  std::vector<std::size_t> small_k_cache;  ///< best rate for k = 1..size
+};
+}  // namespace detail
 
 class CostTable {
  public:
@@ -79,25 +93,40 @@ class CostTable {
   /// The dominating position ranges, ascending in k; their ranges partition
   /// [1, inf) and their rates are the paper's P-hat (ascending).
   [[nodiscard]] std::span<const DominatingRange> ranges() const {
-    return ranges_;
+    return shared_->ranges;
   }
 
   /// Rate indices of P-hat (rates that dominate at least one position),
   /// in ascending rate order.
   [[nodiscard]] std::span<const std::size_t> active_rates() const {
-    return active_rates_;
+    return shared_->active_rates;
   }
 
   /// Brute-force reference for best_rate(); O(|P|). Used by tests and the
   /// A1 ablation bench.
   [[nodiscard]] std::size_t best_rate_naive(std::size_t k) const;
 
+  /// Statistics of the process-wide per-rate-set envelope memo: every
+  /// CostTable construction either hits an existing entry (same lines) or
+  /// builds and caches a new one. Invalidation is by key: a changed rate
+  /// set produces different lines and therefore a fresh entry.
+  struct SharedCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] static SharedCacheStats shared_cache_stats();
+  /// Drops every cached entry (tables already built keep their data alive
+  /// through their shared_ptr). Test support.
+  static void clear_shared_cache();
+
  private:
+  static std::shared_ptr<const detail::CostTablePrecomputed> precompute(
+      std::vector<ds::Line> lines);
+
   EnergyModel model_;
   CostParams params_;
-  std::vector<DominatingRange> ranges_;
-  std::vector<std::size_t> active_rates_;
-  std::vector<std::size_t> small_k_cache_;  // best rate for k = 1..cache size
+  std::shared_ptr<const detail::CostTablePrecomputed> shared_;
 };
 
 }  // namespace dvfs::core

@@ -29,13 +29,15 @@
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/schedule.h"
 #include "dvfs/core/task.h"
-#include "dvfs/ds/range_tree.h"
+#include "dvfs/ds/flat_range_tree.h"
 
 namespace dvfs::core {
 
 class DynamicSingleCoreScheduler {
  public:
-  using Tree = ds::RangeTree<TaskId>;
+  /// Cache-conscious order-statistic tree; the pointer-chasing treap in
+  /// ds/range_tree.h remains as the differential-test oracle.
+  using Tree = ds::FlatRangeTree;
   /// Stable reference to a queued task; valid until erase()/pop_front().
   using TaskRef = Tree::Handle;
 
@@ -120,6 +122,13 @@ class DynamicSingleCoreScheduler {
   CostTable table_;
   Tree tree_;
   std::vector<RangeState> ranges_;
+  // Structure-of-arrays per-range Eq. 32 coefficients, parallel to
+  // `ranges_`: e_coef_[i] = Re*E(p_i), t_coef_[i] = Rt*T(p_i). Hoisting
+  // the products out of the model lets refresh_cost() and the peek walk
+  // run branch-free over two contiguous double arrays instead of calling
+  // bounds-checked model accessors per range.
+  std::vector<double> e_coef_;
+  std::vector<double> t_coef_;
   Money cost_ = 0.0;
 };
 

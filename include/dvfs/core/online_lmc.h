@@ -81,6 +81,16 @@ class LmcScheduler {
                                                 Cycles cycles,
                                                 std::size_t waiting) const;
 
+  /// The structure-of-arrays Eq. 27 scan choose_interactive_core() runs:
+  /// fills `out[j]` with every core's marginal cost (computed branch-free
+  /// over the precomputed coefficient arrays) and returns the argmin
+  /// (lowest index on ties). Exposed so the `lmc_soa` differential oracle
+  /// can compare the vectorized scan against the scalar
+  /// interactive_marginal_cost() term by term.
+  std::size_t interactive_scan(Cycles cycles,
+                               std::span<const std::size_t> extra_waiting,
+                               std::vector<Money>& out) const;
+
   /// Next non-interactive task for core j under the Theorem 3 order
   /// (fewest cycles first) with its position-optimal rate; removes it from
   /// the queue. Returns nullopt if the queue is empty.
@@ -109,6 +119,20 @@ class LmcScheduler {
 
  private:
   std::vector<DynamicSingleCoreScheduler> queues_;
+  // Structure-of-arrays Eq. 27 inputs, one entry per core: Re, Rt and the
+  // max-rate energy/time per cycle. Filled once at construction; the
+  // interactive scan then reads four contiguous double arrays instead of
+  // chasing CostTable -> EnergyModel -> rates per candidate core. The
+  // arithmetic keeps the exact association of interactive_marginal_cost()
+  // so scan and scalar agree bit for bit.
+  std::vector<double> re_;
+  std::vector<double> rt_;
+  std::vector<double> epc_max_;
+  std::vector<double> tpc_max_;
+  // Reusable candidate buffers: the per-arrival hot path allocates
+  // nothing after the first call.
+  mutable std::vector<Money> scan_;
+  mutable std::vector<double> waiting_;
 };
 
 }  // namespace dvfs::core

@@ -26,6 +26,7 @@
 #include "dvfs/core/yds.h"
 #include "dvfs/cpufreq/cpufreq.h"
 #include "dvfs/cpufreq/governor_daemon.h"
+#include "dvfs/ds/flat_range_tree.h"
 #include "dvfs/ds/indexed_heap.h"
 #include "dvfs/ds/lower_envelope.h"
 #include "dvfs/ds/range_tree.h"

@@ -78,6 +78,12 @@ class LmcPolicy final : public sim::Policy {
   Estimator estimator_;
   std::function<void(core::TaskId, Cycles)> on_completion_;
   CostMarginTracker margin_;  // zero by construction (argmin placement)
+  // Per-arrival scratch, reused so the placement hot path stops
+  // allocating: Eq. 27 extra-waiting counts, busy-core Rt offsets, and the
+  // probed candidate vector handed to the flight recorder.
+  std::vector<std::size_t> extra_scratch_;
+  std::vector<Money> offsets_scratch_;
+  std::vector<Money> probed_scratch_;
 };
 
 }  // namespace dvfs::governors

@@ -27,8 +27,8 @@
 namespace dvfs::proptest {
 
 inline constexpr const char* kOracleNames[] = {
-    "ltl_vs_bf",   "ltl_vs_sorted",   "wbg_vs_bf", "wbg_vs_rr",
-    "envelope",    "lmc_incremental", "sim_energy",
+    "ltl_vs_bf", "ltl_vs_sorted",   "wbg_vs_bf", "wbg_vs_rr",
+    "envelope",  "lmc_incremental", "lmc_soa",   "sim_energy",
 };
 
 namespace gen_detail {
@@ -191,6 +191,32 @@ inline std::size_t max_tasks_for_assignment(std::size_t cores, double budget,
                                       .arrival = t,
                                       .klass =
                                           core::TaskClass::kNonInteractive});
+    }
+  } else if (oracle == "lmc_soa") {
+    // Heterogeneous multi-core: the SoA scans must agree with scalar
+    // per-core evaluation on every placement, including near-tied cores
+    // (identical models make ties exact, so tie-breaks get exercised too).
+    const std::size_t cores = g.uniform_u64(1, 4);
+    const bool heterogeneous = g.chance(0.7);
+    for (std::size_t j = 0; j < cores; ++j) {
+      if (heterogeneous || inst.cores.empty()) {
+        inst.cores.push_back(random_model(g, g.uniform_u64(1, 8)));
+      } else {
+        inst.cores.push_back(inst.cores.front());
+      }
+    }
+    const std::size_t n = g.uniform_u64(1, 40);
+    const int style = static_cast<int>(g.uniform_u64(0, 4));
+    Seconds t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += g.uniform_real(0.0, 1.0);
+      inst.tasks.push_back(
+          core::Task{.id = i,
+                     .cycles = random_cycles(g, style),
+                     .arrival = t,
+                     .klass = g.chance(0.3)
+                                  ? core::TaskClass::kInteractive
+                                  : core::TaskClass::kNonInteractive});
     }
   } else if (oracle == "sim_energy") {
     const std::size_t cores = g.uniform_u64(1, 3);

@@ -20,8 +20,11 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -30,8 +33,10 @@
 #include "dvfs/core/batch_multi.h"
 #include "dvfs/core/batch_single.h"
 #include "dvfs/core/dynamic_sched.h"
+#include "dvfs/core/online_lmc.h"
 #include "dvfs/governors/lmc_policy.h"
 #include "dvfs/proptest/instance.h"
+#include "dvfs/proptest/rng.h"
 #include "dvfs/sim/engine.h"
 #include "dvfs/sim/power_meter.h"
 #include "dvfs/workload/trace.h"
@@ -285,6 +290,126 @@ inline Verdict check_sim_energy(const Instance& inst) {
   return std::nullopt;
 }
 
+/// Distance between two doubles in units in the last place, via the
+/// monotone lexicographic reinterpretation of the IEEE-754 bit pattern.
+inline std::uint64_t ulp_distance(double a, double b) {
+  auto ordered = [](double x) {
+    const std::int64_t i = std::bit_cast<std::int64_t>(x);
+    return i >= 0 ? i : std::numeric_limits<std::int64_t>::min() - i;
+  };
+  const std::int64_t la = ordered(a);
+  const std::int64_t lb = ordered(b);
+  return la >= lb ? static_cast<std::uint64_t>(la - lb)
+                  : static_cast<std::uint64_t>(lb - la);
+}
+
+inline Verdict check_lmc_soa(const Instance& inst) {
+  // Two schedulers fed the identical arrival sequence stay in lockstep;
+  // the subject's structure-of-arrays scans are compared against scalar
+  // per-core evaluation on the mirror. Decisions must match EXACTLY (the
+  // SoA rewrite may not change a single placement); candidate costs must
+  // match to a couple of ULPs (the scan is specified to keep the scalar
+  // association, so anything beyond rounding noise is a real divergence).
+  core::LmcScheduler subject(inst.tables());
+  core::LmcScheduler mirror(inst.tables());
+  SplitMix64 g(derive_seed(inst.seed, 0xE27));
+  const std::size_t n = subject.num_cores();
+  std::vector<std::size_t> extra_waiting(n);
+  std::vector<Money> extra_cost(n);
+  std::vector<Money> scan;
+  std::vector<Money> probed;
+
+  for (std::size_t step = 0; step < inst.tasks.size(); ++step) {
+    const core::Task& task = inst.tasks[step];
+    auto mismatch = [&](const char* what, std::size_t core, Money got,
+                        Money want) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "lmc soa scan: " << what << " at arrival " << step << " core "
+         << core << ": " << got << " != " << want;
+      return Verdict(os.str());
+    };
+    if (task.klass == core::TaskClass::kInteractive) {
+      // Executor-visible waiting work the queues don't know about.
+      for (std::size_t j = 0; j < n; ++j) {
+        extra_waiting[j] = g.uniform_u64(0, 5);
+      }
+      const std::size_t fast =
+          subject.interactive_scan(task.cycles, extra_waiting, scan);
+      std::size_t slow = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const Money c = mirror.interactive_marginal_cost(
+            j, task.cycles, mirror.queue(j).size() + extra_waiting[j]);
+        if (ulp_distance(scan[j], c) > 2) {
+          return mismatch("Eq. 27 cost (scan vs scalar)", j, scan[j], c);
+        }
+        if (c < mirror.interactive_marginal_cost(
+                    slow, task.cycles,
+                    mirror.queue(slow).size() + extra_waiting[slow])) {
+          slow = j;
+        }
+      }
+      if (fast != slow) {
+        std::ostringstream os;
+        os << "lmc soa scan: interactive core choice at arrival " << step
+           << ": scan chose " << fast << ", scalar argmin chose " << slow;
+        return fail(os);
+      }
+      // Interactive tasks never enter the queues: no state change.
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        extra_cost[j] = g.chance(0.5) ? g.uniform_real(0.0, 1.0) : 0.0;
+      }
+      // Scalar reference: probe every mirror queue before any mutation.
+      std::vector<Money> ref(n);
+      std::size_t slow = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        ref[j] = mirror.queue(j).peek_marginal_insert_cost(task.cycles) +
+                 extra_cost[j];
+        if (ref[j] < ref[slow]) slow = j;
+      }
+      const core::LmcScheduler::Placement placement =
+          subject.place_non_interactive(task.cycles, task.id, extra_cost,
+                                        &probed);
+      if (placement.core != slow) {
+        std::ostringstream os;
+        os << "lmc soa scan: non-interactive placement at arrival " << step
+           << ": scan chose core " << placement.core
+           << ", scalar argmin chose " << slow;
+        return fail(os);
+      }
+      if (probed.size() != n) {
+        std::ostringstream os;
+        os << "lmc soa scan: probed vector has " << probed.size()
+           << " entries, expected " << n;
+        return fail(os);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (ulp_distance(probed[j], ref[j]) > 2) {
+          return mismatch("probed marginal (scan vs scalar)", j, probed[j],
+                          ref[j]);
+        }
+      }
+      if (ulp_distance(placement.marginal, ref[slow]) > 2) {
+        return mismatch("chosen marginal", slow, placement.marginal,
+                        ref[slow]);
+      }
+      // Replay the placement on the mirror to stay in lockstep.
+      (void)mirror.queue(placement.core).insert(task.cycles, task.id);
+    }
+  }
+  // Identical insert sequences must leave bit-identical queue state.
+  const Money cs = subject.total_queue_cost();
+  const Money cm = mirror.total_queue_cost();
+  if (ulp_distance(cs, cm) > 2) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "lmc soa scan: final queue cost diverged: " << cs << " != " << cm;
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
 }  // namespace oracle_detail
 
 /// Runs the oracle named by `inst.oracle`. Throws PreconditionError for
@@ -303,6 +428,7 @@ inline Verdict check_sim_energy(const Instance& inst) {
   if (inst.oracle == "wbg_vs_rr") return check_wbg_vs_rr(inst);
   if (inst.oracle == "envelope") return check_envelope(inst);
   if (inst.oracle == "lmc_incremental") return check_lmc_incremental(inst);
+  if (inst.oracle == "lmc_soa") return check_lmc_soa(inst);
   if (inst.oracle == "sim_energy") return check_sim_energy(inst);
   DVFS_REQUIRE(false, "unknown oracle `" + inst.oracle + "`");
   return std::nullopt;  // unreachable

@@ -1,8 +1,110 @@
 #include "dvfs/core/cost_model.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
 
 namespace dvfs::core {
+namespace {
+
+// Process-wide memo of Algorithm 1 outputs, keyed by the exact line vector
+// a rate configuration induces. Every CostTable on the same (P, E, T, Re,
+// Rt) shares one immutable CostTablePrecomputed; a changed rate set yields
+// different lines, which simply miss and build a fresh entry.
+struct SharedEnvelopeCache {
+  std::mutex mu;
+  std::vector<std::shared_ptr<const detail::CostTablePrecomputed>> entries;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+  // Bounded so pathological workloads (e.g. a fuzzer minting a new rate set
+  // per instance) cannot grow it without limit; overflow drops everything,
+  // live tables keep their data alive through their shared_ptr.
+  static constexpr std::size_t kMaxEntries = 256;
+};
+
+SharedEnvelopeCache& shared_cache() {
+  static SharedEnvelopeCache c;
+  return c;
+}
+
+std::shared_ptr<const detail::CostTablePrecomputed> build_precomputed(
+    std::vector<ds::Line> lines) {
+  auto pre = std::make_shared<detail::CostTablePrecomputed>();
+  const ds::EnvelopeResult env = ds::lower_envelope_integer(lines);
+  for (const std::size_t idx : env.active) {
+    pre->ranges.push_back(DominatingRange{idx, env.range_of[idx]});
+    pre->active_rates.push_back(idx);
+  }
+  std::sort(pre->ranges.begin(), pre->ranges.end(),
+            [](const DominatingRange& a, const DominatingRange& b) {
+              return a.range.lo < b.range.lo;
+            });
+
+  // Positions up to a modest bound are answered from a flat table; beyond
+  // it the per-lookup binary search over <= |P| ranges is already cheap.
+  // The ranges ascend and partition [1, inf), so one linear walk fills the
+  // table with the same values the per-k binary search would produce.
+  const std::size_t cache_limit =
+      std::min<std::size_t>(4096, pre->ranges.back().range.lo + 64);
+  pre->small_k_cache.reserve(cache_limit);
+  std::size_t r = 0;
+  for (std::size_t k = 1; k <= cache_limit; ++k) {
+    while (!pre->ranges[r].range.unbounded() && pre->ranges[r].range.hi < k) {
+      ++r;
+    }
+    pre->small_k_cache.push_back(pre->ranges[r].rate_idx);
+  }
+  pre->key = std::move(lines);
+  return pre;
+}
+
+}  // namespace
+
+std::shared_ptr<const detail::CostTablePrecomputed> CostTable::precompute(
+    std::vector<ds::Line> lines) {
+  SharedEnvelopeCache& c = shared_cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (const auto& entry : c.entries) {
+      if (entry->key == lines) {
+        ++c.hits;
+        return entry;
+      }
+    }
+  }
+  // Build outside the lock: construction is the expensive part and distinct
+  // rate sets should not serialize on each other. A racing duplicate build
+  // is benign (both results are value-identical; one wins the cache slot).
+  auto pre = build_precomputed(std::move(lines));
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (const auto& entry : c.entries) {
+      if (entry->key == pre->key) {
+        ++c.hits;
+        return entry;
+      }
+    }
+    ++c.misses;
+    if (c.entries.size() >= SharedEnvelopeCache::kMaxEntries) c.entries.clear();
+    c.entries.push_back(pre);
+  }
+  return pre;
+}
+
+CostTable::SharedCacheStats CostTable::shared_cache_stats() {
+  SharedEnvelopeCache& c = shared_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return SharedCacheStats{c.hits, c.misses, c.entries.size()};
+}
+
+void CostTable::clear_shared_cache() {
+  SharedEnvelopeCache& c = shared_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.entries.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
 
 CostTable::CostTable(EnergyModel model, CostParams params)
     : model_(std::move(model)), params_(params) {
@@ -18,39 +120,18 @@ CostTable::CostTable(EnergyModel model, CostParams params)
     lines.push_back(ds::Line{params_.rt * model_.time_per_cycle(i),
                              params_.re * model_.energy_per_cycle(i), i});
   }
-  const ds::EnvelopeResult env = ds::lower_envelope_integer(lines);
-
-  for (const std::size_t idx : env.active) {
-    ranges_.push_back(DominatingRange{idx, env.range_of[idx]});
-    active_rates_.push_back(idx);
-  }
-  std::sort(ranges_.begin(), ranges_.end(),
-            [](const DominatingRange& a, const DominatingRange& b) {
-              return a.range.lo < b.range.lo;
-            });
-
-  // Positions up to a modest bound are answered from a flat table; beyond
-  // it the per-lookup binary search over <= |P| ranges is already cheap.
-  const std::size_t cache_limit = std::min<std::size_t>(
-      4096, ranges_.back().range.lo + 64);
-  small_k_cache_.reserve(cache_limit);
-  for (std::size_t k = 1; k <= cache_limit; ++k) {
-    auto it = std::partition_point(
-        ranges_.begin(), ranges_.end(), [&](const DominatingRange& r) {
-          return !r.range.unbounded() && r.range.hi < k;
-        });
-    small_k_cache_.push_back(it->rate_idx);
-  }
+  shared_ = precompute(std::move(lines));
 }
 
 std::size_t CostTable::best_rate(std::size_t k) const {
   DVFS_REQUIRE(k >= 1, "backward positions are 1-based");
-  if (k <= small_k_cache_.size()) return small_k_cache_[k - 1];
+  const detail::CostTablePrecomputed& pre = *shared_;
+  if (k <= pre.small_k_cache.size()) return pre.small_k_cache[k - 1];
   auto it = std::partition_point(
-      ranges_.begin(), ranges_.end(), [&](const DominatingRange& r) {
+      pre.ranges.begin(), pre.ranges.end(), [&](const DominatingRange& r) {
         return !r.range.unbounded() && r.range.hi < k;
       });
-  DVFS_REQUIRE(it != ranges_.end(), "ranges must cover [1, inf)");
+  DVFS_REQUIRE(it != pre.ranges.end(), "ranges must cover [1, inf)");
   return it->rate_idx;
 }
 

@@ -8,6 +8,8 @@ DynamicSingleCoreScheduler::DynamicSingleCoreScheduler(CostTable table)
     : table_(std::move(table)) {
   // Algorithm 4: materialize the dominating position ranges as mutable
   // occupancy state.
+  const EnergyModel& m = table_.model();
+  const CostParams& cp = table_.params();
   for (const DominatingRange& r : table_.ranges()) {
     RangeState st;
     st.rate_idx = r.rate_idx;
@@ -15,6 +17,8 @@ DynamicSingleCoreScheduler::DynamicSingleCoreScheduler(CostTable table)
     st.hi = r.range.hi;  // kUnbounded for the final range
     st.b = st.lo - 1;    // empty
     ranges_.push_back(st);
+    e_coef_.push_back(cp.re * m.energy_per_cycle(r.rate_idx));
+    t_coef_.push_back(cp.rt * m.time_per_cycle(r.rate_idx));
   }
 }
 
@@ -31,15 +35,14 @@ std::size_t DynamicSingleCoreScheduler::range_index_of(
 
 void DynamicSingleCoreScheduler::refresh_cost() {
   // Eq. 32: C = sum over ranges of Re*E(p)*xi + Rt*T(p)*gamma, with
-  // gamma([a,b]) = Delta([a,b]) + (a-1)*xi([a,b]) (Eq. 30).
-  const EnergyModel& m = table_.model();
-  const CostParams& cp = table_.params();
+  // gamma([a,b]) = Delta([a,b]) + (a-1)*xi([a,b]) (Eq. 30). Empty ranges
+  // carry x == d == 0, so the sum runs unconditionally over the SoA
+  // coefficient arrays and vectorizes.
   Money c = 0.0;
-  for (const RangeState& r : ranges_) {
-    if (r.b < r.lo) continue;
-    c += cp.re * m.energy_per_cycle(r.rate_idx) * r.x +
-         cp.rt * m.time_per_cycle(r.rate_idx) *
-             (r.d + static_cast<double>(r.lo - 1) * r.x);
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const RangeState& r = ranges_[i];
+    c += e_coef_[i] * r.x +
+         t_coef_[i] * (r.d + static_cast<double>(r.lo - 1) * r.x);
   }
   cost_ = c;
 }
@@ -140,18 +143,14 @@ void DynamicSingleCoreScheduler::erase(TaskRef ref) {
 Money DynamicSingleCoreScheduler::peek_marginal_insert_cost(
     Cycles cycles) const {
   DVFS_REQUIRE(cycles > 0, "tasks need a positive cycle count");
-  const EnergyModel& m = table_.model();
-  const CostParams& cp = table_.params();
   const double w = static_cast<double>(cycles);
   const std::size_t n = tree_.size();
   const std::size_t k = tree_.insertion_rank(w);
   const std::size_t i = range_index_of(k);
 
   // The newcomer itself at backward position k.
-  Money delta = (cp.re * m.energy_per_cycle(ranges_[i].rate_idx) +
-                 static_cast<double>(k) * cp.rt *
-                     m.time_per_cycle(ranges_[i].rate_idx)) *
-                w;
+  Money delta =
+      (e_coef_[i] + static_cast<double>(k) * t_coef_[i]) * w;
 
   // Every element currently at position >= k slides back one slot. Those
   // staying inside range r pay one extra Rt*T(p_r) per cycle; the last
@@ -171,16 +170,12 @@ Money DynamicSingleCoreScheduler::peek_marginal_insert_cost(
     if (spills) {
       const double bw = Tree::weight(st.beta);
       shifted_mass -= bw;
-      const RangeState& next = ranges_[r + 1];
-      delta += (cp.re * (m.energy_per_cycle(next.rate_idx) -
-                         m.energy_per_cycle(st.rate_idx)) +
-                cp.rt * (static_cast<double>(st.hi + 1) *
-                             m.time_per_cycle(next.rate_idx) -
-                         static_cast<double>(st.hi) *
-                             m.time_per_cycle(st.rate_idx))) *
+      delta += (e_coef_[r + 1] - e_coef_[r] +
+                static_cast<double>(st.hi + 1) * t_coef_[r + 1] -
+                static_cast<double>(st.hi) * t_coef_[r]) *
                bw;
     }
-    delta += cp.rt * m.time_per_cycle(st.rate_idx) * shifted_mass;
+    delta += t_coef_[r] * shifted_mass;
     if (!spills) break;  // the shift wave stops at the first non-full range
   }
   return delta;

@@ -10,6 +10,21 @@ LmcScheduler::LmcScheduler(std::vector<CostTable> tables) {
   for (CostTable& t : tables) {
     queues_.emplace_back(std::move(t));
   }
+  // Hoist the Eq. 27 inputs into per-core contiguous arrays once; the
+  // interactive scan never touches the model objects again.
+  re_.reserve(queues_.size());
+  rt_.reserve(queues_.size());
+  epc_max_.reserve(queues_.size());
+  tpc_max_.reserve(queues_.size());
+  for (const DynamicSingleCoreScheduler& q : queues_) {
+    const CostTable& t = q.table();
+    const EnergyModel& m = t.model();
+    const std::size_t pm = m.rates().highest_index();
+    re_.push_back(t.params().re);
+    rt_.push_back(t.params().rt);
+    epc_max_.push_back(m.energy_per_cycle(pm));
+    tpc_max_.push_back(m.time_per_cycle(pm));
+  }
 }
 
 LmcScheduler::Placement LmcScheduler::place_non_interactive(Cycles cycles,
@@ -28,21 +43,25 @@ LmcScheduler::Placement LmcScheduler::place_non_interactive(
   DVFS_REQUIRE(cycles > 0, "tasks need a positive cycle count");
   DVFS_REQUIRE(extra_cost.empty() || extra_cost.size() == queues_.size(),
                "extra_cost must have one entry per core");
-  if (probed_marginals != nullptr) {
-    probed_marginals->assign(queues_.size(), 0.0);
-  }
   // Evaluate every core's exact marginal cost analytically (no structure
-  // mutation); ties keep the lowest core index so runs are deterministic.
+  // mutation) into the reusable candidate vector, then take the argmin in
+  // a separate branch-free pass; ties keep the lowest core index so runs
+  // are deterministic.
+  const std::size_t n = queues_.size();
+  scan_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    scan_[j] = queues_[j].peek_marginal_insert_cost(cycles);
+  }
+  if (!extra_cost.empty()) {
+    for (std::size_t j = 0; j < n; ++j) scan_[j] += extra_cost[j];
+  }
   std::size_t best_core = 0;
-  Money best_marginal = 0.0;
-  for (std::size_t j = 0; j < queues_.size(); ++j) {
-    Money m = queues_[j].peek_marginal_insert_cost(cycles);
-    if (!extra_cost.empty()) m += extra_cost[j];
-    if (probed_marginals != nullptr) (*probed_marginals)[j] = m;
-    if (j == 0 || m < best_marginal) {
-      best_marginal = m;
-      best_core = j;
-    }
+  for (std::size_t j = 1; j < n; ++j) {
+    best_core = scan_[j] < scan_[best_core] ? j : best_core;
+  }
+  const Money best_marginal = scan_[best_core];
+  if (probed_marginals != nullptr) {
+    probed_marginals->assign(scan_.begin(), scan_.end());
   }
   const auto ref = queues_[best_core].insert(cycles, id);
   return Placement{best_core, ref, best_marginal};
@@ -50,19 +69,33 @@ LmcScheduler::Placement LmcScheduler::place_non_interactive(
 
 std::size_t LmcScheduler::choose_interactive_core(
     Cycles cycles, std::span<const std::size_t> extra_waiting) const {
+  return interactive_scan(cycles, extra_waiting, scan_);
+}
+
+std::size_t LmcScheduler::interactive_scan(
+    Cycles cycles, std::span<const std::size_t> extra_waiting,
+    std::vector<Money>& out) const {
   DVFS_REQUIRE(cycles > 0, "tasks need a positive cycle count");
   DVFS_REQUIRE(extra_waiting.empty() || extra_waiting.size() == queues_.size(),
                "extra_waiting must have one entry per core");
+  const std::size_t n = queues_.size();
+  out.resize(n);
+  waiting_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    waiting_[j] = static_cast<double>(
+        queues_[j].size() + (extra_waiting.empty() ? 0 : extra_waiting[j]));
+  }
+  const double l = static_cast<double>(cycles);
+  // Eq. 27 over the four contiguous coefficient arrays, with the exact
+  // association of interactive_marginal_cost(): Re*L*E + Rt*L*T +
+  // (Rt*L*T)*N. No branches, no model indirection; auto-vectorizes.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double tw = rt_[j] * l * tpc_max_[j];
+    out[j] = re_[j] * l * epc_max_[j] + tw + tw * waiting_[j];
+  }
   std::size_t best = 0;
-  Money best_cost = std::numeric_limits<Money>::infinity();
-  for (std::size_t j = 0; j < queues_.size(); ++j) {
-    const std::size_t waiting =
-        queues_[j].size() + (extra_waiting.empty() ? 0 : extra_waiting[j]);
-    const Money c = interactive_marginal_cost(j, cycles, waiting);
-    if (c < best_cost) {
-      best_cost = c;
-      best = j;
-    }
+  for (std::size_t j = 1; j < n; ++j) {
+    best = out[j] < out[best] ? j : best;
   }
   return best;
 }

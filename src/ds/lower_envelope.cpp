@@ -77,6 +77,7 @@ EnvelopeResult lower_envelope_integer(std::span<const Line> lines) {
   // every *integer* point and is dropped from `active`.
   EnvelopeResult result;
   result.range_of.assign(lines.size(), IntegerRange{1, 0});
+  result.active.reserve(hull.size());
   std::size_t lb = 1;
   for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
     const std::size_t nlb = crossover_position(hull[i], hull[i + 1]);
@@ -90,6 +91,17 @@ EnvelopeResult lower_envelope_integer(std::span<const Line> lines) {
   result.range_of[hull.back().id] = IntegerRange{lb, IntegerRange::kUnbounded};
   result.active.push_back(hull.back().id);
   return result;
+}
+
+const EnvelopeResult& MemoizedEnvelope::get(std::span<const Line> lines) {
+  if (!valid_ || key_.size() != lines.size() ||
+      !std::equal(key_.begin(), key_.end(), lines.begin())) {
+    cached_ = lower_envelope_integer(lines);
+    key_.assign(lines.begin(), lines.end());
+    valid_ = true;
+    ++rebuilds_;
+  }
+  return cached_;
 }
 
 std::size_t argmin_line_at(std::span<const Line> lines, std::size_t k) {

@@ -101,7 +101,8 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
     // Eq. 27 core choice; N_j counts everything waiting on core j: the
     // queued non-interactive tasks (added by the scheduler itself) plus
     // pending interactive work and preempted remainders.
-    std::vector<std::size_t> extra(per_core_.size(), 0);
+    std::vector<std::size_t>& extra = extra_scratch_;
+    extra.resize(per_core_.size());
     for (std::size_t j = 0; j < per_core_.size(); ++j) {
       extra[j] =
           per_core_[j].pending_interactive.size() + per_core_[j].preempted.size();
@@ -169,7 +170,8 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
   // The queues only know *waiting* tasks; a task already executing on core
   // j still delays everything placed there. Charge its remaining seconds
   // at Rt so busy cores compete fairly with idle ones.
-  std::vector<Money> offsets(per_core_.size(), 0.0);
+  std::vector<Money>& offsets = offsets_scratch_;
+  offsets.assign(per_core_.size(), 0.0);
   for (std::size_t j = 0; j < per_core_.size(); ++j) {
     if (!engine.busy(j)) continue;
     const core::CostTable& t = lmc_.queue(j).table();
@@ -182,7 +184,7 @@ void LmcPolicy::on_arrival(sim::Engine& engine, const core::Task& task) {
   lmc_stats().marginal_evals.add(per_core_.size());
   lmc_stats().placements.inc();
   obs::RecorderChannel* rc = engine.recorder();
-  std::vector<Money> probed;
+  std::vector<Money>& probed = probed_scratch_;
   const auto placement = lmc_.place_non_interactive(
       estimate, task.id, offsets, rc != nullptr ? &probed : nullptr);
   margin_.observe(placement.marginal, placement.marginal);  // argmin

@@ -148,5 +148,53 @@ TEST_P(CostTableCubicSweep, EnvelopeAgreesWithNaiveArgmin) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CostTableCubicSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 12, 16));
 
+TEST(CostTableSharedCache, SameRateSetSharesOnePrecompute) {
+  CostTable::clear_shared_cache();
+  const CostTable a = table2_table();
+  const auto after_first = CostTable::shared_cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.entries, 1u);
+  // Every further table on the same (rates, Re, Rt) is a cache hit and
+  // shares the ranges storage outright (a multi-core homogeneous platform
+  // builds R identical tables).
+  const CostTable b = table2_table();
+  const CostTable c = table2_table();
+  const auto after_three = CostTable::shared_cache_stats();
+  EXPECT_EQ(after_three.misses, 1u);
+  EXPECT_GE(after_three.hits, 2u);
+  EXPECT_EQ(a.ranges().data(), b.ranges().data());
+  EXPECT_EQ(b.ranges().data(), c.ranges().data());
+}
+
+TEST(CostTableSharedCache, ChangedRateSetOrParamsMisses) {
+  CostTable::clear_shared_cache();
+  const CostTable a = table2_table();
+  const CostTable b = table2_table(0.4, 0.1);  // swapped Re/Rt: new lines
+  const CostTable c(EnergyModel::cubic(RateSet({0.5, 1.0, 1.5})),
+                    CostParams{0.1, 0.4});
+  const auto stats = CostTable::shared_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_NE(a.ranges().data(), b.ranges().data());
+  EXPECT_NE(a.ranges().data(), c.ranges().data());
+  // Distinct entries answer queries independently and correctly.
+  for (std::size_t k = 1; k <= 64; ++k) {
+    EXPECT_EQ(a.best_rate(k), a.best_rate_naive(k));
+    EXPECT_EQ(b.best_rate(k), b.best_rate_naive(k));
+    EXPECT_EQ(c.best_rate(k), c.best_rate_naive(k));
+  }
+}
+
+TEST(CostTableSharedCache, ClearKeepsLiveTablesUsable) {
+  CostTable::clear_shared_cache();
+  const CostTable t = table2_table();
+  CostTable::clear_shared_cache();
+  const auto stats = CostTable::shared_cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  // The table's shared_ptr keeps the dropped entry alive.
+  EXPECT_EQ(t.best_rate(1), t.best_rate_naive(1));
+  EXPECT_FALSE(t.ranges().empty());
+}
+
 }  // namespace
 }  // namespace dvfs::core

@@ -98,7 +98,18 @@ def compare_reports(base_doc, cand_doc, suite, opts, failures, notes,
             continue
         bwall = float(brow.get("wall_ns", 0.0))
         cwall = float(crow.get("wall_ns", 0.0))
-        if bwall >= opts.min_wall_ns and cwall > bwall * (1.0 + opts.wall_tolerance):
+        # The wall gate applies only when BOTH sides sit at or above the
+        # row floor: sub-floor baselines are noise, and a candidate that
+        # *drops* below the floor is an improvement to note (and refresh
+        # baselines for), never a missing row or a regression.
+        if bwall >= opts.min_wall_ns and cwall < opts.min_wall_ns:
+            notes.append(
+                f"{label}: wall_ns {bwall:.3g} -> {cwall:.3g} fell below "
+                f"the {opts.min_wall_ns:.0f} ns row floor (improvement; "
+                f"consider refreshing baselines)"
+            )
+        elif (bwall >= opts.min_wall_ns and cwall >= opts.min_wall_ns and
+              cwall > bwall * (1.0 + opts.wall_tolerance)):
             failures.append(
                 f"{label}: wall_ns {bwall:.3g} -> {cwall:.3g} "
                 f"(+{(cwall / bwall - 1.0) * 100.0:.1f}% > "
@@ -315,6 +326,14 @@ def self_test():
     tiny_slower = copy.deepcopy(base)
     tiny_slower[2]["wall_ns"] = 1e3 * 100.0  # below --min-wall-ns floor
     check("sub-millisecond rows never gate", base, tiny_slower, 0)
+
+    # A large speedup can push a previously-gated row below the floor
+    # (e.g. memoizing an O(n) construction into a cache hit). That is an
+    # improvement, not a missing baseline: it must pass.
+    now_sub_floor = copy.deepcopy(base)
+    now_sub_floor[0]["wall_ns"] = 5e5  # 2 ms baseline -> 0.5 ms candidate
+    check("candidate dropping below the row floor passes", base,
+          now_sub_floor, 0)
 
     worse_cost = copy.deepcopy(base)
     worse_cost[1]["cost"] = 200.001

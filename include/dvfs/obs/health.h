@@ -131,7 +131,7 @@ struct Rule {
 /// replay can detect a mismatched rule config.
 [[nodiscard]] std::uint64_t rule_hash(const std::string& name);
 
-/// The four built-in health axes (five rules: both drift dimensions).
+/// The five built-in health axes (six rules: both drift dimensions).
 [[nodiscard]] std::vector<Rule> builtin_rules();
 
 /// Parses a `dvfs-health-v1` config document. Throws PreconditionError

@@ -23,13 +23,21 @@
 ///
 /// `MetricsHttpServer` is the transport: a blocking accept loop on a
 /// background thread speaking just enough HTTP/1.1 for `curl` and a
-/// Prometheus scraper — GET against a registered route returns that
-/// handler's response (`/metrics` and `/` serve the supplied body
-/// callback as `text/plain; version=0.0.4`), anything else 404. Every
-/// response carries Content-Type and an exact Content-Length, and a
-/// request whose `Accept` header rules out the handler's media type gets
-/// 406. POSIX sockets only; no third-party dependency, in keeping with
-/// the repo rule that observability must not add libraries.
+/// Prometheus scraper — a request against a registered route returns
+/// that handler's response (`/metrics` and `/` serve the supplied body
+/// callback as `text/plain; version=0.0.4`), anything else 404. Routes
+/// are method-aware (a known path hit with the wrong verb gets 405) and
+/// may be registered as exact paths or as prefixes (`/schedule/` matches
+/// `/schedule/42`; the longest prefix wins). The reader loops on
+/// `recv()` until the blank line ends the headers and Content-Length
+/// bytes of body have arrived — a POST split across arbitrarily many TCP
+/// segments (or fed byte-at-a-time) parses identically to a single-read
+/// request; oversized headers answer 400, an oversized body 413, and a
+/// handler that throws 500. Every response carries Content-Type and an
+/// exact Content-Length, and a request whose `Accept` header rules out
+/// the handler's media type gets 406. POSIX sockets only; no third-party
+/// dependency, in keeping with the repo rule that observability must not
+/// add libraries.
 #pragma once
 
 #include <atomic>
@@ -39,7 +47,9 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 namespace dvfs::obs {
 
@@ -80,6 +90,22 @@ class MetricsHttpServer {
   };
   using Handler = std::function<Response()>;
 
+  /// A fully parsed request, as handed to a RequestHandler. `path` is
+  /// the exact request target (no query parsing — nothing here needs
+  /// it); `body` is the complete Content-Length-delimited payload.
+  struct Request {
+    std::string method;
+    std::string path;
+    std::string body;
+    std::string accept;  ///< raw Accept header ("" when absent)
+  };
+  using RequestHandler = std::function<Response(const Request&)>;
+
+  /// Header-section and body size caps. A request whose headers exceed
+  /// the former answers 400; a Content-Length beyond the latter 413.
+  static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
   /// Registers `body` under `/metrics` and `/`, served as
   /// `text/plain; version=0.0.4; charset=utf-8`.
   MetricsHttpServer(Options options, BodyFn body);
@@ -92,6 +118,17 @@ class MetricsHttpServer {
   /// `/healthz`. Call before `start()`; routes are not guarded against
   /// the serving thread.
   void add_route(const std::string& path, Handler handler);
+
+  /// Method-aware exact route: `add_route("POST", "/submit", ...)`.
+  /// A request that matches the path but not the method answers 405.
+  void add_route(const std::string& method, const std::string& path,
+                 RequestHandler handler);
+
+  /// Method-aware prefix route: `add_prefix_route("GET", "/schedule/",
+  /// ...)` matches every path starting with the prefix (longest
+  /// registered prefix wins; exact routes always win over prefixes).
+  void add_prefix_route(const std::string& method, const std::string& prefix,
+                        RequestHandler handler);
 
   /// True when an `Accept` request header admits `mime` (a bare media
   /// type like "text/plain"): exact match, `type/*`, or `*/*`, ignoring
@@ -114,9 +151,19 @@ class MetricsHttpServer {
  private:
   void serve_loop();
   void handle_client(int client);
+  /// Reads one request off the socket, tolerating arbitrary read
+  /// fragmentation. Returns false when the connection died or the
+  /// request was malformed beyond answering (`error` carries a ready
+  /// response for recoverable protocol errors: 400 / 413).
+  bool read_request(int client, Request& out, Response& error);
+  [[nodiscard]] Response dispatch(const Request& req) const;
 
   Options options_;
-  std::map<std::string, Handler> routes_;
+  /// path → method → handler (exact matches).
+  std::map<std::string, std::map<std::string, RequestHandler>> routes_;
+  /// (method, prefix, handler); longest matching prefix wins.
+  std::vector<std::tuple<std::string, std::string, RequestHandler>>
+      prefix_routes_;
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -102,6 +102,9 @@ enum class EventType : std::uint8_t {
 /// Bit flags (Event::flags).
 inline constexpr std::uint8_t kFlagPreempted = 0x01;
 inline constexpr std::uint8_t kFlagChosen = 0x02;
+/// kPlacement by the scheduling service for a task that migrated shards
+/// through a work-steal forward (flag addition only — no version bump).
+inline constexpr std::uint8_t kFlagStolen = 0x04;
 
 /// Which policy callback a kDecision event closed (Event::aux).
 enum class DecisionKind : std::uint16_t {

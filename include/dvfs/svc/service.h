@@ -1,0 +1,237 @@
+/// \file service.h
+/// \brief Long-running sharded LMC scheduling service (daemon mode).
+///
+/// Promotes the paper's run-to-completion Least Marginal Cost scheduler
+/// into an online service that admits a continuous task stream:
+///
+///  * **Admission.** `submit()` routes each task by a stable hash of its
+///    id to one of N shards and pushes a fixed-size message into that
+///    shard's lock-free MPSC ring (svc/mpsc_ring.h). A full ring rejects
+///    the submission — backpressure is returned to the caller (the HTTP
+///    layer answers 503), never silently queued.
+///
+///  * **Shards.** Each shard owns a contiguous subset of the platform's
+///    cores and runs a private `core::LmcScheduler` over exactly those
+///    cores — its own flat range trees, cost tables, and envelope
+///    caches. One worker thread per shard drains its ring in batches and
+///    places every task with the Eq. 27 / Algorithm 4–6 machinery,
+///    untouched. All LMC state is thread-confined: no locks on the
+///    decision path, and a sharded run over a partitioned core set makes
+///    *identical* decisions to N independent schedulers (the
+///    differential oracle in test_svc_service.cpp holds this).
+///
+///  * **Work stealing.** Shards publish their queue cost after every
+///    batch. An idle shard whose cost has fallen behind the richest
+///    shard's by `steal_ratio` posts a steal *request* into the rich
+///    shard's ring; the rich shard pops tasks from its own queues (its
+///    thread owns them) and forwards them as ordinary submissions to the
+///    requester. Stealing is therefore pure message passing — shard
+///    state never crosses a thread boundary.
+///
+///  * **Drain.** `drain()` closes admission, lets every in-flight
+///    message (including outstanding steals) reach a queue, then stops
+///    the workers. Queued-but-unexecuted decisions stay queryable; the
+///    caller flushes the recorder/metrics epilogue afterwards. This is
+///    what `dvfs_execute --serve` runs on SIGINT/SIGTERM.
+///
+/// Everything observable goes through the metrics registry (`svc.*`
+/// counters/gauges/histograms; `svc.admission.latency_us` feeds the
+/// builtin `admission-latency-p99` health rule) and, when a recorder is
+/// attached, one flight-recorder channel per shard.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/core/cost_model.h"
+#include "dvfs/core/online_lmc.h"
+#include "dvfs/obs/metrics.h"
+#include "dvfs/svc/mpsc_ring.h"
+
+namespace dvfs::obs {
+class Recorder;
+class RecorderChannel;
+}  // namespace dvfs::obs
+
+namespace dvfs::svc {
+
+/// Fixed-size admission-ring message (POD, like a recorder event).
+struct Msg {
+  enum class Kind : std::uint8_t {
+    kSubmit = 0,        ///< place `id`/`cycles` on the receiving shard
+    kStealRequest = 1,  ///< `from_shard` asks for up to `steal_want` tasks
+  };
+  Kind kind = Kind::kSubmit;
+  bool stolen = false;  ///< submit forwarded by a rich shard's steal reply
+  std::uint16_t from_shard = 0;
+  std::uint16_t steal_want = 0;
+  core::TaskId id = 0;
+  Cycles cycles = 0;
+  /// steady-clock nanoseconds at submit(); admission latency is measured
+  /// against the placement instant.
+  std::uint64_t enqueue_ns = 0;
+};
+
+/// Where a task ended up, queryable via `status()` / GET /schedule/{id}.
+struct TaskStatus {
+  enum class State : std::uint8_t { kQueued = 0, kCompleted = 1 };
+  State state = State::kQueued;
+  std::uint16_t shard = 0;
+  std::uint16_t core = 0;  ///< global core index
+  std::uint16_t rate_idx = 0;
+  bool stolen = false;  ///< placed after a work-steal migration
+  Cycles cycles = 0;
+  Money marginal = 0.0;  ///< exact queue-cost delta of the placement
+};
+
+struct ServiceOptions {
+  std::size_t shards = 2;
+  /// Total platform cores, partitioned contiguously across shards
+  /// (shard i owns [i*cores/shards, (i+1)*cores/shards)). Must be
+  /// >= shards.
+  std::size_t cores = 4;
+  /// Per-shard admission ring slots (rounds up to a power of two).
+  std::size_t ring_capacity = std::size_t{1} << 16;
+  /// Max ring messages a shard handles per loop iteration. 0 starves the
+  /// shard on purpose (never drains while serving) — the backpressure /
+  /// 503 smoke-test hook; `drain()` still flushes.
+  std::size_t max_batch = 256;
+  /// Steal when the richest shard's queue cost exceeds an idle shard's
+  /// by this factor. 0 disables work stealing.
+  double steal_ratio = 4.0;
+  /// The rich shard must hold at least this many queued tasks before
+  /// anyone bothers stealing from it.
+  std::size_t steal_min_queue = 8;
+  /// Bound on remembered task decisions; oldest entries are evicted
+  /// first (a long-running daemon cannot keep every ticket forever).
+  std::size_t status_capacity = std::size_t{1} << 20;
+  /// Wall seconds per model second of *virtual execution*: > 0 lets each
+  /// shard pop its queue fronts as their scaled durations elapse, so a
+  /// serving daemon's queues drain. 0 = placement-only (queues grow
+  /// until drained; what the differential oracle and the admission
+  /// bench want).
+  double time_scale = 0.0;
+  /// Metrics sink; nullptr = obs::Registry::global().
+  obs::Registry* registry = nullptr;
+};
+
+class SchedulingService {
+ public:
+  /// Homogeneous platform: every core is priced by `model` under
+  /// `params` (heterogeneous shards would take per-core tables; the
+  /// sharding machinery does not care).
+  SchedulingService(core::EnergyModel model, core::CostParams params,
+                    ServiceOptions options);
+  ~SchedulingService();
+
+  SchedulingService(const SchedulingService&) = delete;
+  SchedulingService& operator=(const SchedulingService&) = delete;
+
+  /// Attach before start(): shard i records kTaskArrival/kPlacement
+  /// events into `recorder->channel(i)` (the recorder needs at least
+  /// `shards()` channels).
+  void set_recorder(obs::Recorder* recorder);
+
+  /// Spawns the shard worker threads. Throws if already started.
+  void start();
+
+  struct Ticket {
+    bool accepted = false;
+    std::uint16_t shard = 0;
+  };
+
+  /// Lock-free admission from any thread. Rejects (accepted = false)
+  /// when the target shard's ring is full or the service is draining.
+  Ticket submit(core::TaskId id, Cycles cycles);
+
+  /// Closes admission, waits until every in-flight message (submissions
+  /// and steals) has been handled, then joins the workers. Idempotent.
+  /// Shards flush their rings with a real batch size even under
+  /// max_batch = 0.
+  void drain();
+
+  /// Decision lookup; nullopt for unknown (or evicted) ids.
+  [[nodiscard]] std::optional<TaskStatus> status(core::TaskId id) const;
+
+  /// The shard submit() would route `id` to — exposed so tests can
+  /// reconstruct per-shard admission streams, and so clients can aim at
+  /// a shard deliberately.
+  [[nodiscard]] static std::size_t route(core::TaskId id,
+                                         std::size_t shards);
+
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t cores() const { return options_.cores; }
+  [[nodiscard]] bool draining() const {
+    return phase_.load(std::memory_order_acquire) != Phase::kRunning;
+  }
+
+  /// Monotonic run counters (relaxed; exact after drain()).
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+  [[nodiscard]] std::uint64_t placed() const;
+  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t stolen() const;
+
+  /// Per-shard introspection (tests, /metrics labels).
+  [[nodiscard]] Money shard_queue_cost(std::size_t shard) const;
+  [[nodiscard]] std::size_t shard_queue_len(std::size_t shard) const;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kRunning, kDraining, kStopped };
+
+  struct Shard;
+
+  void worker(Shard& shard);
+  void handle_submit(Shard& shard, const Msg& msg);
+  void serve_steal(Shard& shard, const Msg& msg);
+  void maybe_request_steal(Shard& shard);
+  void virtual_execute(Shard& shard);
+  void publish_gauges(Shard& shard);
+  [[nodiscard]] double now_s() const;
+  void status_upsert(core::TaskId id, const TaskStatus& st);
+
+  core::EnergyModel model_;
+  core::CostParams params_;
+  ServiceOptions options_;
+  obs::Registry* registry_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<Phase> phase_{Phase::kIdle};
+  /// Submitters currently between the admission phase-gate and their ring
+  /// push; drain() waits for this to hit zero after flipping the phase so
+  /// no accepted ticket can land in a ring the drain no longer watches.
+  std::atomic<std::uint64_t> inflight_submits_{0};
+  std::chrono::steady_clock::time_point start_time_{};
+
+  // Status store, striped by the admission route so a stolen task is
+  // still found under its original stripe. Mutex-per-stripe: writes come
+  // from one shard thread at placement rate, reads from HTTP lookups.
+  struct StatusStripe {
+    mutable std::mutex mu;
+    std::unordered_map<core::TaskId, TaskStatus> by_id;
+    std::vector<core::TaskId> fifo;  ///< insertion order, for eviction
+    std::size_t evict_cursor = 0;
+  };
+  std::vector<std::unique_ptr<StatusStripe>> status_;
+
+  // svc.* instruments, resolved once.
+  obs::Counter& submitted_;
+  obs::Counter& rejected_;
+  obs::Counter& placed_;
+  obs::Counter& completed_;
+  obs::Counter& stolen_;
+  obs::Counter& steal_requests_;
+  obs::Counter& status_evicted_;
+  obs::Histogram& admission_latency_us_;
+  obs::Histogram& batch_size_;
+};
+
+}  // namespace dvfs::svc

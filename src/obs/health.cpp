@@ -198,6 +198,24 @@ std::vector<Rule> builtin_rules() {
     r.keep_firing_s = 30.0;
     rules.push_back(std::move(r));
   }
+  {
+    // Scheduling-service admission health: time from submit() to the
+    // owning shard's placement. 100ms at p99 means the shards are not
+    // keeping up with the offered load (rings backing up), long before
+    // hard 503 backpressure kicks in. Inert when the service is not
+    // running — an absent histogram yields NaN, which never breaches.
+    Rule r;
+    r.name = "admission-latency-p99";
+    r.summary = "service p99 admission latency exceeds 100ms";
+    r.signal.kind = SignalKind::kHistogramQuantile;
+    r.signal.metric = "svc.admission.latency_us";
+    r.signal.quantile = 0.99;
+    r.threshold = 1e5;  // microseconds
+    r.short_window_s = 1.0;
+    r.long_window_s = 5.0;
+    r.keep_firing_s = 5.0;
+    rules.push_back(std::move(r));
+  }
   return rules;
 }
 

@@ -4,6 +4,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <arpa/inet.h>
@@ -145,8 +146,13 @@ namespace {
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
     case 406: return "Not Acceptable";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Status";
   }
@@ -173,15 +179,36 @@ MetricsHttpServer::MetricsHttpServer(Options options, BodyFn body)
   const Handler metrics = [body = std::move(body)] {
     return Response{200, "text/plain; version=0.0.4; charset=utf-8", body()};
   };
-  routes_["/metrics"] = metrics;
-  routes_["/"] = metrics;
+  add_route("/metrics", metrics);
+  add_route("/", metrics);
 }
 
 void MetricsHttpServer::add_route(const std::string& path, Handler handler) {
+  DVFS_REQUIRE(handler != nullptr, "route needs a handler");
+  add_route("GET", path,
+            [handler = std::move(handler)](const Request&) {
+              return handler();
+            });
+}
+
+void MetricsHttpServer::add_route(const std::string& method,
+                                  const std::string& path,
+                                  RequestHandler handler) {
   DVFS_REQUIRE(!path.empty() && path.front() == '/',
                "route path must start with '/'");
+  DVFS_REQUIRE(!method.empty(), "route needs a method");
   DVFS_REQUIRE(handler != nullptr, "route needs a handler");
-  routes_[path] = std::move(handler);
+  routes_[path][method] = std::move(handler);
+}
+
+void MetricsHttpServer::add_prefix_route(const std::string& method,
+                                         const std::string& prefix,
+                                         RequestHandler handler) {
+  DVFS_REQUIRE(!prefix.empty() && prefix.front() == '/',
+               "route prefix must start with '/'");
+  DVFS_REQUIRE(!method.empty(), "route needs a method");
+  DVFS_REQUIRE(handler != nullptr, "route needs a handler");
+  prefix_routes_.emplace_back(method, prefix, std::move(handler));
 }
 
 bool MetricsHttpServer::accept_allows(const std::string& accept_header,
@@ -270,54 +297,149 @@ void MetricsHttpServer::serve_loop() {
   }
 }
 
-void MetricsHttpServer::handle_client(int client) {
-  // One short request per connection: read the request line + headers,
-  // answer, close. Enough HTTP for curl and a Prometheus scraper.
+bool MetricsHttpServer::read_request(int client, Request& out,
+                                     Response& error) {
+  // Accumulate until the blank line that ends the header section — a
+  // request line split across any number of TCP segments (or delivered
+  // byte-at-a-time) must parse identically to a single-read request.
+  std::string data;
+  std::size_t header_end = std::string::npos;
   char buf[4096];
-  const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  const std::string request(buf);
+  while (header_end == std::string::npos) {
+    if (data.size() > kMaxHeaderBytes) {
+      error = Response{400, "text/plain; charset=utf-8",
+                       "header section too large\n"};
+      return true;
+    }
+    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    if (n <= 0) return false;  // peer vanished (or read timeout) mid-headers
+    const std::size_t scan_from = data.size() < 3 ? 0 : data.size() - 3;
+    data.append(buf, static_cast<std::size_t>(n));
+    header_end = data.find("\r\n\r\n", scan_from);
+  }
 
-  const auto line_end = request.find("\r\n");
+  const std::string head = data.substr(0, header_end);
+  const auto line_end = head.find("\r\n");
   const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const bool is_get = line.rfind("GET ", 0) == 0;
-  const auto path_end = line.find(' ', 4);
-  const std::string path = is_get && path_end != std::string::npos
-                               ? line.substr(4, path_end - 4)
-                               : std::string();
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0 ||
+      sp2 == sp1 + 1) {
+    error = Response{400, "text/plain; charset=utf-8", "bad request line\n"};
+    return true;
+  }
+  out.method = line.substr(0, sp1);
+  out.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
 
-  // Scan headers for Accept (field names are case-insensitive).
-  std::string accept;
-  std::size_t pos =
-      line_end == std::string::npos ? request.size() : line_end + 2;
-  while (pos < request.size()) {
-    const auto eol = request.find("\r\n", pos);
-    const std::string header = request.substr(
+  // Header scan (field names are case-insensitive).
+  std::size_t content_length = 0;
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    const auto eol = head.find("\r\n", pos);
+    const std::string header = head.substr(
         pos, eol == std::string::npos ? std::string::npos : eol - pos);
-    if (header.empty()) break;  // blank line: end of headers
     const auto colon = header.find(':');
-    if (colon != std::string::npos &&
-        lower(header.substr(0, colon)) == "accept") {
-      accept = trim(header.substr(colon + 1));
+    if (colon != std::string::npos) {
+      const std::string name = lower(header.substr(0, colon));
+      const std::string value = trim(header.substr(colon + 1));
+      if (name == "accept") {
+        out.accept = value;
+      } else if (name == "content-length") {
+        const auto [ptr, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), content_length);
+        if (ec != std::errc{} || ptr != value.data() + value.size()) {
+          error = Response{400, "text/plain; charset=utf-8",
+                           "bad Content-Length\n"};
+          return true;
+        }
+      }
     }
     if (eol == std::string::npos) break;
     pos = eol + 2;
   }
 
-  Response res{404, "text/plain; charset=utf-8", "not found\n"};
-  const auto route = routes_.find(path);
-  if (is_get && route != routes_.end()) {
-    res = route->second();
-    const auto semi = res.content_type.find(';');
-    const std::string mime = semi == std::string::npos
-                                 ? res.content_type
-                                 : res.content_type.substr(0, semi);
-    if (!accept_allows(accept, trim(mime))) {
-      res = Response{406, "text/plain; charset=utf-8", "not acceptable\n"};
+  if (content_length > kMaxBodyBytes) {
+    error = Response{413, "text/plain; charset=utf-8",
+                     "request body too large\n"};
+    return true;
+  }
+  // Body: whatever followed the blank line, then keep reading until
+  // Content-Length bytes have arrived.
+  out.body = data.substr(header_end + 4);
+  while (out.body.size() < content_length) {
+    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    if (n <= 0) return false;  // truncated body: nothing to answer
+    out.body.append(buf, static_cast<std::size_t>(n));
+  }
+  out.body.resize(content_length);  // ignore pipelined bytes past the body
+  error.status = 0;
+  return true;
+}
+
+MetricsHttpServer::Response MetricsHttpServer::dispatch(
+    const Request& req) const {
+  const RequestHandler* handler = nullptr;
+  bool path_known = false;
+  if (const auto route = routes_.find(req.path); route != routes_.end()) {
+    path_known = true;
+    if (const auto m = route->second.find(req.method);
+        m != route->second.end()) {
+      handler = &m->second;
     }
   }
+  if (handler == nullptr) {
+    // Longest matching prefix wins; an exact route always wins over any
+    // prefix. A prefix match on another method still means 405, not 404.
+    std::size_t best_len = 0;
+    for (const auto& [method, prefix, h] : prefix_routes_) {
+      if (req.path.rfind(prefix, 0) != 0) continue;
+      path_known = true;
+      if (method != req.method || prefix.size() < best_len) continue;
+      best_len = prefix.size();
+      handler = &h;
+    }
+  }
+  if (handler == nullptr) {
+    if (path_known) {
+      return Response{405, "text/plain; charset=utf-8",
+                      "method not allowed\n"};
+    }
+    return Response{404, "text/plain; charset=utf-8", "not found\n"};
+  }
+
+  Response res;
+  try {
+    res = (*handler)(req);
+  } catch (const std::exception& e) {
+    return Response{500, "text/plain; charset=utf-8",
+                    std::string("internal error: ") + e.what() + "\n"};
+  } catch (...) {
+    return Response{500, "text/plain; charset=utf-8", "internal error\n"};
+  }
+  const auto semi = res.content_type.find(';');
+  const std::string mime = semi == std::string::npos
+                               ? res.content_type
+                               : res.content_type.substr(0, semi);
+  if (!accept_allows(req.accept, trim(mime))) {
+    return Response{406, "text/plain; charset=utf-8", "not acceptable\n"};
+  }
+  return res;
+}
+
+void MetricsHttpServer::handle_client(int client) {
+  // One request per connection: read it (however fragmented), answer,
+  // close. A stalled peer cannot wedge the serving thread: reads time
+  // out and the connection is dropped without a response.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  Request req;
+  Response res{0, "", ""};
+  if (!read_request(client, req, res)) return;
+  if (res.status == 0) res = dispatch(req);
 
   std::string response = "HTTP/1.1 " + std::to_string(res.status) + " " +
                          status_text(res.status) +

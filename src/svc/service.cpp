@@ -1,0 +1,532 @@
+#include "dvfs/svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <span>
+
+#include "dvfs/core/task.h"
+#include "dvfs/obs/recorder.h"
+
+namespace dvfs::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns_since(Clock::time_point origin) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+/// SplitMix64 finalizer: sequential task ids must not all land on one
+/// shard, so the route hash has to mix low bits into high entropy.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::size_t kDrainBatch = 256;
+constexpr std::size_t kStealCooldownIters = 64;
+constexpr std::uint16_t kStealMaxTasks = 32;
+
+}  // namespace
+
+/// Everything one shard's worker thread owns. The LMC scheduler, the
+/// virtual-execution state and `queue_len` are thread-confined; the
+/// atomics are the published view peers and the drain coordinator read.
+struct SchedulingService::Shard {
+  Shard(std::size_t idx, std::size_t base, std::size_t n,
+        std::vector<core::CostTable> tables, std::size_t ring_capacity,
+        obs::Gauge& cost_g, obs::Gauge& len_g)
+      : index(idx),
+        base_core(base),
+        num_cores(n),
+        lmc(std::move(tables)),
+        ring(ring_capacity),
+        cost_gauge(cost_g),
+        len_gauge(len_g),
+        running(n) {}
+
+  struct Running {
+    bool active = false;
+    core::TaskId id = 0;
+    double finish_s = 0.0;
+  };
+
+  std::size_t index;
+  std::size_t base_core;
+  std::size_t num_cores;
+  core::LmcScheduler lmc;
+  MpscRing<Msg> ring;
+  obs::Gauge& cost_gauge;
+  obs::Gauge& len_gauge;
+  std::thread thread;
+  obs::RecorderChannel* channel = nullptr;
+
+  // Worker-confined state.
+  std::size_t queue_len = 0;
+  std::vector<Running> running;
+  std::uint64_t idle_iters = 0;
+
+  // Published / drain-protocol state.
+  std::atomic<double> published_cost{0.0};
+  std::atomic<std::uint64_t> published_len{0};
+  /// Messages ever admitted to this ring. Incremented *before* the push
+  /// (decremented again on a full ring), so `enqueued == processed` with
+  /// an empty ring proves no message is in flight anywhere.
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> processed{0};
+  /// Steal requests this shard has posted that the rich shard has not
+  /// finished serving. Raised before the request message exists, lowered
+  /// only after every forwarded task is enqueued at its destination.
+  std::atomic<std::uint64_t> steal_pending{0};
+  std::atomic<bool> saw_draining{false};
+};
+
+SchedulingService::SchedulingService(core::EnergyModel model,
+                                     core::CostParams params,
+                                     ServiceOptions options)
+    : model_(std::move(model)),
+      params_(params),
+      options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::Registry::global()),
+      submitted_(registry_->counter("svc.submitted")),
+      rejected_(registry_->counter("svc.rejected")),
+      placed_(registry_->counter("svc.placed")),
+      completed_(registry_->counter("svc.completed")),
+      stolen_(registry_->counter("svc.stolen_tasks")),
+      steal_requests_(registry_->counter("svc.steal.requests")),
+      status_evicted_(registry_->counter("svc.status.evicted")),
+      admission_latency_us_(
+          registry_->histogram("svc.admission.latency_us")),
+      batch_size_(registry_->histogram("svc.admission.batch")) {
+  DVFS_REQUIRE(options_.shards >= 1, "service needs at least one shard");
+  DVFS_REQUIRE(options_.cores >= options_.shards,
+               "service needs at least one core per shard");
+  DVFS_REQUIRE(options_.ring_capacity > 0,
+               "admission ring capacity must be positive");
+  registry_->gauge("svc.shards")
+      .set(static_cast<double>(options_.shards));
+  registry_->gauge("svc.cores").set(static_cast<double>(options_.cores));
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    const std::size_t base = options_.cores * i / options_.shards;
+    const std::size_t end = options_.cores * (i + 1) / options_.shards;
+    const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+    shards_.push_back(std::make_unique<Shard>(
+        i, base, end - base,
+        std::vector<core::CostTable>(end - base,
+                                     core::CostTable(model_, params_)),
+        options_.ring_capacity,
+        registry_->gauge("svc.shard.queue_cost" + label),
+        registry_->gauge("svc.shard.queue_len" + label)));
+    status_.push_back(std::make_unique<StatusStripe>());
+  }
+}
+
+SchedulingService::~SchedulingService() { drain(); }
+
+void SchedulingService::set_recorder(obs::Recorder* recorder) {
+  DVFS_REQUIRE(phase_.load(std::memory_order_acquire) == Phase::kIdle,
+               "attach the recorder before start()");
+  recorder_ = recorder;
+}
+
+void SchedulingService::start() {
+  Phase expected = Phase::kIdle;
+  DVFS_REQUIRE(phase_.compare_exchange_strong(expected, Phase::kRunning),
+               "service already started");
+  start_time_ = Clock::now();
+  if (recorder_ != nullptr) {
+    DVFS_REQUIRE(recorder_->num_channels() >= shards_.size(),
+                 "recorder needs one channel per shard");
+    for (auto& s : shards_) {
+      s->channel = &recorder_->channel(s->index);
+      obs::dfr::Event begin;
+      begin.type = static_cast<std::uint8_t>(obs::dfr::EventType::kRunBegin);
+      begin.core = static_cast<std::uint16_t>(s->num_cores);
+      s->channel->record(begin);
+      obs::dfr::Event params;
+      params.type = static_cast<std::uint8_t>(obs::dfr::EventType::kParams);
+      params.aux =
+          static_cast<std::uint16_t>(obs::dfr::PolicyKind::kLmc);
+      params.core = static_cast<std::uint16_t>(s->num_cores);
+      params.f0 = params_.re;
+      params.f1 = params_.rt;
+      s->channel->record(params);
+    }
+  }
+  for (auto& s : shards_) {
+    Shard* shard = s.get();
+    shard->thread = std::thread([this, shard] { worker(*shard); });
+  }
+}
+
+std::size_t SchedulingService::route(core::TaskId id, std::size_t shards) {
+  DVFS_REQUIRE(shards > 0, "route needs at least one shard");
+  return static_cast<std::size_t>(mix64(id) % shards);
+}
+
+SchedulingService::Ticket SchedulingService::submit(core::TaskId id,
+                                                    Cycles cycles) {
+  const auto shard_idx =
+      static_cast<std::uint16_t>(route(id, shards_.size()));
+  // The in-flight count lets drain() wait out every submitter that
+  // passed the phase gate before the flip — no accepted ticket can land
+  // in a ring the drain no longer watches.
+  inflight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  if (phase_.load(std::memory_order_seq_cst) != Phase::kRunning) {
+    inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    rejected_.inc();
+    return {false, shard_idx};
+  }
+  Shard& shard = *shards_[shard_idx];
+  Msg msg;
+  msg.kind = Msg::Kind::kSubmit;
+  msg.id = id;
+  msg.cycles = cycles;
+  msg.enqueue_ns = now_ns_since(start_time_);
+  shard.enqueued.fetch_add(1, std::memory_order_seq_cst);
+  const bool ok = shard.ring.try_push(msg);
+  if (!ok) {
+    shard.enqueued.fetch_sub(1, std::memory_order_seq_cst);
+    rejected_.inc();
+  } else {
+    submitted_.inc();
+  }
+  inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+  return {ok, shard_idx};
+}
+
+void SchedulingService::drain() {
+  Phase expected = Phase::kRunning;
+  if (!phase_.compare_exchange_strong(expected, Phase::kDraining,
+                                      std::memory_order_seq_cst)) {
+    if (expected == Phase::kIdle) {
+      phase_.store(Phase::kStopped, std::memory_order_seq_cst);
+    }
+    return;  // never started, already draining, or already stopped
+  }
+  // 1. Wait out submitters that passed the admission gate pre-flip.
+  while (inflight_submits_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  // 2. Wait until every worker has observed the drain phase — after
+  //    that, no shard issues a *new* steal request, so the message
+  //    population can only shrink.
+  for (auto& s : shards_) {
+    while (!s->saw_draining.load(std::memory_order_seq_cst)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  // 3. Quiescence: every ring empty, every admitted message handled,
+  //    every steal fully served (pending counters are raised before the
+  //    request exists and lowered after its replies are enqueued, so
+  //    zero everywhere + empty rings = nothing in flight).
+  for (;;) {
+    bool quiet = true;
+    for (auto& s : shards_) {
+      if (!s->ring.empty() || s->steal_pending.load(
+                                  std::memory_order_seq_cst) != 0 ||
+          s->enqueued.load(std::memory_order_seq_cst) !=
+              s->processed.load(std::memory_order_seq_cst)) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  phase_.store(Phase::kStopped, std::memory_order_seq_cst);
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+std::optional<TaskStatus> SchedulingService::status(core::TaskId id) const {
+  const StatusStripe& stripe = *status_[route(id, status_.size())];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.by_id.find(id);
+  if (it == stripe.by_id.end()) return std::nullopt;
+  return it->second;
+}
+
+void SchedulingService::status_upsert(core::TaskId id,
+                                      const TaskStatus& st) {
+  StatusStripe& stripe = *status_[route(id, status_.size())];
+  const std::size_t cap =
+      std::max<std::size_t>(1, options_.status_capacity / status_.size());
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto [it, inserted] = stripe.by_id.insert_or_assign(id, st);
+  (void)it;
+  if (!inserted) return;
+  stripe.fifo.push_back(id);
+  if (stripe.by_id.size() > cap &&
+      stripe.evict_cursor < stripe.fifo.size()) {
+    stripe.by_id.erase(stripe.fifo[stripe.evict_cursor++]);
+    status_evicted_.inc();
+    if (stripe.evict_cursor > (std::size_t{1} << 16) &&
+        stripe.evict_cursor * 2 > stripe.fifo.size()) {
+      // Compact the eviction log so it does not grow without bound.
+      stripe.fifo.erase(stripe.fifo.begin(),
+                        stripe.fifo.begin() +
+                            static_cast<std::ptrdiff_t>(stripe.evict_cursor));
+      stripe.evict_cursor = 0;
+    }
+  }
+}
+
+double SchedulingService::now_s() const {
+  return std::chrono::duration<double>(Clock::now() - start_time_).count();
+}
+
+void SchedulingService::worker(Shard& shard) {
+  std::vector<Msg> batch(std::max<std::size_t>(
+      kDrainBatch, std::min<std::size_t>(options_.max_batch, 4096)));
+  for (;;) {
+    const Phase phase = phase_.load(std::memory_order_seq_cst);
+    if (phase != Phase::kRunning) {
+      shard.saw_draining.store(true, std::memory_order_seq_cst);
+    }
+    // A deliberately starved shard (max_batch = 0) still flushes during
+    // drain — drain means "finish the admitted work", not "freeze".
+    std::size_t budget = options_.max_batch;
+    if (phase != Phase::kRunning) {
+      budget = std::max<std::size_t>(budget, kDrainBatch);
+    }
+    const std::size_t n =
+        budget == 0
+            ? 0
+            : shard.ring.pop_batch(std::span<Msg>(
+                  batch.data(), std::min(budget, batch.size())));
+    if (n > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Msg& msg = batch[i];
+        if (msg.kind == Msg::Kind::kSubmit) {
+          handle_submit(shard, msg);
+        } else {
+          serve_steal(shard, msg);
+        }
+      }
+      shard.processed.fetch_add(n, std::memory_order_seq_cst);
+      batch_size_.observe(n);
+      publish_gauges(shard);
+      shard.idle_iters = 0;
+      continue;
+    }
+    if (options_.time_scale > 0.0) virtual_execute(shard);
+    if (phase == Phase::kStopped) break;
+    ++shard.idle_iters;
+    if (phase == Phase::kRunning &&
+        shard.idle_iters % kStealCooldownIters == 0) {
+      maybe_request_steal(shard);
+    }
+    if (shard.idle_iters > 1024) {
+      // Long idle: stop burning the core; admission latency pays at most
+      // this sleep, far under the health rule's threshold.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  publish_gauges(shard);
+}
+
+void SchedulingService::handle_submit(Shard& shard, const Msg& msg) {
+  const core::LmcScheduler::Placement placement =
+      shard.lmc.place_non_interactive(msg.cycles, msg.id);
+  ++shard.queue_len;
+  placed_.inc();
+  if (msg.stolen) stolen_.inc();
+  const std::uint64_t latency_ns =
+      now_ns_since(start_time_) - msg.enqueue_ns;
+  admission_latency_us_.observe(latency_ns / 1000);
+
+  TaskStatus st;
+  st.state = TaskStatus::State::kQueued;
+  st.shard = static_cast<std::uint16_t>(shard.index);
+  st.core =
+      static_cast<std::uint16_t>(shard.base_core + placement.core);
+  st.rate_idx = static_cast<std::uint16_t>(
+      shard.lmc.queue(placement.core).rate_of(placement.ref));
+  st.stolen = msg.stolen;
+  st.cycles = msg.cycles;
+  st.marginal = placement.marginal;
+  status_upsert(msg.id, st);
+
+  if (shard.channel != nullptr) {
+    const double t = now_s();
+    obs::dfr::Event arrival;
+    arrival.type =
+        static_cast<std::uint8_t>(obs::dfr::EventType::kTaskArrival);
+    arrival.time_s =
+        static_cast<double>(msg.enqueue_ns) / 1e9;
+    arrival.task = msg.id;
+    arrival.u0 = msg.cycles;
+    arrival.aux = static_cast<std::uint16_t>(core::TaskClass::kBatch);
+    arrival.f0 = kNoDeadline;
+    shard.channel->record(arrival);
+    obs::dfr::Event place;
+    place.type =
+        static_cast<std::uint8_t>(obs::dfr::EventType::kPlacement);
+    place.time_s = t;
+    place.task = msg.id;
+    place.core = st.core;
+    place.rate_idx = st.rate_idx;
+    place.aux =
+        static_cast<std::uint16_t>(obs::dfr::DecisionScope::kNonInteractive);
+    place.flags = msg.stolen ? obs::dfr::kFlagStolen : 0;
+    place.u0 = msg.cycles;
+    place.f0 = placement.marginal;
+    place.f1 = shard.lmc.total_queue_cost();
+    shard.channel->record(place);
+  }
+}
+
+void SchedulingService::serve_steal(Shard& shard, const Msg& msg) {
+  Shard& requester = *shards_[msg.from_shard];
+  std::uint16_t given = 0;
+  while (given < msg.steal_want) {
+    // Give away from the longest local queue; stop when the shard is
+    // down to its own fair share.
+    std::size_t victim = 0;
+    std::size_t victim_len = 0;
+    for (std::size_t c = 0; c < shard.num_cores; ++c) {
+      const std::size_t len = shard.lmc.queue(c).size();
+      if (len > victim_len) {
+        victim = c;
+        victim_len = len;
+      }
+    }
+    if (victim_len <= 1) break;  // keep at least the head per queue
+    const auto dispatched = shard.lmc.pop_next(victim);
+    if (!dispatched.has_value()) break;
+    --shard.queue_len;
+    Msg forward;
+    forward.kind = Msg::Kind::kSubmit;
+    forward.stolen = true;
+    forward.id = dispatched->id;
+    forward.cycles = dispatched->cycles;
+    forward.enqueue_ns = now_ns_since(start_time_);
+    requester.enqueued.fetch_add(1, std::memory_order_seq_cst);
+    // The requester's worker is live and consuming, so this push can
+    // only stall while its ring is momentarily full.
+    while (!requester.ring.try_push(forward)) {
+      std::this_thread::yield();
+    }
+    ++given;
+  }
+  publish_gauges(shard);
+  // Serving complete (even when nothing could be given): the requester
+  // may ask again.
+  requester.steal_pending.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void SchedulingService::maybe_request_steal(Shard& shard) {
+  if (options_.steal_ratio <= 0.0 || shards_.size() < 2) return;
+  if (shard.steal_pending.load(std::memory_order_seq_cst) != 0) return;
+  const double my_cost =
+      shard.published_cost.load(std::memory_order_relaxed);
+  std::size_t rich = shard.index;
+  double rich_cost = 0.0;
+  std::uint64_t rich_len = 0;
+  for (const auto& other : shards_) {
+    if (other->index == shard.index) continue;
+    const double cost =
+        other->published_cost.load(std::memory_order_relaxed);
+    if (cost > rich_cost) {
+      rich = other->index;
+      rich_cost = cost;
+      rich_len = other->published_len.load(std::memory_order_relaxed);
+    }
+  }
+  if (rich == shard.index) return;
+  if (rich_len < options_.steal_min_queue) return;
+  if (rich_cost <= options_.steal_ratio * std::max(my_cost, 1e-12)) return;
+  const std::uint64_t my_len =
+      shard.published_len.load(std::memory_order_relaxed);
+  const std::uint64_t gap = rich_len > my_len ? rich_len - my_len : 0;
+  if (gap < 2) return;
+  Msg request;
+  request.kind = Msg::Kind::kStealRequest;
+  request.from_shard = static_cast<std::uint16_t>(shard.index);
+  request.steal_want = static_cast<std::uint16_t>(
+      std::min<std::uint64_t>(gap / 2, kStealMaxTasks));
+  Shard& target = *shards_[rich];
+  shard.steal_pending.fetch_add(1, std::memory_order_seq_cst);
+  target.enqueued.fetch_add(1, std::memory_order_seq_cst);
+  if (!target.ring.try_push(request)) {
+    // Rich shard's ring is full — it has plenty to do; try again later.
+    target.enqueued.fetch_sub(1, std::memory_order_seq_cst);
+    shard.steal_pending.fetch_sub(1, std::memory_order_seq_cst);
+    return;
+  }
+  steal_requests_.inc();
+}
+
+void SchedulingService::virtual_execute(Shard& shard) {
+  const double now = now_s();
+  bool changed = false;
+  for (std::size_t c = 0; c < shard.num_cores; ++c) {
+    Shard::Running& run = shard.running[c];
+    if (run.active && now >= run.finish_s) {
+      run.active = false;
+      completed_.inc();
+      StatusStripe& stripe = *status_[route(run.id, status_.size())];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      const auto it = stripe.by_id.find(run.id);
+      if (it != stripe.by_id.end()) {
+        it->second.state = TaskStatus::State::kCompleted;
+      }
+    }
+    if (!run.active && !shard.lmc.queue(c).empty()) {
+      const auto next = shard.lmc.pop_next(c);
+      --shard.queue_len;
+      changed = true;
+      run.active = true;
+      run.id = next->id;
+      run.finish_s = now + model_.task_time(next->cycles, next->rate_idx) *
+                               options_.time_scale;
+    }
+  }
+  if (changed) publish_gauges(shard);
+}
+
+void SchedulingService::publish_gauges(Shard& shard) {
+  const Money cost = shard.lmc.total_queue_cost();
+  shard.published_cost.store(cost, std::memory_order_relaxed);
+  shard.published_len.store(shard.queue_len, std::memory_order_relaxed);
+  shard.cost_gauge.set(cost);
+  shard.len_gauge.set(static_cast<double>(shard.queue_len));
+}
+
+std::uint64_t SchedulingService::submitted() const {
+  return submitted_.value();
+}
+std::uint64_t SchedulingService::rejected() const {
+  return rejected_.value();
+}
+std::uint64_t SchedulingService::placed() const { return placed_.value(); }
+std::uint64_t SchedulingService::completed() const {
+  return completed_.value();
+}
+std::uint64_t SchedulingService::stolen() const { return stolen_.value(); }
+
+Money SchedulingService::shard_queue_cost(std::size_t shard) const {
+  DVFS_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->published_cost.load(std::memory_order_relaxed);
+}
+
+std::size_t SchedulingService::shard_queue_len(std::size_t shard) const {
+  DVFS_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return static_cast<std::size_t>(
+      shards_[shard]->published_len.load(std::memory_order_relaxed));
+}
+
+}  // namespace dvfs::svc

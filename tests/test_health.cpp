@@ -290,7 +290,7 @@ TEST(SloEngine, StatusJsonSerializesMissingDataAsNull) {
 
 TEST(HealthConfig, BuiltinRulesRoundTripThroughJson) {
   const std::vector<Rule> builtin = builtin_rules();
-  ASSERT_EQ(builtin.size(), 5u);
+  ASSERT_EQ(builtin.size(), 6u);
   const std::vector<Rule> reparsed = rules_from_json(rules_to_json(builtin));
   ASSERT_EQ(reparsed.size(), builtin.size());
   for (std::size_t i = 0; i < builtin.size(); ++i) {

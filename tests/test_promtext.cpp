@@ -8,12 +8,17 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dvfs/obs/build_info.h"
@@ -261,6 +266,165 @@ TEST(MetricsHttpServer, CustomRoutesNegotiateTheirOwnType) {
                 .find("HTTP/1.1 406"),
             std::string::npos);
   server.stop();
+}
+
+/// Sends `raw` in `chunk` -byte pieces with a small pause between them
+/// (forcing the server's recv loop to see fragmented reads), then reads
+/// the full response.
+std::string http_raw(std::uint16_t port, const std::string& raw,
+                     std::size_t chunk = SIZE_MAX) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const std::size_t n = std::min(chunk, raw.size() - off);
+    EXPECT_EQ(::send(fd, raw.data() + off, n, 0), static_cast<ssize_t>(n));
+    off += n;
+    if (chunk < raw.size()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// A server with one POST echo route and one GET prefix route, the
+/// fixtures the fragmented-read regression tests drive.
+class PostServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<MetricsHttpServer>(
+        MetricsHttpServer::Options{.host = "127.0.0.1", .port = 0},
+        [] { return std::string("metrics\n"); });
+    server_->add_route(
+        "POST", "/submit", [](const MetricsHttpServer::Request& req) {
+          return MetricsHttpServer::Response{
+              .status = 202,
+              .content_type = "application/json; charset=utf-8",
+              .body = "echo:" + req.body};
+        });
+    server_->add_prefix_route(
+        "GET", "/schedule/", [](const MetricsHttpServer::Request& req) {
+          return MetricsHttpServer::Response{
+              .status = 200,
+              .content_type = "text/plain; charset=utf-8",
+              .body = "path:" + req.path + "\n"};
+        });
+    server_->add_route("/boom", []() -> MetricsHttpServer::Response {
+      throw std::runtime_error("handler exploded");
+    });
+    server_->start();
+  }
+  std::unique_ptr<MetricsHttpServer> server_;
+};
+
+std::string post_req(const std::string& body) {
+  return "POST /submit HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+TEST_F(PostServerTest, PostBodyInOneReadParses) {
+  const std::string res =
+      http_raw(server_->port(), post_req("{\"id\":1,\"cycles\":2}"));
+  EXPECT_NE(res.find("HTTP/1.1 202 Accepted"), std::string::npos);
+  EXPECT_EQ(body_of(res), "echo:{\"id\":1,\"cycles\":2}");
+}
+
+// The PR 7 regression: the old server assumed one recv() per request, so
+// a POST whose header/body boundary straddled a read was truncated. The
+// byte-at-a-time client is the worst case of that fragmentation.
+TEST_F(PostServerTest, PostBodySplitByteAtATimeParsesIdentically) {
+  const std::string req = post_req("{\"id\":7,\"cycles\":999}");
+  const std::string res = http_raw(server_->port(), req, 1);
+  EXPECT_NE(res.find("HTTP/1.1 202 Accepted"), std::string::npos);
+  EXPECT_EQ(body_of(res), "echo:{\"id\":7,\"cycles\":999}");
+}
+
+TEST_F(PostServerTest, PostBodySplitAtOddChunkBoundariesParses) {
+  const std::string body(1000, 'x');
+  for (const std::size_t chunk : {3u, 17u, 64u, 500u}) {
+    const std::string res = http_raw(server_->port(), post_req(body), chunk);
+    EXPECT_EQ(body_of(res), "echo:" + body) << "chunk " << chunk;
+  }
+}
+
+TEST_F(PostServerTest, WrongMethodOnKnownPathIs405) {
+  // GET against the POST-only route, POST against a GET route, and a
+  // wrong-method prefix hit: all 405 (the path exists), never 404.
+  EXPECT_NE(http_raw(server_->port(),
+                     "GET /submit HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos);
+  EXPECT_NE(http_raw(server_->port(), post_req("x").replace(5, 7, "/metrics"))
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(http_raw(server_->port(),
+                     "POST /schedule/1 HTTP/1.1\r\nHost: x\r\n"
+                     "Content-Length: 0\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+TEST_F(PostServerTest, PrefixRouteMatchesAnySuffix) {
+  const std::string res = http_raw(
+      server_->port(), "GET /schedule/12345 HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(res.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(res), "path:/schedule/12345\n");
+  // The bare prefix itself matches too; an unrelated path still 404s.
+  EXPECT_NE(http_raw(server_->port(),
+                     "GET /schedule/ HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(http_raw(server_->port(),
+                     "GET /schedul HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 404"),
+            std::string::npos);
+}
+
+TEST_F(PostServerTest, OversizedBodyAnswers413) {
+  const std::string res = http_raw(
+      server_->port(),
+      "POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+          std::to_string(MetricsHttpServer::kMaxBodyBytes + 1) + "\r\n\r\n");
+  EXPECT_NE(res.find("HTTP/1.1 413 Payload Too Large"), std::string::npos);
+  EXPECT_EQ(content_length_of(res), static_cast<long>(body_of(res).size()));
+}
+
+TEST_F(PostServerTest, MalformedRequestLineAnswers400) {
+  EXPECT_NE(http_raw(server_->port(), "NONSENSE\r\n\r\n")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(http_raw(server_->port(),
+                     "POST /submit HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(PostServerTest, ThrowingHandlerAnswers500) {
+  const std::string res =
+      http_raw(server_->port(), "GET /boom HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(res.find("HTTP/1.1 500 Internal Server Error"),
+            std::string::npos);
+  EXPECT_NE(res.find("handler exploded"), std::string::npos);
+  // The serving thread survives: the next request is answered normally.
+  EXPECT_NE(http_raw(server_->port(),
+                     "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
 }
 
 TEST(MetricsHttpServer, ServesLiveRegistrySnapshot) {

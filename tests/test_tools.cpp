@@ -489,7 +489,12 @@ TEST_F(ToolsFixture, ServeShutsDownCleanlyOnSigterm) {
             0);
   const auto wait_for = [&](const char* needle) {
     for (int i = 0; i < 200; ++i) {  // up to 20 s
-      if (slurp(log).find(needle) != std::string::npos) return true;
+      // The log may not exist yet on the first polls: the backgrounded
+      // shell races us to open the redirect target. Poll, don't assert.
+      std::ifstream is(log, std::ios::binary);
+      const std::string text((std::istreambuf_iterator<char>(is)),
+                             std::istreambuf_iterator<char>());
+      if (text.find(needle) != std::string::npos) return true;
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     return false;

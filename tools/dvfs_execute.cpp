@@ -1,31 +1,52 @@
 /// dvfs_execute: run a plan on real worker threads (dvfs::rt) and compare
 /// the wall clock against the model — the live half of the paper's
-/// evaluation, time-dilated to taste.
+/// evaluation, time-dilated to taste. With `--serve` it becomes the
+/// long-running scheduling daemon instead: a sharded online LMC service
+/// (dvfs::svc) admitting tasks over HTTP until SIGINT/SIGTERM drains it.
 ///
 ///   dvfs_execute --plan plan.csv --time-scale 1e-3
 ///   dvfs_execute --plan plan.csv --hw auto --record-out run.dfr
+///   dvfs_execute --serve --listen :9464 --shards 4 --cores 8
+///
+/// Serve-mode API (on the same server that exposes /metrics):
+///   POST /submit        {"id":1,"cycles":4000000} or
+///                       {"tasks":[{"id":...,"cycles":...},...]}
+///                       → 202 {"accepted":..,"rejected":..} per ticket;
+///                         503 when backpressure rejected every task
+///   GET  /schedule/{id} → 200 placement decision JSON | 404
+///   GET  /healthz       → 200 ok / 503 firing (with --health-*)
 ///
 /// Flags: see kUsage below (also printed by --help).
+#include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "dvfs/core/plan_io.h"
 #include "dvfs/obs/build_info.h"
 #include "dvfs/obs/health.h"
 #include "dvfs/obs/hw_telemetry.h"
+#include "dvfs/obs/json.h"
+#include "dvfs/obs/promtext.h"
 #include "dvfs/obs/recorder.h"
 #include "dvfs/obs/trace.h"
 #include "dvfs/rt/executor.h"
+#include "dvfs/svc/service.h"
 #include "tool_common.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: dvfs_execute --plan plan.csv [flags]\n"
-    "  --plan PATH          plan CSV                          (required)\n"
+    "       dvfs_execute --serve --listen HOST:PORT [flags]\n"
+    "  --plan PATH          plan CSV                (required unless --serve)\n"
     "  --model SPEC         table2 | cubic:<n>                (table2)\n"
-    "  --time-scale S       wall seconds per model second     (1e-3)\n"
+    "  --time-scale S       wall seconds per model second     (1e-3;\n"
+    "                       in serve mode: 0 = queue-only, no virtual\n"
+    "                       execution)\n"
     "  --pin                pin worker threads to CPUs (best effort)\n"
     "  --hw SPEC            hardware telemetry provider:\n"
     "                       auto | perf | timer | model | off |\n"
@@ -41,21 +62,229 @@ constexpr const char* kUsage =
     "  --health-config C    SLO rules: \"builtin\" or a dvfs-health-v1\n"
     "                       JSON path; enables burn-rate alerting\n"
     "  --health-period S    health sampling period in seconds (0.5);\n"
-    "                       also enables the monitor (builtin rules)\n";
+    "                       also enables the monitor (builtin rules)\n"
+    "serve mode (long-running sharded scheduling daemon):\n"
+    "  --serve              run the dvfs::svc daemon instead of a plan\n"
+    "  --listen HOST:PORT   bind the HTTP API + /metrics     (required)\n"
+    "  --shards N           independent LMC shards            (2)\n"
+    "  --cores N            total cores, partitioned across shards (4)\n"
+    "  --re R / --rt R      cost weights, money per J / per s (0.4/0.1)\n"
+    "  --ring-capacity N    per-shard admission ring slots    (65536)\n"
+    "  --max-batch N        ring messages per worker iteration (256;\n"
+    "                       0 starves the shards: the 503 test hook)\n"
+    "  --steal-ratio R      steal when max/min shard queue cost exceeds\n"
+    "                       R (4.0; 0 disables work stealing)\n"
+    "  --status-capacity N  remembered placements for /schedule (1M)\n"
+    "  --serve-seconds N    exit after N s (0 = until SIGINT/SIGTERM;\n"
+    "                       both drain gracefully and flush outputs)\n";
+
+// Written by the signal handler, polled by the serve loop. sig_atomic_t
+// per the C standard; volatile so the poll is not hoisted.
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int signum) { g_signal = signum; }
+
+dvfs::obs::MetricsHttpServer::Response json_response(int status,
+                                                     std::string body) {
+  return {status, "application/json; charset=utf-8", std::move(body) + "\n"};
+}
+
+/// One {"id":...,"cycles":...} object → submit. Throws PreconditionError
+/// on schema violations (mapped to 400 by the caller).
+dvfs::svc::SchedulingService::Ticket submit_one(
+    dvfs::svc::SchedulingService& svc, const dvfs::obs::Json& task) {
+  DVFS_REQUIRE(task.is_object() && task.contains("id") &&
+                   task.contains("cycles"),
+               "task needs numeric \"id\" and \"cycles\" fields");
+  const double id = task.at("id").as_double();
+  const double cycles = task.at("cycles").as_double();
+  DVFS_REQUIRE(id >= 0.0 && cycles > 0.0, "id must be >= 0, cycles > 0");
+  return svc.submit(static_cast<dvfs::core::TaskId>(id),
+                    static_cast<dvfs::Cycles>(cycles));
+}
+
+int run_serve(const dvfs::util::Args& args) {
+  using namespace dvfs;
+  obs::register_build_info(obs::Registry::global());
+  const core::EnergyModel model =
+      tools::model_from_flag(args.get_string("model", "table2"));
+  // Online defaults per the paper's interactive experiments.
+  const core::CostParams params{.re = args.get_double("re", 0.4),
+                                .rt = args.get_double("rt", 0.1)};
+  svc::ServiceOptions opts;
+  opts.shards = args.get_u64("shards", 2);
+  opts.cores = args.get_u64("cores", 4);
+  opts.ring_capacity = args.get_u64("ring-capacity", std::size_t{1} << 16);
+  opts.max_batch = args.get_u64("max-batch", 256);
+  opts.steal_ratio = args.get_double("steal-ratio", 4.0);
+  opts.status_capacity = args.get_u64("status-capacity", std::size_t{1} << 20);
+  opts.time_scale = args.get_double("time-scale", 0.0);
+
+  svc::SchedulingService svc(model, params, opts);
+  obs::Recorder recorder(std::max<std::size_t>(1, opts.shards));
+  if (args.has("record-out")) svc.set_recorder(&recorder);
+
+  std::unique_ptr<obs::health::HealthMonitor> monitor;
+  if (args.has("health-config") || args.has("health-period")) {
+    monitor = std::make_unique<obs::health::HealthMonitor>(
+        obs::Registry::global(),
+        obs::health::load_rules(args.get_string("health-config", "")),
+        obs::health::HealthMonitor::Options{
+            .period_s = args.get_double("health-period", 0.5)});
+    if (args.has("record-out")) {
+      monitor->set_channel(
+          &recorder.add_channel(obs::Recorder::kDefaultCapacity));
+    }
+    monitor->start();
+  }
+  svc.start();
+
+  obs::MetricsHttpServer server(
+      obs::parse_listen(args.get_string("listen")),
+      [] { return obs::prometheus_text(obs::Registry::global()); });
+  svc::SchedulingService* s = &svc;
+  server.add_route(
+      "POST", "/submit",
+      [s](const obs::MetricsHttpServer::Request& req) {
+        obs::Json doc;
+        try {
+          doc = obs::Json::parse(req.body);
+        } catch (const std::exception& e) {
+          return json_response(400, std::string("{\"error\":\"bad JSON: ") +
+                                        e.what() + "\"}");
+        }
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected = 0;
+        try {
+          if (doc.contains("tasks")) {
+            for (const obs::Json& t : doc.at("tasks").as_array()) {
+              submit_one(*s, t).accepted ? ++accepted : ++rejected;
+            }
+          } else {
+            submit_one(*s, doc).accepted ? ++accepted : ++rejected;
+          }
+        } catch (const std::exception& e) {
+          return json_response(400, std::string("{\"error\":\"") + e.what() +
+                                        "\"}");
+        }
+        // All-rejected = pure backpressure (full rings or draining):
+        // 503 so callers and the smoke test see the overload distinctly.
+        const int status = (accepted == 0 && rejected > 0) ? 503 : 202;
+        return json_response(
+            status, "{\"accepted\":" + std::to_string(accepted) +
+                        ",\"rejected\":" + std::to_string(rejected) + "}");
+      });
+  server.add_prefix_route(
+      "GET", "/schedule/",
+      [s](const obs::MetricsHttpServer::Request& req) {
+        const std::string tail =
+            req.path.substr(std::string("/schedule/").size());
+        core::TaskId id = 0;
+        const auto [ptr, ec] =
+            std::from_chars(tail.data(), tail.data() + tail.size(), id);
+        if (ec != std::errc{} || ptr != tail.data() + tail.size() ||
+            tail.empty()) {
+          return json_response(400, "{\"error\":\"bad task id\"}");
+        }
+        const std::optional<svc::TaskStatus> st = s->status(id);
+        if (!st.has_value()) {
+          return json_response(404, "{\"error\":\"unknown task\"}");
+        }
+        obs::Json::Object out;
+        out["id"] = obs::Json(static_cast<double>(id));
+        out["state"] = obs::Json(st->state == svc::TaskStatus::State::kQueued
+                                     ? "queued"
+                                     : "completed");
+        out["shard"] = obs::Json(static_cast<double>(st->shard));
+        out["core"] = obs::Json(static_cast<double>(st->core));
+        out["rate_idx"] = obs::Json(static_cast<double>(st->rate_idx));
+        out["stolen"] = obs::Json(st->stolen);
+        out["cycles"] = obs::Json(static_cast<double>(st->cycles));
+        out["marginal_cost"] = obs::Json(st->marginal);
+        return json_response(200, obs::Json(std::move(out)).dump(-1));
+      });
+  if (monitor != nullptr) {
+    obs::health::HealthMonitor* m = monitor.get();
+    server.add_route("/healthz", [m] {
+      return obs::MetricsHttpServer::Response{
+          .status = m->healthy() ? 200 : 503,
+          .content_type = "application/json; charset=utf-8",
+          .body = m->status_json().dump(2) + "\n"};
+    });
+  }
+  server.start();
+  std::printf("serving scheduling API on port %u: POST /submit, "
+              "GET /schedule/{id}, /metrics%s (%zu shards x %zu cores)\n",
+              server.port(),
+              monitor != nullptr ? ", /healthz" : "", opts.shards,
+              opts.cores / opts.shards);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const std::uint64_t serve_s = args.get_u64("serve-seconds", 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(serve_s);
+  while (g_signal == 0 &&
+         (serve_s == 0 || std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (g_signal != 0) {
+    std::printf("caught signal %d, shutting down\n",
+                static_cast<int>(g_signal));
+  }
+  // Graceful order: close the API first (no new admissions), drain the
+  // shards (every accepted ticket reaches a placement), settle health,
+  // then flush the outputs — so the recording carries the final state.
+  server.stop();
+  svc.drain();
+  std::printf("drained: %llu submitted, %llu placed, %llu rejected, "
+              "%llu stolen, %llu completed\n",
+              static_cast<unsigned long long>(svc.submitted()),
+              static_cast<unsigned long long>(svc.placed()),
+              static_cast<unsigned long long>(svc.rejected()),
+              static_cast<unsigned long long>(svc.stolen()),
+              static_cast<unsigned long long>(svc.completed()));
+  if (monitor != nullptr) {
+    monitor->settle();
+    monitor->stop();
+    std::printf("health: %zu alert(s) firing after %llu ticks\n",
+                monitor->firing_count(),
+                static_cast<unsigned long long>(monitor->ticks()));
+  }
+  if (args.has("record-out")) {
+    recorder.drain();
+    recorder.capture_metrics(obs::Registry::global());
+    const std::string path = args.get_string("record-out");
+    recorder.write_file(path);
+    std::printf("wrote %zu recorded events to %s\n",
+                recorder.events().size(), path.c_str());
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get_string("metrics-out");
+    obs::write_json_file(path, obs::Registry::global().to_json());
+    std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  }
+  return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dvfs;
   return tools::run_tool([&] {
-    const util::Args args(argc, argv,
-                          {"plan", "model", "time-scale", "pin", "hw",
-                           "trace-out", "metrics-out", "record-out",
-                           "health-config", "health-period", "help"});
+    const util::Args args(
+        argc, argv,
+        {"plan", "model", "time-scale", "pin", "hw", "trace-out",
+         "metrics-out", "record-out", "health-config", "health-period",
+         "serve", "listen", "shards", "cores", "re", "rt", "ring-capacity",
+         "max-batch", "steal-ratio", "status-capacity", "serve-seconds",
+         "help"});
     if (args.has("help")) {
       std::fputs(kUsage, stdout);
       return 0;
     }
+    if (args.has("serve")) return run_serve(args);
     obs::register_build_info(obs::Registry::global());
     const core::Plan plan = core::read_plan_csv_file(args.get_string("plan"));
     const core::EnergyModel model =

@@ -55,8 +55,22 @@ namespace dvfs::obs {
 
 class Registry;
 
+namespace reqtrace {
+class ExemplarStore;
+}  // namespace reqtrace
+
 /// Renders `registry` in Prometheus text exposition format 0.0.4.
 [[nodiscard]] std::string prometheus_text(const Registry& registry);
+
+/// Same, with OpenMetrics-style exemplars: a histogram bucket line whose
+/// family has a matching series in `exemplars` (same registry name) and
+/// a recorded sample for that bucket gets
+/// `... # {trace_id="<16 hex>"} <value> <t_s>` appended — the trace id
+/// of a recent bucket-crossing task, so an aggregate percentile links to
+/// one concrete trace. `exemplars == nullptr` renders identically to the
+/// plain overload.
+[[nodiscard]] std::string prometheus_text(
+    const Registry& registry, const reqtrace::ExemplarStore* exemplars);
 
 /// `sim.tasks.started` → `dvfs_sim_tasks_started` (no kind suffix).
 /// A `{...}` label block, if present, passes through unmangled.

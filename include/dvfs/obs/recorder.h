@@ -60,6 +60,11 @@ class RecorderChannel {
   [[nodiscard]] std::uint64_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Events that made it into the ring (recorded + dropped = attempts).
+  /// Survives drain(), so it feeds the v4 per-channel summary table.
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
  private:
@@ -76,6 +81,7 @@ class RecorderChannel {
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> tail_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> recorded_{0};
 };
 
 /// Owns the per-producer channels and assembles recordings.
@@ -137,6 +143,10 @@ class Recorder {
 struct Recording {
   dfr::FileHeader header;
   std::vector<dfr::Event> events;
+
+  /// (v4) Per-channel {recorded, dropped} counters, in channel order.
+  /// Empty for v1–v3 files, which carried only the aggregate totals.
+  std::vector<dfr::ChannelStats> channels;
 
   /// Metrics epilogue, if the file has one (kept in a registry so it
   /// re-serializes through the same code path as a live dump).

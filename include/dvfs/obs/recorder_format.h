@@ -4,6 +4,8 @@
 /// A recording is a self-contained binary artifact:
 ///
 ///   [FileHeader]                 32 bytes, magic "DFR1" + version byte
+///   [ChannelStats * num_channels] (v4+) per-channel {recorded, dropped}
+///                                counters, 16 bytes each
 ///   [Event * header.event_count] fixed 48-byte records, time-ordered
 ///   [metrics epilogue]           optional: the final metrics-registry
 ///                                snapshot (magic "DFRM"), so a recording
@@ -33,10 +35,15 @@ inline constexpr std::uint32_t kFileMagic = 0x31524644u;
 /// "DFRM": starts the optional metrics-snapshot epilogue.
 inline constexpr std::uint32_t kMetricsMagic = 0x4d524644u;
 /// v2 added the hardware-telemetry events kHwPlanned/kHwSpan; v3 added
-/// the SLO-engine events kHealthSample/kAlert. Both bumps are append-only
-/// — Event and FileHeader layouts are unchanged, so readers accept every
-/// version from kMinFormatVersion up.
-inline constexpr std::uint8_t kFormatVersion = 3;
+/// the SLO-engine events kHealthSample/kAlert; v4 added the request-
+/// tracing span events kSubmitRecv..kExecEnd and a per-channel
+/// {recorded, dropped} summary table between the header and the event
+/// stream (so a starved shard ring is attributable after the channels
+/// were merged). Event and FileHeader layouts are unchanged across all
+/// bumps, so readers accept every version from kMinFormatVersion up —
+/// a pre-v4 reader would reject a v4 file on the version byte rather
+/// than misparse the table as events.
+inline constexpr std::uint8_t kFormatVersion = 4;
 inline constexpr std::uint8_t kMinFormatVersion = 1;
 
 /// What a 48-byte record means. Values are part of the format: append
@@ -97,6 +104,38 @@ enum class EventType : std::uint8_t {
   /// hash, flags = the previous health::AlertState, u0 = the new one,
   /// f0/f1 = the short-/long-window values that triggered the change.
   kAlert = 15,
+  /// (v4) Request-tracing span events. All of them carry task = task id
+  /// and u0 = the 64-bit trace id assigned at ingress, and share the
+  /// service's steady-clock-seconds-since-start time axis. Because
+  /// ingress-stage timestamps ride inside the admission message and are
+  /// recorded by the shard worker after dequeue, a single channel's
+  /// stream is no longer strictly time-ordered — reconstruction sorts
+  /// per task id.
+  ///
+  /// A task was accepted at the submission boundary (HTTP ingress or
+  /// direct submit()). time = the ingress instant.
+  kSubmitRecv = 16,
+  /// The admission message was pushed onto a shard's MPSC ring.
+  /// core = shard index, time = the push instant. Emitted once per hop
+  /// (a steal forward re-enqueues, so stolen tasks have two).
+  kRingEnqueue = 17,
+  /// The shard worker popped the message from its ring. core = shard
+  /// index, time = the batch-pop instant.
+  kRingDequeue = 18,
+  /// The task migrated shards through a work-steal forward. aux = the
+  /// shard it left (the steal victim), core = the shard it joined,
+  /// time = the forward instant.
+  kStealHop = 19,
+  /// The task entered a per-core run queue after placement.
+  /// core = global core index, rate_idx = assigned rate step,
+  /// u0 here = queue depth after insertion (trace id travels in the
+  /// adjacent kPlacement/kSubmitRecv events for this type only).
+  kShardQueue = 20,
+  /// Virtual execution began. core = global core index.
+  kExecBegin = 21,
+  /// Virtual execution finished. core = global core index, f0 = the
+  /// span's begin time in seconds (mirrors the kSpanEnd convention).
+  kExecEnd = 22,
 };
 
 /// Bit flags (Event::flags).
@@ -171,6 +210,17 @@ struct FileHeader {
   std::uint64_t dropped = 0;
 };
 static_assert(sizeof(FileHeader) == 32, "FileHeader is part of the format");
+
+/// (v4) One per-channel summary record. `num_channels` of these follow
+/// the header, in channel order. `recorded` counts events that made it
+/// into the ring (so recorded + dropped = everything the producer tried
+/// to record); `dropped` is that channel's share of header.dropped.
+struct ChannelStats {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+};
+static_assert(sizeof(ChannelStats) == 16,
+              "ChannelStats is part of the v4 format");
 
 /// Metrics-epilogue entry kinds (one byte each, after kMetricsMagic and a
 /// u32 entry count). Layouts:

@@ -1,0 +1,228 @@
+/// \file reqtrace.h
+/// \brief Per-task request tracing across the sharded scheduling service.
+///
+/// Aggregate histograms answer "how slow is admission p99"; this layer
+/// answers "why was *this* task slow". Every submitted task gets a 64-bit
+/// trace id at ingress, and each lifecycle stage — submission receipt,
+/// admission-ring enqueue/dequeue, steal migration, LMC placement, run-
+/// queue insertion, virtual execution — becomes one `Step` on the task's
+/// timeline. The same step stream exists in two places:
+///
+///  * **Live**: the service appends steps into a bounded `TraceStore`,
+///    which backs `GET /tasks/{id}/trace` while the daemon runs.
+///  * **Recorded**: shard workers emit the steps as `.dfr` v4 events
+///    (dfr::EventType::kSubmitRecv..kExecEnd), so `build_timelines()`
+///    can reconstruct every task's causal chain from a recording —
+///    including after a crash, since the channels are drained through
+///    the ordinary flight-recorder path.
+///
+/// A `Timeline` derives per-stage durations by walking consecutive steps
+/// and attributing each gap to the stage it ended at; the durations
+/// telescope, so their sum equals the end-to-end latency (a property the
+/// tests gate). `ExemplarStore` closes the loop from aggregates back to
+/// traces: histogram observation sites record the trace id of a recent
+/// sample per log2 bucket, and `prometheus_text()` attaches them as
+/// OpenMetrics-style exemplars — a firing `admission-latency-p99` alert
+/// links directly to one concrete offending trace.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/obs/json.h"
+#include "dvfs/obs/metrics.h"
+#include "dvfs/obs/recorder_format.h"
+
+namespace dvfs::obs::reqtrace {
+
+/// One lifecycle stage. Order is the canonical within-instant order: two
+/// steps with the same timestamp sort by stage, which makes a chain like
+/// placement → steal-forward (same observed instant) reconstruct in
+/// causal order.
+enum class Stage : std::uint8_t {
+  kSubmitRecv = 0,   ///< accepted at the submission boundary
+  kStealHop = 1,     ///< migrated shards via a work-steal forward
+  kRingEnqueue = 2,  ///< pushed onto a shard's admission ring
+  kRingDequeue = 3,  ///< popped by the shard worker
+  kPlacement = 4,    ///< LMC placement decision
+  kShardQueue = 5,   ///< entered the chosen core's run queue
+  kExecBegin = 6,    ///< virtual execution began
+  kExecEnd = 7,      ///< virtual execution finished
+};
+
+[[nodiscard]] const char* to_string(Stage s);
+
+/// One timeline entry. `a`/`b` are stage-specific details:
+///   kRingEnqueue/kRingDequeue: a = shard
+///   kStealHop:                 a = from shard, b = to shard
+///   kPlacement:                a = global core, b = rate index
+///   kShardQueue:               a = global core, b = queue depth after
+///   kExecBegin/kExecEnd:       a = global core
+struct Step {
+  Stage stage = Stage::kSubmitRecv;
+  double t_s = 0.0;  ///< steady seconds since service start
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Where a task's end-to-end latency went. Stage gaps are attributed to
+/// the step that *closed* them, so the fields telescope:
+/// `total()` == last step time − first step time (modulo fp rounding).
+struct Durations {
+  double ingress_s = 0.0;     ///< submit accepted → ring push
+  double ring_wait_s = 0.0;   ///< ring push → worker pop (all hops)
+  double placement_s = 0.0;   ///< worker pop → placement decision
+  double steal_wait_s = 0.0;  ///< queued on the victim → steal forward
+  double queue_wait_s = 0.0;  ///< last placement → execution begin
+  double exec_s = 0.0;        ///< execution begin → end
+
+  [[nodiscard]] double total() const {
+    return ingress_s + ring_wait_s + placement_s + steal_wait_s +
+           queue_wait_s + exec_s;
+  }
+};
+
+/// A task's reconstructed lifecycle: time-sorted steps plus derived
+/// stage accounting.
+struct Timeline {
+  std::uint64_t task = 0;
+  std::uint64_t trace_id = 0;
+  std::vector<Step> steps;  ///< sorted by (t_s, stage)
+
+  [[nodiscard]] bool stolen() const { return hops() > 0; }
+  [[nodiscard]] std::size_t hops() const;
+  [[nodiscard]] double begin_s() const;
+  [[nodiscard]] double end_s() const;
+  [[nodiscard]] double end_to_end_s() const { return end_s() - begin_s(); }
+  [[nodiscard]] Durations durations() const;
+  /// The admission stage (ingress / ring_wait / placement / steal_wait)
+  /// that dominated this task's submit→placement path.
+  [[nodiscard]] const char* admission_critical_stage() const;
+};
+
+/// Canonicalizes `steps` in place: sort by (t_s, stage).
+void sort_steps(std::vector<Step>& steps);
+
+/// Rebuilds one timeline per traced task from a drained/loaded event
+/// stream. Only tasks that carry at least one v4 trace event participate
+/// (a plain simulator recording yields no timelines); their kPlacement
+/// events join the timeline as Stage::kPlacement. Returned sorted by
+/// task id.
+[[nodiscard]] std::vector<Timeline> build_timelines(
+    const std::vector<dfr::Event>& events);
+
+/// Full JSON rendering: steps (with per-step `dt_s`), the stage
+/// duration breakdown, and the admission critical stage. Trace ids are
+/// 16-hex-digit strings (64-bit values do not survive JSON doubles).
+[[nodiscard]] Json timeline_json(const Timeline& t);
+
+/// `0x1234...` / `1234...` 16-hex-digit rendering and parsing of trace
+/// ids.
+[[nodiscard]] std::string trace_id_hex(std::uint64_t id);
+[[nodiscard]] std::optional<std::uint64_t> parse_trace_id(
+    std::string_view text);
+
+/// Bounded live per-task step store (the data behind
+/// `GET /tasks/{id}/trace`). Striped like the service's status store:
+/// appends come from shard workers at placement rate, reads from HTTP
+/// lookups. Oldest tasks are evicted per stripe once `capacity` tasks
+/// are held.
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t capacity, std::size_t stripes = 16);
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Appends steps to `task`'s timeline (creating it on first touch).
+  void append(std::uint64_t task, std::uint64_t trace_id,
+              std::initializer_list<Step> steps);
+
+  /// Snapshot of a task's timeline so far; steps come back canonically
+  /// sorted. nullopt for unknown (or evicted) tasks.
+  [[nodiscard]] std::optional<Timeline> get(std::uint64_t task) const;
+
+  /// Timelines evicted to stay within capacity (exact; relaxed).
+  [[nodiscard]] std::uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    std::vector<Step> steps;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> by_task;
+    std::vector<std::uint64_t> fifo;
+    std::size_t evict_cursor = 0;
+  };
+
+  [[nodiscard]] Stripe& stripe_for(std::uint64_t task) const;
+
+  std::size_t per_stripe_capacity_;
+  mutable std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+/// One recent sample that landed in a histogram bucket, with the trace
+/// id that produced it.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  std::uint64_t value = 0;
+  double t_s = 0.0;
+};
+
+/// Per-bucket exemplar slots for one histogram family. `observe()` is a
+/// handful of relaxed stores guarded by a seqlock-style version counter,
+/// cheap enough to run alongside every `Histogram::observe()`. Readers
+/// retry a few times and give up (no exemplar this scrape) rather than
+/// spin. Two producers racing on the same bucket may interleave fields;
+/// each field still comes from a real observation in that bucket, which
+/// is all an exemplar promises.
+class ExemplarSeries {
+ public:
+  void observe(std::uint64_t value, std::uint64_t trace_id,
+               double t_s) noexcept;
+  [[nodiscard]] std::optional<Exemplar> bucket(std::size_t i) const noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> trace{0};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> t_bits{0};
+  };
+  std::array<Slot, Histogram::kNumBuckets> slots_{};
+};
+
+/// Exemplar series keyed by registry histogram name (the same dotted
+/// name, label block included). Get-or-create is mutexed like Registry
+/// registration; the returned reference stays valid for the store's
+/// lifetime.
+class ExemplarStore {
+ public:
+  ExemplarStore() = default;
+  ExemplarStore(const ExemplarStore&) = delete;
+  ExemplarStore& operator=(const ExemplarStore&) = delete;
+
+  ExemplarSeries& series(const std::string& histogram_name);
+  [[nodiscard]] const ExemplarSeries* find(
+      const std::string& histogram_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ExemplarSeries> series_;
+};
+
+}  // namespace dvfs::obs::reqtrace

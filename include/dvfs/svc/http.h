@@ -1,0 +1,36 @@
+/// \file http.h
+/// \brief The scheduling service's HTTP API, as routes on the metrics
+///        server.
+///
+/// `dvfs_execute --serve` historically wired these handlers inline;
+/// extracting them lets tests drive the real API over a real socket
+/// without spawning the tool. The endpoints:
+///
+///   POST /submit            {"id":N,"cycles":N} or {"tasks":[...]}
+///                           → 202 {"accepted":a,"rejected":r}
+///                           (503 when everything bounced — pure
+///                           backpressure), 400 on malformed JSON
+///   GET  /schedule/{id}     → 200 placement decision JSON (state,
+///                           shard, core, rate_idx, stolen, trace_id,
+///                           ...) | 400 bad id | 404 unknown
+///   GET  /tasks/{id}/trace  → 200 reconstructed request timeline JSON
+///                           (steps with per-stage durations, steal
+///                           hops, the admission critical stage) | 400 |
+///                           404 unknown or evicted
+///
+/// Handlers run on the server thread and only touch the service's
+/// thread-safe surfaces (submit, status store, trace store).
+#pragma once
+
+#include "dvfs/obs/promtext.h"
+#include "dvfs/svc/service.h"
+
+namespace dvfs::svc {
+
+/// Registers POST /submit, GET /schedule/{id} and GET /tasks/{id}/trace
+/// on `server`. Call before `server.start()`; `svc` must outlive the
+/// server.
+void register_service_routes(obs::MetricsHttpServer& server,
+                             SchedulingService& svc);
+
+}  // namespace dvfs::svc

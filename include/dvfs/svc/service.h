@@ -53,6 +53,7 @@
 #include "dvfs/core/cost_model.h"
 #include "dvfs/core/online_lmc.h"
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/reqtrace.h"
 #include "dvfs/svc/mpsc_ring.h"
 
 namespace dvfs::obs {
@@ -74,14 +75,28 @@ struct Msg {
   std::uint16_t steal_want = 0;
   core::TaskId id = 0;
   Cycles cycles = 0;
-  /// steady-clock nanoseconds at submit(); admission latency is measured
-  /// against the placement instant.
+  /// steady-clock nanoseconds at the ring push of *this hop* (a steal
+  /// forward resets it); admission latency is measured against the
+  /// placement instant.
   std::uint64_t enqueue_ns = 0;
+  /// steady-clock nanoseconds at the original submission boundary.
+  /// Rides in the message because the shard worker — the only thread
+  /// allowed to write the shard's SPSC recorder channel — emits the
+  /// ingress span event after dequeue. 0 on steal forwards (the ingress
+  /// event was already emitted on the first hop).
+  std::uint64_t recv_ns = 0;
+  /// 64-bit request-trace id assigned at ingress; preserved across
+  /// steal hops (0 when the origin's status entry was already evicted).
+  std::uint64_t trace = 0;
 };
 
 /// Where a task ended up, queryable via `status()` / GET /schedule/{id}.
 struct TaskStatus {
-  enum class State : std::uint8_t { kQueued = 0, kCompleted = 1 };
+  enum class State : std::uint8_t {
+    kQueued = 0,
+    kCompleted = 1,
+    kRunning = 2,  ///< virtual execution in progress (time_scale > 0)
+  };
   State state = State::kQueued;
   std::uint16_t shard = 0;
   std::uint16_t core = 0;  ///< global core index
@@ -89,7 +104,11 @@ struct TaskStatus {
   bool stolen = false;  ///< placed after a work-steal migration
   Cycles cycles = 0;
   Money marginal = 0.0;  ///< exact queue-cost delta of the placement
+  std::uint64_t trace = 0;  ///< request-trace id assigned at ingress
+  double placed_s = 0.0;    ///< placement instant (steady s since start)
 };
+
+[[nodiscard]] const char* to_string(TaskStatus::State s);
 
 struct ServiceOptions {
   std::size_t shards = 2;
@@ -145,6 +164,8 @@ class SchedulingService {
   struct Ticket {
     bool accepted = false;
     std::uint16_t shard = 0;
+    /// Request-trace id assigned at ingress (0 when rejected).
+    std::uint64_t trace = 0;
   };
 
   /// Lock-free admission from any thread. Rejects (accepted = false)
@@ -183,13 +204,24 @@ class SchedulingService {
   [[nodiscard]] Money shard_queue_cost(std::size_t shard) const;
   [[nodiscard]] std::size_t shard_queue_len(std::size_t shard) const;
 
+  /// Live per-task request timelines (always-on; bounded like the status
+  /// store). Backs `GET /tasks/{id}/trace`.
+  [[nodiscard]] const obs::reqtrace::TraceStore& traces() const {
+    return traces_;
+  }
+  /// Per-histogram exemplar slots; pass to the two-argument
+  /// `prometheus_text()` so `/metrics` links buckets to trace ids.
+  [[nodiscard]] const obs::reqtrace::ExemplarStore& exemplars() const {
+    return exemplars_;
+  }
+
  private:
   enum class Phase : std::uint8_t { kIdle, kRunning, kDraining, kStopped };
 
   struct Shard;
 
   void worker(Shard& shard);
-  void handle_submit(Shard& shard, const Msg& msg);
+  void handle_submit(Shard& shard, const Msg& msg, std::uint64_t dequeue_ns);
   void serve_steal(Shard& shard, const Msg& msg);
   void maybe_request_steal(Shard& shard);
   void virtual_execute(Shard& shard);
@@ -222,6 +254,11 @@ class SchedulingService {
   };
   std::vector<std::unique_ptr<StatusStripe>> status_;
 
+  // Request tracing: id source, live timelines, per-bucket exemplars.
+  std::atomic<std::uint64_t> trace_seq_{0};
+  obs::reqtrace::TraceStore traces_;
+  obs::reqtrace::ExemplarStore exemplars_;
+
   // svc.* instruments, resolved once.
   obs::Counter& submitted_;
   obs::Counter& rejected_;
@@ -232,6 +269,9 @@ class SchedulingService {
   obs::Counter& status_evicted_;
   obs::Histogram& admission_latency_us_;
   obs::Histogram& batch_size_;
+  obs::Histogram& queue_wait_us_;
+  obs::reqtrace::ExemplarSeries& admission_exemplars_;
+  obs::reqtrace::ExemplarSeries& queue_wait_exemplars_;
 };
 
 }  // namespace dvfs::svc

@@ -9,6 +9,7 @@
 
 #include <arpa/inet.h>
 
+#include <bit>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -18,6 +19,7 @@
 
 #include "dvfs/common.h"
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/reqtrace.h"
 
 namespace dvfs::obs {
 
@@ -92,6 +94,11 @@ std::string prometheus_labels(
 }
 
 std::string prometheus_text(const Registry& registry) {
+  return prometheus_text(registry, nullptr);
+}
+
+std::string prometheus_text(const Registry& registry,
+                            const reqtrace::ExemplarStore* exemplars) {
   std::string out;
 
   for (const auto& [name, value] : registry.counters_snapshot()) {
@@ -114,6 +121,8 @@ std::string prometheus_text(const Registry& registry) {
 
   for (const auto& h : registry.histograms_snapshot()) {
     const std::string pname = prometheus_name(h.name);
+    const reqtrace::ExemplarSeries* series =
+        exemplars == nullptr ? nullptr : exemplars->find(h.name);
     out += "# TYPE " + pname + " histogram\n";
     std::uint64_t cumulative = 0;
     for (const auto& [lower, n] : h.buckets) {
@@ -126,6 +135,22 @@ std::string prometheus_text(const Registry& registry) {
       append_u64(out, le);
       out += "\"} ";
       append_u64(out, cumulative);
+      if (series != nullptr) {
+        // Bucket index from the snapshot's inclusive lower bound: bucket
+        // 0 holds the value 0, bucket i >= 1 starts at 2^(i-1).
+        const std::size_t idx =
+            lower == 0 ? 0 : static_cast<std::size_t>(std::bit_width(lower));
+        const auto ex = series->bucket(idx);
+        // Guard against a racing writer relocating the sample: only a
+        // value that really belongs to this bucket may annotate it.
+        if (ex.has_value() && Histogram::bucket_index(ex->value) == idx) {
+          out += " # {trace_id=\"" + reqtrace::trace_id_hex(ex->trace_id) +
+                 "\"} ";
+          append_u64(out, ex->value);
+          out += " ";
+          append_double(out, ex->t_s);
+        }
+      }
       out += "\n";
     }
     out += pname + "_bucket{le=\"+Inf\"} ";

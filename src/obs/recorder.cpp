@@ -48,6 +48,7 @@ bool RecorderChannel::record(const dfr::Event& e) noexcept {
   }
   slots_[static_cast<std::size_t>(t) & mask_] = e;
   tail_.store(t + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
   recorded_counter().inc();
   return true;
 }
@@ -150,6 +151,13 @@ void Recorder::write_file(const std::string& path) const {
   header.event_count = events_.size();
   header.dropped = events_dropped();
   put(os, header);
+  // v4 per-channel summary table, one record per channel in order.
+  for (const auto& ch : channels_) {
+    dfr::ChannelStats stats;
+    stats.recorded = ch->recorded();
+    stats.dropped = ch->dropped();
+    put(os, stats);
+  }
   if (!events_.empty()) {
     os.write(reinterpret_cast<const char*>(events_.data()),
              static_cast<std::streamsize>(events_.size() *
@@ -200,6 +208,13 @@ Recording Recording::load(const std::string& path) {
                    rec.header.version <= dfr::kFormatVersion,
                path + ": unsupported .dfr format version " +
                    std::to_string(rec.header.version));
+
+  // The v4 per-channel table sits between the header and the events, so
+  // it is readable even from an unfinalized (crashed) recording.
+  if (rec.header.version >= 4) {
+    rec.channels.resize(rec.header.num_channels);
+    for (auto& stats : rec.channels) stats = get<dfr::ChannelStats>(is);
+  }
 
   const bool finalized = rec.header.event_count != ~std::uint64_t{0};
   if (finalized) {

@@ -36,13 +36,22 @@ constexpr std::uint16_t kStealMaxTasks = 32;
 
 }  // namespace
 
+const char* to_string(TaskStatus::State s) {
+  switch (s) {
+    case TaskStatus::State::kQueued: return "queued";
+    case TaskStatus::State::kCompleted: return "completed";
+    case TaskStatus::State::kRunning: return "running";
+  }
+  return "?";
+}
+
 /// Everything one shard's worker thread owns. The LMC scheduler, the
 /// virtual-execution state and `queue_len` are thread-confined; the
 /// atomics are the published view peers and the drain coordinator read.
 struct SchedulingService::Shard {
   Shard(std::size_t idx, std::size_t base, std::size_t n,
         std::vector<core::CostTable> tables, std::size_t ring_capacity,
-        obs::Gauge& cost_g, obs::Gauge& len_g)
+        obs::Gauge& cost_g, obs::Gauge& len_g, obs::Gauge& occ_g)
       : index(idx),
         base_core(base),
         num_cores(n),
@@ -50,12 +59,15 @@ struct SchedulingService::Shard {
         ring(ring_capacity),
         cost_gauge(cost_g),
         len_gauge(len_g),
+        occupancy_gauge(occ_g),
         running(n) {}
 
   struct Running {
     bool active = false;
     core::TaskId id = 0;
     double finish_s = 0.0;
+    double begin_s = 0.0;
+    std::uint64_t trace = 0;
   };
 
   std::size_t index;
@@ -65,6 +77,7 @@ struct SchedulingService::Shard {
   MpscRing<Msg> ring;
   obs::Gauge& cost_gauge;
   obs::Gauge& len_gauge;
+  obs::Gauge& occupancy_gauge;
   std::thread thread;
   obs::RecorderChannel* channel = nullptr;
 
@@ -96,6 +109,7 @@ SchedulingService::SchedulingService(core::EnergyModel model,
       options_(options),
       registry_(options.registry != nullptr ? options.registry
                                             : &obs::Registry::global()),
+      traces_(options.status_capacity),
       submitted_(registry_->counter("svc.submitted")),
       rejected_(registry_->counter("svc.rejected")),
       placed_(registry_->counter("svc.placed")),
@@ -105,7 +119,10 @@ SchedulingService::SchedulingService(core::EnergyModel model,
       status_evicted_(registry_->counter("svc.status.evicted")),
       admission_latency_us_(
           registry_->histogram("svc.admission.latency_us")),
-      batch_size_(registry_->histogram("svc.admission.batch")) {
+      batch_size_(registry_->histogram("svc.admission.batch")),
+      queue_wait_us_(registry_->histogram("sim.task.queue_wait_us")),
+      admission_exemplars_(exemplars_.series("svc.admission.latency_us")),
+      queue_wait_exemplars_(exemplars_.series("sim.task.queue_wait_us")) {
   DVFS_REQUIRE(options_.shards >= 1, "service needs at least one shard");
   DVFS_REQUIRE(options_.cores >= options_.shards,
                "service needs at least one core per shard");
@@ -125,7 +142,8 @@ SchedulingService::SchedulingService(core::EnergyModel model,
                                      core::CostTable(model_, params_)),
         options_.ring_capacity,
         registry_->gauge("svc.shard.queue_cost" + label),
-        registry_->gauge("svc.shard.queue_len" + label)));
+        registry_->gauge("svc.shard.queue_len" + label),
+        registry_->gauge("svc.ring.occupancy" + label)));
     status_.push_back(std::make_unique<StatusStripe>());
   }
 }
@@ -191,6 +209,11 @@ SchedulingService::Ticket SchedulingService::submit(core::TaskId id,
   msg.kind = Msg::Kind::kSubmit;
   msg.id = id;
   msg.cycles = cycles;
+  msg.recv_ns = now_ns_since(start_time_);
+  // Trace ids come from a mixed sequence so they look (and dedupe) like
+  // real distributed-tracing ids while staying deterministic per run.
+  msg.trace = mix64(trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  if (msg.trace == 0) msg.trace = 1;
   msg.enqueue_ns = now_ns_since(start_time_);
   shard.enqueued.fetch_add(1, std::memory_order_seq_cst);
   const bool ok = shard.ring.try_push(msg);
@@ -201,7 +224,7 @@ SchedulingService::Ticket SchedulingService::submit(core::TaskId id,
     submitted_.inc();
   }
   inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
-  return {ok, shard_idx};
+  return {ok, shard_idx, ok ? msg.trace : 0};
 }
 
 void SchedulingService::drain() {
@@ -300,16 +323,22 @@ void SchedulingService::worker(Shard& shard) {
     if (phase != Phase::kRunning) {
       budget = std::max<std::size_t>(budget, kDrainBatch);
     }
+    // Sample ring occupancy before popping — the pre-drain depth is what
+    // warns of a near-full ring while 503s are still avoidable.
+    shard.occupancy_gauge.set(static_cast<double>(shard.ring.size()));
     const std::size_t n =
         budget == 0
             ? 0
             : shard.ring.pop_batch(std::span<Msg>(
                   batch.data(), std::min(budget, batch.size())));
     if (n > 0) {
+      // One timestamp per batch: every message in it left the ring at
+      // this instant as far as the trace is concerned.
+      const std::uint64_t dequeue_ns = now_ns_since(start_time_);
       for (std::size_t i = 0; i < n; ++i) {
         const Msg& msg = batch[i];
         if (msg.kind == Msg::Kind::kSubmit) {
-          handle_submit(shard, msg);
+          handle_submit(shard, msg, dequeue_ns);
         } else {
           serve_steal(shard, msg);
         }
@@ -338,15 +367,18 @@ void SchedulingService::worker(Shard& shard) {
   publish_gauges(shard);
 }
 
-void SchedulingService::handle_submit(Shard& shard, const Msg& msg) {
+void SchedulingService::handle_submit(Shard& shard, const Msg& msg,
+                                      std::uint64_t dequeue_ns) {
   const core::LmcScheduler::Placement placement =
       shard.lmc.place_non_interactive(msg.cycles, msg.id);
   ++shard.queue_len;
   placed_.inc();
   if (msg.stolen) stolen_.inc();
-  const std::uint64_t latency_ns =
-      now_ns_since(start_time_) - msg.enqueue_ns;
-  admission_latency_us_.observe(latency_ns / 1000);
+  const std::uint64_t place_ns = now_ns_since(start_time_);
+  const double place_s = static_cast<double>(place_ns) / 1e9;
+  const std::uint64_t latency_us = (place_ns - msg.enqueue_ns) / 1000;
+  admission_latency_us_.observe(latency_us);
+  admission_exemplars_.observe(latency_us, msg.trace, place_s);
 
   TaskStatus st;
   st.state = TaskStatus::State::kQueued;
@@ -358,24 +390,76 @@ void SchedulingService::handle_submit(Shard& shard, const Msg& msg) {
   st.stolen = msg.stolen;
   st.cycles = msg.cycles;
   st.marginal = placement.marginal;
+  st.trace = msg.trace;
+  st.placed_s = place_s;
   status_upsert(msg.id, st);
 
+  const double enqueue_s = static_cast<double>(msg.enqueue_ns) / 1e9;
+  const double dequeue_s = static_cast<double>(dequeue_ns) / 1e9;
+  const double recv_s = static_cast<double>(msg.recv_ns) / 1e9;
+  const auto depth = static_cast<std::uint32_t>(
+      shard.lmc.queue(placement.core).size());
+  const auto shard_u32 = static_cast<std::uint32_t>(shard.index);
+
+  using obs::reqtrace::Stage;
+  using obs::reqtrace::Step;
+  if (msg.stolen) {
+    // The ingress step was appended on the first hop; this hop starts at
+    // the steal forward.
+    traces_.append(
+        msg.id, msg.trace,
+        {Step{Stage::kStealHop, enqueue_s, msg.from_shard, shard_u32},
+         Step{Stage::kRingEnqueue, enqueue_s, shard_u32, 0},
+         Step{Stage::kRingDequeue, dequeue_s, shard_u32, 0},
+         Step{Stage::kPlacement, place_s, st.core, st.rate_idx},
+         Step{Stage::kShardQueue, place_s, st.core, depth}});
+  } else {
+    traces_.append(
+        msg.id, msg.trace,
+        {Step{Stage::kSubmitRecv, recv_s, 0, 0},
+         Step{Stage::kRingEnqueue, enqueue_s, shard_u32, 0},
+         Step{Stage::kRingDequeue, dequeue_s, shard_u32, 0},
+         Step{Stage::kPlacement, place_s, st.core, st.rate_idx},
+         Step{Stage::kShardQueue, place_s, st.core, depth}});
+  }
+
   if (shard.channel != nullptr) {
-    const double t = now_s();
-    obs::dfr::Event arrival;
-    arrival.type =
-        static_cast<std::uint8_t>(obs::dfr::EventType::kTaskArrival);
-    arrival.time_s =
-        static_cast<double>(msg.enqueue_ns) / 1e9;
+    using obs::dfr::Event;
+    using obs::dfr::EventType;
+    const auto span = [&](EventType type, double time_s) {
+      Event e;
+      e.type = static_cast<std::uint8_t>(type);
+      e.time_s = time_s;
+      e.task = msg.id;
+      e.u0 = msg.trace;
+      return e;
+    };
+    if (!msg.stolen) {
+      shard.channel->record(span(EventType::kSubmitRecv, recv_s));
+    } else {
+      Event hop = span(EventType::kStealHop, enqueue_s);
+      hop.aux = msg.from_shard;
+      hop.core = static_cast<std::uint16_t>(shard.index);
+      shard.channel->record(hop);
+    }
+    Event enq = span(EventType::kRingEnqueue, enqueue_s);
+    enq.core = static_cast<std::uint16_t>(shard.index);
+    shard.channel->record(enq);
+    Event deq = span(EventType::kRingDequeue, dequeue_s);
+    deq.core = static_cast<std::uint16_t>(shard.index);
+    shard.channel->record(deq);
+
+    Event arrival;
+    arrival.type = static_cast<std::uint8_t>(EventType::kTaskArrival);
+    arrival.time_s = enqueue_s;
     arrival.task = msg.id;
     arrival.u0 = msg.cycles;
     arrival.aux = static_cast<std::uint16_t>(core::TaskClass::kBatch);
     arrival.f0 = kNoDeadline;
     shard.channel->record(arrival);
-    obs::dfr::Event place;
-    place.type =
-        static_cast<std::uint8_t>(obs::dfr::EventType::kPlacement);
-    place.time_s = t;
+    Event place;
+    place.type = static_cast<std::uint8_t>(EventType::kPlacement);
+    place.time_s = place_s;
     place.task = msg.id;
     place.core = st.core;
     place.rate_idx = st.rate_idx;
@@ -386,6 +470,12 @@ void SchedulingService::handle_submit(Shard& shard, const Msg& msg) {
     place.f0 = placement.marginal;
     place.f1 = shard.lmc.total_queue_cost();
     shard.channel->record(place);
+
+    Event shardq = span(EventType::kShardQueue, place_s);
+    shardq.core = st.core;
+    shardq.rate_idx = st.rate_idx;
+    shardq.u0 = depth;  // depth, not trace id — documented in the format
+    shard.channel->record(shardq);
   }
 }
 
@@ -411,9 +501,15 @@ void SchedulingService::serve_steal(Shard& shard, const Msg& msg) {
     Msg forward;
     forward.kind = Msg::Kind::kSubmit;
     forward.stolen = true;
+    forward.from_shard = static_cast<std::uint16_t>(shard.index);
     forward.id = dispatched->id;
     forward.cycles = dispatched->cycles;
     forward.enqueue_ns = now_ns_since(start_time_);
+    // The trace id lives in the status entry written at first placement
+    // (0 if it was already evicted: the hop still traces, unlinked).
+    if (const auto st = status(dispatched->id); st.has_value()) {
+      forward.trace = st->trace;
+    }
     requester.enqueued.fetch_add(1, std::memory_order_seq_cst);
     // The requester's worker is live and consuming, so this push can
     // only stall while its ring is momentarily full.
@@ -471,18 +567,35 @@ void SchedulingService::maybe_request_steal(Shard& shard) {
 }
 
 void SchedulingService::virtual_execute(Shard& shard) {
+  using obs::reqtrace::Stage;
+  using obs::reqtrace::Step;
   const double now = now_s();
   bool changed = false;
   for (std::size_t c = 0; c < shard.num_cores; ++c) {
+    const auto core = static_cast<std::uint16_t>(shard.base_core + c);
     Shard::Running& run = shard.running[c];
     if (run.active && now >= run.finish_s) {
       run.active = false;
       completed_.inc();
-      StatusStripe& stripe = *status_[route(run.id, status_.size())];
-      std::lock_guard<std::mutex> lock(stripe.mu);
-      const auto it = stripe.by_id.find(run.id);
-      if (it != stripe.by_id.end()) {
-        it->second.state = TaskStatus::State::kCompleted;
+      {
+        StatusStripe& stripe = *status_[route(run.id, status_.size())];
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        const auto it = stripe.by_id.find(run.id);
+        if (it != stripe.by_id.end()) {
+          it->second.state = TaskStatus::State::kCompleted;
+        }
+      }
+      traces_.append(run.id, run.trace,
+                     {Step{Stage::kExecEnd, now, core, 0}});
+      if (shard.channel != nullptr) {
+        obs::dfr::Event end;
+        end.type = static_cast<std::uint8_t>(obs::dfr::EventType::kExecEnd);
+        end.time_s = now;
+        end.task = run.id;
+        end.core = core;
+        end.u0 = run.trace;
+        end.f0 = run.begin_s;
+        shard.channel->record(end);
       }
     }
     if (!run.active && !shard.lmc.queue(c).empty()) {
@@ -491,8 +604,38 @@ void SchedulingService::virtual_execute(Shard& shard) {
       changed = true;
       run.active = true;
       run.id = next->id;
+      run.begin_s = now;
+      run.trace = 0;
       run.finish_s = now + model_.task_time(next->cycles, next->rate_idx) *
                                options_.time_scale;
+      {
+        // The placement wrote trace id and placement instant into the
+        // status entry; dispatching is where queue wait becomes known.
+        StatusStripe& stripe = *status_[route(next->id, status_.size())];
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        const auto it = stripe.by_id.find(next->id);
+        if (it != stripe.by_id.end()) {
+          it->second.state = TaskStatus::State::kRunning;
+          run.trace = it->second.trace;
+          const double waited_s = now - it->second.placed_s;
+          const auto waited_us = static_cast<std::uint64_t>(
+              std::max(0.0, waited_s) * 1e6);
+          queue_wait_us_.observe(waited_us);
+          queue_wait_exemplars_.observe(waited_us, run.trace, now);
+        }
+      }
+      traces_.append(next->id, run.trace,
+                     {Step{Stage::kExecBegin, now, core, 0}});
+      if (shard.channel != nullptr) {
+        obs::dfr::Event begin;
+        begin.type =
+            static_cast<std::uint8_t>(obs::dfr::EventType::kExecBegin);
+        begin.time_s = now;
+        begin.task = next->id;
+        begin.core = core;
+        begin.u0 = run.trace;
+        shard.channel->record(begin);
+      }
     }
   }
   if (changed) publish_gauges(shard);
@@ -504,6 +647,7 @@ void SchedulingService::publish_gauges(Shard& shard) {
   shard.published_len.store(shard.queue_len, std::memory_order_relaxed);
   shard.cost_gauge.set(cost);
   shard.len_gauge.set(static_cast<double>(shard.queue_len));
+  shard.occupancy_gauge.set(static_cast<double>(shard.ring.size()));
 }
 
 std::uint64_t SchedulingService::submitted() const {

@@ -23,6 +23,7 @@
 
 #include "dvfs/obs/build_info.h"
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/reqtrace.h"
 
 namespace dvfs::obs {
 namespace {
@@ -58,6 +59,39 @@ TEST(PromText, RendersEveryMetricKind) {
   EXPECT_NE(text.find("dvfs_a_hist_sum 6\n"), std::string::npos);
   EXPECT_NE(text.find("dvfs_a_hist_count 3\n"), std::string::npos);
   EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PromText, HistogramBucketsCarryExemplarsWhenStoreProvided) {
+  Registry reg;
+  Histogram& h = reg.histogram("svc.lat");
+  h.observe(5);    // bucket [4, 7]
+  h.observe(100);  // bucket [64, 127]
+
+  reqtrace::ExemplarStore store;
+  reqtrace::ExemplarSeries& s = store.series("svc.lat");
+  s.observe(5, 0xabcULL, 1.5);
+  s.observe(100, 0xdef01ULL, 2.0);
+
+  // OpenMetrics exemplar syntax: the bucket line gains
+  // ` # {labels} value timestamp`, linking the count to one trace id.
+  const std::string text = prometheus_text(reg, &store);
+  EXPECT_NE(text.find("dvfs_svc_lat_bucket{le=\"7\"} 1"
+                      " # {trace_id=\"0000000000000abc\"} 5 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dvfs_svc_lat_bucket{le=\"127\"} 2"
+                      " # {trace_id=\"00000000000def01\"} 100 2\n"),
+            std::string::npos);
+  // The +Inf closer never carries an exemplar.
+  EXPECT_NE(text.find("dvfs_svc_lat_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+
+  // Without a store — or with a store holding no series for this
+  // histogram — the rendering is the plain 1-arg output.
+  EXPECT_EQ(prometheus_text(reg), prometheus_text(reg, nullptr));
+  reqtrace::ExemplarStore unrelated;
+  unrelated.series("other.hist").observe(5, 1, 1.0);
+  EXPECT_EQ(prometheus_text(reg, &unrelated).find(" # {"),
+            std::string::npos);
 }
 
 TEST(PromText, CoversEveryRegistryMetric) {

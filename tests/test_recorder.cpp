@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -176,7 +177,8 @@ TEST(Recorder, TornEpilogueLoadsEventPrefixWithNote) {
   // Tear the file mid-epilogue: keep all events plus the epilogue magic
   // and a few bytes, drop the rest (a crash or partial copy).
   const auto full_size = std::filesystem::file_size(path);
-  const auto events_end = sizeof(dfr::FileHeader) + 2 * sizeof(dfr::Event);
+  const auto events_end = sizeof(dfr::FileHeader) + sizeof(dfr::ChannelStats) +
+                          2 * sizeof(dfr::Event);
   ASSERT_GT(full_size, events_end + 8);
   std::filesystem::resize_file(path, events_end + 8);
 
@@ -190,23 +192,38 @@ TEST(Recorder, TornEpilogueLoadsEventPrefixWithNote) {
       << loaded.epilogue_note;
 }
 
+/// Rewrites a freshly written (v4) recording as an older-format file:
+/// strips the per-channel table (v1–v3 layouts have none) and patches the
+/// header's version byte.
+void downgrade_file(const std::string& path, std::uint8_t version,
+                    std::uint32_t num_channels) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  if (version < 4) {
+    bytes.erase(sizeof(dfr::FileHeader),
+                sizeof(dfr::ChannelStats) * num_channels);
+  }
+  bytes[offsetof(dfr::FileHeader, version)] = static_cast<char>(version);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
 TEST(Recorder, LoadsVersion1Files) {
-  // v2 only appended event types; a v1 file is byte-compatible. Write a
-  // current file and patch the header's version byte back to 1.
+  // v2/v3 only appended event types; v4 added the per-channel table. A
+  // true v1 file is the v4 bytes minus that table with the version byte
+  // patched down.
   Recorder rec(1, 16);
   rec.channel(0).record(event_at(0.25, 9));
   rec.drain();
   const std::string path = temp_path("dvfs_v1.dfr");
   rec.write_file(path);
-  {
-    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-    ASSERT_TRUE(f.is_open());
-    f.seekp(offsetof(dfr::FileHeader, version));
-    const char v1 = 1;
-    f.write(&v1, 1);
-  }
+  downgrade_file(path, 1, 1);
   const Recording loaded = Recording::load(path);
   EXPECT_EQ(loaded.header.version, 1u);
+  EXPECT_TRUE(loaded.channels.empty());  // pre-v4: no per-channel table
   ASSERT_EQ(loaded.events.size(), 1u);
   EXPECT_EQ(loaded.events[0].task, 9u);
 
@@ -219,6 +236,51 @@ TEST(Recorder, LoadsVersion1Files) {
   }
   EXPECT_THROW(Recording::load(path), PreconditionError);
   std::remove(path.c_str());
+}
+
+TEST(Recorder, LoadsVersion3FilesWithoutChannelTable) {
+  Recorder rec(2, 16);
+  rec.channel(0).record(event_at(0.5, 1));
+  rec.channel(1).record(event_at(0.25, 2));
+  rec.drain();
+  const std::string path = temp_path("dvfs_v3.dfr");
+  rec.write_file(path);
+  downgrade_file(path, 3, 2);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.header.version, 3u);
+  EXPECT_TRUE(loaded.channels.empty());
+  ASSERT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(loaded.events[0].task, 2u);  // timestamp-merged order
+  EXPECT_EQ(loaded.events[1].task, 1u);
+}
+
+TEST(Recorder, V4RoundTripCarriesPerChannelStats) {
+  // Channel 0 records cleanly; channel 1 overflows its 16-slot ring, so
+  // the loaded per-channel table must attribute the drops to it alone.
+  Recorder rec(2, 16);
+  for (int i = 0; i < 5; ++i) {
+    rec.channel(0).record(event_at(static_cast<double>(i), 100 + i));
+  }
+  for (int i = 0; i < 16 + 9; ++i) {
+    rec.channel(1).record(event_at(static_cast<double>(i), 200 + i));
+  }
+  rec.drain();
+
+  const std::string path = temp_path("dvfs_v4_stats.dfr");
+  rec.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.header.version, 4u);
+  ASSERT_EQ(loaded.channels.size(), 2u);
+  EXPECT_EQ(loaded.channels[0].recorded, 5u);
+  EXPECT_EQ(loaded.channels[0].dropped, 0u);
+  EXPECT_EQ(loaded.channels[1].recorded, 16u);
+  EXPECT_EQ(loaded.channels[1].dropped, 9u);
+  // The header aggregate stays the cross-channel sum.
+  EXPECT_EQ(loaded.header.dropped, 9u);
+  EXPECT_EQ(loaded.events.size(), 21u);
 }
 
 // The checked-in v1 fixture (recorded before the v2 bump) must keep

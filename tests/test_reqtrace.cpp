@@ -1,0 +1,437 @@
+/// Request-tracing tests: timeline reconstruction from synthetic and real
+/// `.dfr` v4 event streams, the telescoping-durations invariant (stage
+/// durations sum to end-to-end latency), the exactly-one-steal-hop gate
+/// for stolen tasks, the bounded live TraceStore, and per-bucket exemplar
+/// slots. The service integration tests run under TSan in CI.
+#include "dvfs/obs/reqtrace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dvfs/core/energy_model.h"
+#include "dvfs/obs/recorder.h"
+#include "dvfs/svc/service.h"
+
+namespace dvfs::obs::reqtrace {
+namespace {
+
+using dfr::Event;
+using dfr::EventType;
+
+Step step(Stage stage, double t, std::uint32_t a = 0, std::uint32_t b = 0) {
+  return Step{stage, t, a, b};
+}
+
+TEST(ReqTrace, SortStepsBreaksTimestampTiesByStageOrder) {
+  // A placement and the run-queue insertion share an instant, as do a
+  // steal hop and its re-enqueue; the Stage enum order is the causal one.
+  std::vector<Step> steps{
+      step(Stage::kShardQueue, 2.0), step(Stage::kPlacement, 2.0),
+      step(Stage::kRingEnqueue, 1.0), step(Stage::kStealHop, 1.0),
+      step(Stage::kSubmitRecv, 0.5)};
+  sort_steps(steps);
+  ASSERT_EQ(steps.size(), 5u);
+  EXPECT_EQ(steps[0].stage, Stage::kSubmitRecv);
+  EXPECT_EQ(steps[1].stage, Stage::kStealHop);
+  EXPECT_EQ(steps[2].stage, Stage::kRingEnqueue);
+  EXPECT_EQ(steps[3].stage, Stage::kPlacement);
+  EXPECT_EQ(steps[4].stage, Stage::kShardQueue);
+}
+
+TEST(ReqTrace, DurationsAttributeEachGapToItsClosingStage) {
+  Timeline t;
+  t.task = 7;
+  t.trace_id = 0xabcd;
+  t.steps = {step(Stage::kSubmitRecv, 1.0),
+             step(Stage::kRingEnqueue, 1.5, 0),
+             step(Stage::kRingDequeue, 3.5, 0),
+             step(Stage::kPlacement, 4.0, 2, 1),
+             step(Stage::kShardQueue, 4.0, 2, 3),
+             step(Stage::kExecBegin, 6.0, 2),
+             step(Stage::kExecEnd, 9.0, 2)};
+  const Durations d = t.durations();
+  EXPECT_DOUBLE_EQ(d.ingress_s, 0.5);
+  EXPECT_DOUBLE_EQ(d.ring_wait_s, 2.0);
+  EXPECT_DOUBLE_EQ(d.placement_s, 0.5);
+  EXPECT_DOUBLE_EQ(d.steal_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(d.queue_wait_s, 2.0);
+  EXPECT_DOUBLE_EQ(d.exec_s, 3.0);
+  // The telescoping invariant: stage gaps tile the timeline exactly.
+  EXPECT_DOUBLE_EQ(d.total(), t.end_to_end_s());
+  EXPECT_FALSE(t.stolen());
+  EXPECT_STREQ(t.admission_critical_stage(), "ring_wait");
+}
+
+TEST(ReqTrace, StealHopGapCountsAsStealWait) {
+  Timeline t;
+  t.steps = {step(Stage::kSubmitRecv, 0.0),
+             step(Stage::kRingEnqueue, 0.1, 0),
+             step(Stage::kRingDequeue, 0.2, 0),
+             step(Stage::kPlacement, 0.3, 0, 0),
+             step(Stage::kShardQueue, 0.3, 0, 1),
+             step(Stage::kStealHop, 1.3, 0, 1),
+             step(Stage::kRingEnqueue, 1.3, 1),
+             step(Stage::kRingDequeue, 1.4, 1),
+             step(Stage::kPlacement, 1.5, 3, 2),
+             step(Stage::kShardQueue, 1.5, 3, 1)};
+  sort_steps(t.steps);
+  EXPECT_TRUE(t.stolen());
+  EXPECT_EQ(t.hops(), 1u);
+  const Durations d = t.durations();
+  EXPECT_DOUBLE_EQ(d.steal_wait_s, 1.0);  // victim queue 0.3 -> hop 1.3
+  EXPECT_NEAR(d.total(), t.end_to_end_s(), 1e-12);
+  EXPECT_STREQ(t.admission_critical_stage(), "steal_wait");
+}
+
+TEST(ReqTrace, BuildTimelinesReconstructsLifecyclesFromEvents) {
+  // Two tasks: 42 runs the plain path, 43 migrates once. Events arrive
+  // deliberately out of order; reconstruction must sort them.
+  std::vector<Event> events;
+  const auto push = [&events](EventType type, double t, std::uint64_t task,
+                              std::uint64_t u0) {
+    Event e;
+    e.type = static_cast<std::uint8_t>(type);
+    e.time_s = t;
+    e.task = task;
+    e.u0 = u0;
+    events.push_back(e);
+  };
+  push(EventType::kExecEnd, 5.0, 42, 111);
+  push(EventType::kSubmitRecv, 1.0, 42, 111);
+  push(EventType::kRingEnqueue, 1.0, 42, 111);
+  push(EventType::kRingDequeue, 2.0, 42, 111);
+  {
+    Event place;
+    place.type = static_cast<std::uint8_t>(EventType::kPlacement);
+    place.time_s = 2.5;
+    place.task = 42;
+    place.core = 3;
+    place.rate_idx = 2;
+    events.push_back(place);
+  }
+  {
+    // kShardQueue carries the queue depth in u0, not the trace id; the
+    // depth must not be mistaken for (or overwrite) the trace id.
+    Event q;
+    q.type = static_cast<std::uint8_t>(EventType::kShardQueue);
+    q.time_s = 2.5;
+    q.task = 42;
+    q.core = 3;
+    q.u0 = 17;
+    events.push_back(q);
+  }
+  push(EventType::kExecBegin, 3.0, 42, 111);
+
+  push(EventType::kSubmitRecv, 1.0, 43, 222);
+  push(EventType::kRingEnqueue, 1.0, 43, 222);
+  push(EventType::kRingDequeue, 1.5, 43, 222);
+  {
+    Event hop;
+    hop.type = static_cast<std::uint8_t>(EventType::kStealHop);
+    hop.time_s = 4.0;
+    hop.task = 43;
+    hop.u0 = 222;
+    hop.aux = 0;   // from shard
+    hop.core = 1;  // to shard
+    events.push_back(hop);
+  }
+  // An untraced simulator task must not leak into the timelines.
+  {
+    Event place;
+    place.type = static_cast<std::uint8_t>(EventType::kPlacement);
+    place.time_s = 9.0;
+    place.task = 99;
+    events.push_back(place);
+  }
+
+  const std::vector<Timeline> timelines = build_timelines(events);
+  ASSERT_EQ(timelines.size(), 2u);  // sorted by task id
+  const Timeline& t42 = timelines[0];
+  EXPECT_EQ(t42.task, 42u);
+  EXPECT_EQ(t42.trace_id, 111u);
+  ASSERT_EQ(t42.steps.size(), 7u);
+  EXPECT_EQ(t42.steps.front().stage, Stage::kSubmitRecv);
+  EXPECT_EQ(t42.steps.back().stage, Stage::kExecEnd);
+  EXPECT_FALSE(t42.stolen());
+  // Placement detail survives: core 3, rate 2; queue depth 17.
+  EXPECT_EQ(t42.steps[3].stage, Stage::kPlacement);
+  EXPECT_EQ(t42.steps[3].a, 3u);
+  EXPECT_EQ(t42.steps[3].b, 2u);
+  EXPECT_EQ(t42.steps[4].stage, Stage::kShardQueue);
+  EXPECT_EQ(t42.steps[4].b, 17u);
+  EXPECT_NEAR(t42.durations().total(), t42.end_to_end_s(), 1e-12);
+
+  const Timeline& t43 = timelines[1];
+  EXPECT_EQ(t43.trace_id, 222u);
+  EXPECT_TRUE(t43.stolen());
+  EXPECT_EQ(t43.hops(), 1u);
+}
+
+TEST(ReqTrace, BuildTimelinesIgnoresPreV4Streams) {
+  // A simulator recording has placements but no span events: no task
+  // qualifies, so no bogus single-step timelines appear.
+  std::vector<Event> events;
+  Event place;
+  place.type = static_cast<std::uint8_t>(EventType::kPlacement);
+  place.time_s = 1.0;
+  place.task = 1;
+  events.push_back(place);
+  Event arrival;
+  arrival.type = static_cast<std::uint8_t>(EventType::kTaskArrival);
+  arrival.time_s = 0.5;
+  arrival.task = 1;
+  events.push_back(arrival);
+  EXPECT_TRUE(build_timelines(events).empty());
+}
+
+TEST(ReqTrace, TimelineJsonCarriesStepsDurationsAndHexTraceId) {
+  Timeline t;
+  t.task = 5;
+  t.trace_id = 0xdeadbeefull;
+  t.steps = {step(Stage::kSubmitRecv, 0.0),
+             step(Stage::kRingEnqueue, 0.25, 1),
+             step(Stage::kRingDequeue, 0.5, 1)};
+  const Json j = timeline_json(t);
+  EXPECT_EQ(j.at("task").as_double(), 5.0);
+  EXPECT_EQ(j.at("trace_id").as_string(), "00000000deadbeef");
+  EXPECT_FALSE(j.at("stolen").as_bool());
+  EXPECT_EQ(j.at("steps").as_array().size(), 3u);
+  const Json& second = j.at("steps").as_array()[1];
+  EXPECT_EQ(second.at("stage").as_string(), "ring_enqueue");
+  EXPECT_DOUBLE_EQ(second.at("dt_s").as_double(), 0.25);
+  EXPECT_EQ(second.at("shard").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(j.at("durations").at("total_s").as_double(), 0.5);
+  // The rendering survives a parse round-trip (what the HTTP client and
+  // the CI smoke test actually consume).
+  const Json parsed = Json::parse(j.dump(-1));
+  EXPECT_EQ(parsed.at("trace_id").as_string(), "00000000deadbeef");
+}
+
+TEST(ReqTrace, TraceIdHexRoundTrips) {
+  EXPECT_EQ(trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_id_hex(0xffffffffffffffffull), "ffffffffffffffff");
+  for (const std::uint64_t id : {std::uint64_t{1}, std::uint64_t{0xabcd},
+                                 std::uint64_t{0x123456789abcdef0}}) {
+    const auto parsed = parse_trace_id(trace_id_hex(id));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_EQ(parse_trace_id("0xabc"), 0xabcu);
+  EXPECT_FALSE(parse_trace_id("").has_value());
+  EXPECT_FALSE(parse_trace_id("xyz").has_value());
+  EXPECT_FALSE(parse_trace_id("00000000000000001").has_value());  // 17 digits
+}
+
+TEST(TraceStore, AppendsMergesAndSortsSteps) {
+  TraceStore store(100);
+  store.append(1, 42, {step(Stage::kRingEnqueue, 0.5, 0)});
+  store.append(1, 42, {step(Stage::kSubmitRecv, 0.25)});
+  store.append(1, 0, {step(Stage::kExecBegin, 1.0, 2)});  // 0 keeps the id
+  const auto t = store.get(1);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->trace_id, 42u);
+  ASSERT_EQ(t->steps.size(), 3u);
+  EXPECT_EQ(t->steps.front().stage, Stage::kSubmitRecv);
+  EXPECT_EQ(t->steps.back().stage, Stage::kExecBegin);
+  EXPECT_FALSE(store.get(2).has_value());
+  EXPECT_EQ(store.evicted(), 0u);
+}
+
+TEST(TraceStore, EvictsOldestPerStripeBeyondCapacity) {
+  TraceStore store(64, 4);  // 16 tasks per stripe
+  for (std::uint64_t task = 1; task <= 500; ++task) {
+    store.append(task, task, {step(Stage::kSubmitRecv, 0.0)});
+  }
+  std::size_t found = 0;
+  for (std::uint64_t task = 1; task <= 500; ++task) {
+    if (store.get(task).has_value()) ++found;
+  }
+  EXPECT_LE(found, 64u);
+  EXPECT_GT(found, 0u);
+  EXPECT_EQ(store.evicted(), 500u - found);
+}
+
+TEST(ExemplarSeries, TracksTheLatestSamplePerBucket) {
+  ExemplarSeries series;
+  EXPECT_FALSE(series.bucket(0).has_value());  // never written
+  series.observe(5, 0x111, 1.0);               // bucket [4, 8) = index 3
+  series.observe(100, 0x222, 2.0);             // bucket index 7
+  const auto b3 = series.bucket(Histogram::bucket_index(5));
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_EQ(b3->trace_id, 0x111u);
+  EXPECT_EQ(b3->value, 5u);
+  EXPECT_DOUBLE_EQ(b3->t_s, 1.0);
+  // A later observation in the same bucket wins.
+  series.observe(7, 0x333, 3.0);
+  EXPECT_EQ(series.bucket(Histogram::bucket_index(7))->trace_id, 0x333u);
+  EXPECT_EQ(series.bucket(Histogram::bucket_index(100))->trace_id, 0x222u);
+  EXPECT_FALSE(series.bucket(Histogram::kNumBuckets).has_value());
+}
+
+TEST(ExemplarStore, FindsOnlyRegisteredSeries) {
+  ExemplarStore store;
+  EXPECT_EQ(store.find("svc.admission.latency_us"), nullptr);
+  ExemplarSeries& s = store.series("svc.admission.latency_us");
+  s.observe(10, 0xabc, 0.5);
+  const ExemplarSeries* found = store.find("svc.admission.latency_us");
+  ASSERT_EQ(found, &s);
+  ASSERT_TRUE(found->bucket(Histogram::bucket_index(10)).has_value());
+  EXPECT_EQ(store.find("other"), nullptr);
+}
+
+// ------------------------------------------------------- service e2e
+
+core::EnergyModel test_model() { return core::EnergyModel::icpp2014_table2(); }
+constexpr core::CostParams kParams{0.4, 0.1};
+
+/// Polls `pred` for up to `timeout_ms`; returns whether it turned true.
+template <typename Pred>
+bool eventually(Pred pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// The headline acceptance gate: every task the service executed
+// reconstructs — from the recorded event stream alone — to a full
+// lifecycle whose per-stage durations sum to its end-to-end latency.
+TEST(ReqTraceService, RecordedTimelinesTelescopeToEndToEnd) {
+  obs::Registry registry;
+  svc::ServiceOptions opts;
+  opts.shards = 2;
+  opts.cores = 4;
+  opts.steal_ratio = 0.0;
+  opts.time_scale = 1e-6;  // virtual execution: exec spans exist
+  opts.registry = &registry;
+  svc::SchedulingService svc(test_model(), kParams, opts);
+  Recorder recorder(2);
+  svc.set_recorder(&recorder);
+  svc.start();
+  std::vector<std::uint64_t> tickets(41, 0);
+  for (core::TaskId id = 1; id <= 40; ++id) {
+    const auto ticket = svc.submit(id, 1'000'000);
+    ASSERT_TRUE(ticket.accepted);
+    ASSERT_NE(ticket.trace, 0u);
+    tickets[id] = ticket.trace;
+  }
+  ASSERT_TRUE(eventually([&] { return svc.completed() == 40u; }))
+      << "completed " << svc.completed() << "/40";
+  svc.drain();
+  recorder.drain();
+  ASSERT_EQ(recorder.events_dropped(), 0u);
+
+  const std::vector<Timeline> timelines = build_timelines(recorder.events());
+  ASSERT_EQ(timelines.size(), 40u);
+  for (const Timeline& t : timelines) {
+    ASSERT_GE(t.task, 1u);
+    ASSERT_LE(t.task, 40u);
+    // Full lifecycle: recv, enqueue, dequeue, placement, shard queue,
+    // exec begin, exec end.
+    ASSERT_EQ(t.steps.size(), 7u) << "task " << t.task;
+    EXPECT_EQ(t.steps.front().stage, Stage::kSubmitRecv);
+    EXPECT_EQ(t.steps.back().stage, Stage::kExecEnd);
+    EXPECT_EQ(t.hops(), 0u);
+    // Trace continuity: the id minted at ingress is the one recorded.
+    EXPECT_EQ(t.trace_id, tickets[t.task]) << "task " << t.task;
+    // The telescoping gate, on real timestamps.
+    EXPECT_NEAR(t.durations().total(), t.end_to_end_s(), 1e-9)
+        << "task " << t.task;
+    // The live store agrees with the recording.
+    const auto live = svc.traces().get(t.task);
+    ASSERT_TRUE(live.has_value());
+    EXPECT_EQ(live->trace_id, t.trace_id);
+    EXPECT_EQ(live->steps.size(), t.steps.size());
+  }
+}
+
+// The steal-path gate: aim every submission at shard 0 with stealing on;
+// migrated tasks must round-trip through write_file/load with exactly one
+// kStealHop in their reconstructed timeline and the kFlagStolen placement
+// preserved.
+TEST(ReqTraceService, StolenTasksRoundTripWithExactlyOneStealHop) {
+  obs::Registry registry;
+  svc::ServiceOptions opts;
+  opts.shards = 2;
+  opts.cores = 4;
+  opts.steal_ratio = 1.5;
+  opts.steal_min_queue = 4;
+  opts.registry = &registry;
+  svc::SchedulingService svc(test_model(), kParams, opts);
+  Recorder recorder(2, 1 << 16);
+  svc.set_recorder(&recorder);
+  svc.start();
+  std::size_t submitted = 0;
+  for (core::TaskId id = 1; submitted < 400; ++id) {
+    if (svc::SchedulingService::route(id, 2) != 0) continue;
+    ASSERT_TRUE(svc.submit(id, 5'000'000).accepted);
+    ++submitted;
+  }
+  ASSERT_TRUE(eventually([&] { return svc.stolen() > 0; }))
+      << "no task migrated within the timeout";
+  svc.drain();
+  recorder.drain();
+  ASSERT_EQ(recorder.events_dropped(), 0u);
+
+  // Round-trip through the serialized v4 file, not just the live drain.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dvfs_reqtrace_steal.dfr")
+          .string();
+  recorder.write_file(path);
+  const Recording loaded = Recording::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.header.version, 4u);
+  ASSERT_EQ(loaded.channels.size(), 2u);
+  EXPECT_EQ(loaded.channels[0].dropped, 0u);
+  EXPECT_EQ(loaded.channels[1].dropped, 0u);
+
+  const std::vector<Timeline> timelines = build_timelines(loaded.events);
+  EXPECT_EQ(timelines.size(), 400u);
+  std::size_t stolen_seen = 0;
+  for (const Timeline& t : timelines) {
+    const auto st = svc.status(t.task);
+    ASSERT_TRUE(st.has_value()) << "task " << t.task;
+    if (st->stolen) {
+      ++stolen_seen;
+      // All load targets shard 0 and steals only flow toward the poorer
+      // shard, so a migrated task hops exactly once: 0 -> 1.
+      ASSERT_EQ(t.hops(), 1u) << "task " << t.task;
+      const auto hop =
+          std::find_if(t.steps.begin(), t.steps.end(), [](const Step& s) {
+            return s.stage == Stage::kStealHop;
+          });
+      EXPECT_EQ(hop->a, 0u);
+      EXPECT_EQ(hop->b, 1u);
+      EXPECT_EQ(t.trace_id, st->trace);
+    } else {
+      EXPECT_EQ(t.hops(), 0u) << "task " << t.task;
+    }
+    EXPECT_NEAR(t.durations().total(), t.end_to_end_s(), 1e-9)
+        << "task " << t.task;
+  }
+  EXPECT_GT(stolen_seen, 0u);
+  EXPECT_EQ(stolen_seen, svc.stolen());
+
+  // The kFlagStolen placements survived serialization, one per migration.
+  std::size_t flagged = 0;
+  for (const Event& e : loaded.events) {
+    if (e.type == static_cast<std::uint8_t>(EventType::kPlacement) &&
+        (e.flags & dfr::kFlagStolen) != 0) {
+      ++flagged;
+    }
+  }
+  EXPECT_EQ(flagged, stolen_seen);
+}
+
+}  // namespace
+}  // namespace dvfs::obs::reqtrace

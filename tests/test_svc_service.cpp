@@ -3,6 +3,7 @@
 /// make decisions identical to N standalone LMC schedulers), admission
 /// backpressure, work stealing, status eviction, virtual execution, and
 /// the recorder integration. Run under TSan in CI.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -268,6 +269,8 @@ TEST(SchedulingService, RecordsArrivalAndPlacementPerShardChannel) {
   svc.drain();
   recorder.drain();
   std::size_t run_begin = 0, params = 0, arrivals = 0, placements = 0;
+  std::size_t submit_recv = 0, ring_enq = 0, ring_deq = 0, shard_queue = 0,
+              steal_hops = 0;
   for (const obs::dfr::Event& e : recorder.events()) {
     switch (static_cast<obs::dfr::EventType>(e.type)) {
       case obs::dfr::EventType::kRunBegin: ++run_begin; break;
@@ -278,6 +281,14 @@ TEST(SchedulingService, RecordsArrivalAndPlacementPerShardChannel) {
         EXPECT_LT(e.core, 4u);
         EXPECT_EQ(e.flags & obs::dfr::kFlagStolen, 0);
         break;
+      case obs::dfr::EventType::kSubmitRecv:
+        ++submit_recv;
+        EXPECT_NE(e.u0, 0u);  // carries the trace id
+        break;
+      case obs::dfr::EventType::kRingEnqueue: ++ring_enq; break;
+      case obs::dfr::EventType::kRingDequeue: ++ring_deq; break;
+      case obs::dfr::EventType::kShardQueue: ++shard_queue; break;
+      case obs::dfr::EventType::kStealHop: ++steal_hops; break;
       default: break;
     }
   }
@@ -285,6 +296,50 @@ TEST(SchedulingService, RecordsArrivalAndPlacementPerShardChannel) {
   EXPECT_EQ(params, 2u);
   EXPECT_EQ(arrivals, 40u);
   EXPECT_EQ(placements, 40u);
+  // Request tracing is always on: every admitted task leaves one full
+  // span chain in its shard's channel; no migrations under steal_ratio 0.
+  EXPECT_EQ(submit_recv, 40u);
+  EXPECT_EQ(ring_enq, 40u);
+  EXPECT_EQ(ring_deq, 40u);
+  EXPECT_EQ(shard_queue, 40u);
+  EXPECT_EQ(steal_hops, 0u);
+}
+
+TEST(SchedulingService, MintsTraceIdsAndPublishesRingOccupancy) {
+  obs::Registry registry;
+  ServiceOptions opts = quiet_options(2, 4);
+  opts.registry = &registry;
+  SchedulingService svc(test_model(), kParams, opts);
+  svc.start();
+  std::vector<std::uint64_t> traces;
+  for (core::TaskId id = 1; id <= 40; ++id) {
+    const SchedulingService::Ticket ticket = svc.submit(id, 2'000'000);
+    ASSERT_TRUE(ticket.accepted);
+    ASSERT_NE(ticket.trace, 0u);
+    traces.push_back(ticket.trace);
+  }
+  svc.drain();
+  // Distinct ids, and the status store links each task to its ticket.
+  std::sort(traces.begin(), traces.end());
+  EXPECT_EQ(std::adjacent_find(traces.begin(), traces.end()), traces.end());
+  for (core::TaskId id = 1; id <= 40; ++id) {
+    const std::optional<TaskStatus> st = svc.status(id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_NE(st->trace, 0u);
+    EXPECT_EQ(st->trace, svc.traces().get(id)->trace_id);
+  }
+  // The per-shard ring occupancy gauge is published (final value 0:
+  // drained rings are empty).
+  bool shard0 = false, shard1 = false;
+  for (const auto& [name, value] : registry.gauges_snapshot()) {
+    if (name == "svc.ring.occupancy{shard=\"0\"}") {
+      shard0 = true;
+      EXPECT_EQ(value, 0.0);
+    }
+    if (name == "svc.ring.occupancy{shard=\"1\"}") shard1 = true;
+  }
+  EXPECT_TRUE(shard0);
+  EXPECT_TRUE(shard1);
 }
 
 TEST(SchedulingService, ConcurrentSubmittersAllLandExactlyOnce) {

@@ -215,6 +215,9 @@ TEST_F(ToolsFixture, InspectExplainAndAuditSmoke) {
       tool("dvfs_inspect") + " info --in " + dfr, &code);
   EXPECT_EQ(code, 0) << info;
   EXPECT_NE(info.find("policy lmc"), std::string::npos) << info;
+  // v4 recordings print the per-channel recorded/dropped breakdown.
+  EXPECT_NE(info.find("channel 0"), std::string::npos) << info;
+  EXPECT_NE(info.find("recorded="), std::string::npos) << info;
 
   const std::string explain = run_capture(
       tool("dvfs_inspect") + " explain --in " + dfr + " --task 0", &code);
@@ -233,6 +236,94 @@ TEST_F(ToolsFixture, InspectExplainAndAuditSmoke) {
   EXPECT_NE(run(tool("dvfs_inspect") + " bogus --in " + dfr), 0);
   EXPECT_NE(run(tool("dvfs_inspect") + " explain --in " + dfr +
                 " --task 99999999"),
+            0);
+  // Simulator recordings carry no request-span events, so `trace` is a
+  // clean error, not an empty report.
+  const std::string no_trace = run_capture(
+      tool("dvfs_inspect") + " trace --in " + dfr, &code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(no_trace.find("no request-trace events"), std::string::npos)
+      << no_trace;
+}
+
+/// `dvfs_inspect trace` over a service-style recording: the file is
+/// synthesized with the Recorder API using the exact channel layout
+/// `dvfs_execute --serve --record-out` writes — one direct task and one
+/// that migrated shards mid-admission.
+TEST_F(ToolsFixture, InspectTraceRebuildsTimelinesAndExportsChrome) {
+  namespace dfr = dvfs::obs::dfr;
+  using dfr::EventType;
+  dvfs::obs::Recorder recorder(2);
+  auto ev = [](EventType type, double t, std::uint64_t task,
+               std::uint64_t u0, std::uint16_t core = 0,
+               std::uint16_t aux = 0) {
+    dfr::Event e{};
+    e.type = static_cast<std::uint8_t>(type);
+    e.time_s = t;
+    e.task = task;
+    e.u0 = u0;
+    e.core = core;
+    e.aux = aux;
+    return e;
+  };
+  // Task 1: direct lifecycle on shard 0, trace id 0xaaa.
+  recorder.channel(0).record(ev(EventType::kSubmitRecv, 0.0, 1, 0xaaa));
+  recorder.channel(0).record(ev(EventType::kRingEnqueue, 0.001, 1, 0xaaa));
+  recorder.channel(0).record(ev(EventType::kRingDequeue, 0.002, 1, 0xaaa));
+  recorder.channel(0).record(ev(EventType::kPlacement, 0.003, 1, 0, 1));
+  recorder.channel(0).record(ev(EventType::kShardQueue, 0.004, 1, 5, 1));
+  // Task 2: stolen from shard 0 to shard 1, trace id 0xbbb. Slower
+  // end to end than task 1, so --slowest 1 must pick it.
+  recorder.channel(0).record(ev(EventType::kSubmitRecv, 0.0, 2, 0xbbb));
+  recorder.channel(0).record(ev(EventType::kRingEnqueue, 0.001, 2, 0xbbb));
+  recorder.channel(0).record(ev(EventType::kRingDequeue, 0.002, 2, 0xbbb));
+  recorder.channel(1).record(
+      ev(EventType::kStealHop, 0.005, 2, 0xbbb, /*core=*/1, /*aux=*/0));
+  recorder.channel(1).record(ev(EventType::kRingEnqueue, 0.005, 2, 0xbbb, 1));
+  recorder.channel(1).record(ev(EventType::kRingDequeue, 0.006, 2, 0xbbb, 1));
+  recorder.channel(1).record(ev(EventType::kPlacement, 0.007, 2, 0, 2));
+  recorder.channel(1).record(ev(EventType::kShardQueue, 0.008, 2, 3, 2));
+  recorder.drain();
+  const std::string dfr_path = dir_ + "/svc.dfr";
+  recorder.write_file(dfr_path);
+
+  int code = 0;
+  const std::string all = run_capture(
+      tool("dvfs_inspect") + " trace --in " + dfr_path, &code);
+  EXPECT_EQ(code, 0) << all;
+  EXPECT_NE(all.find("end-to-end"), std::string::npos) << all;
+  EXPECT_NE(all.find("breakdown:"), std::string::npos) << all;
+  EXPECT_NE(all.find("admission critical path:"), std::string::npos) << all;
+  EXPECT_NE(all.find("from_shard=0"), std::string::npos) << all;
+  EXPECT_NE(all.find("trace=0000000000000aaa"), std::string::npos) << all;
+
+  const std::string slowest = run_capture(
+      tool("dvfs_inspect") + " trace --in " + dfr_path + " --slowest 1",
+      &code);
+  EXPECT_EQ(code, 0) << slowest;
+  EXPECT_NE(slowest.find("slowest 1 of 2"), std::string::npos) << slowest;
+  EXPECT_NE(slowest.find("task 2"), std::string::npos) << slowest;
+  EXPECT_EQ(slowest.find("trace=0000000000000aaa"), std::string::npos)
+      << slowest;
+
+  // Chrome trace_event export: a parseable JSON with one named track per
+  // selected task and the steal hop as an instant event.
+  const std::string chrome = dir_ + "/trace.json";
+  ASSERT_EQ(run(tool("dvfs_inspect") + " trace --in " + dfr_path +
+                " --task 2 --trace-out " + chrome),
+            0);
+  const dvfs::obs::Json doc = dvfs::obs::Json::parse(slurp(chrome));
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  bool hop = false;
+  for (const dvfs::obs::Json& e : events) {
+    if (e.at("name").as_string() == "steal_hop") hop = true;
+  }
+  EXPECT_TRUE(hop);
+
+  // Asking for a task that left no spans is an error.
+  EXPECT_NE(run(tool("dvfs_inspect") + " trace --in " + dfr_path +
+                " --task 99"),
             0);
 }
 

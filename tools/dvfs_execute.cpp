@@ -9,12 +9,15 @@
 ///   dvfs_execute --serve --listen :9464 --shards 4 --cores 8
 ///
 /// Serve-mode API (on the same server that exposes /metrics):
-///   POST /submit        {"id":1,"cycles":4000000} or
-///                       {"tasks":[{"id":...,"cycles":...},...]}
-///                       → 202 {"accepted":..,"rejected":..} per ticket;
-///                         503 when backpressure rejected every task
-///   GET  /schedule/{id} → 200 placement decision JSON | 404
-///   GET  /healthz       → 200 ok / 503 firing (with --health-*)
+///   POST /submit           {"id":1,"cycles":4000000} or
+///                          {"tasks":[{"id":...,"cycles":...},...]}
+///                          → 202 {"accepted":..,"rejected":..};
+///                          503 when backpressure rejected every task
+///   GET  /schedule/{id}    → 200 placement decision JSON | 404
+///   GET  /tasks/{id}/trace → 200 per-task request timeline JSON | 404
+///   GET  /healthz          → 200 ok / 503 firing (with --health-*)
+/// /metrics histogram buckets carry OpenMetrics-style trace-id
+/// exemplars from the service's request-tracing layer.
 ///
 /// Flags: see kUsage below (also printed by --help).
 #include <charconv>
@@ -34,6 +37,7 @@
 #include "dvfs/obs/recorder.h"
 #include "dvfs/obs/trace.h"
 #include "dvfs/rt/executor.h"
+#include "dvfs/svc/http.h"
 #include "dvfs/svc/service.h"
 #include "tool_common.h"
 
@@ -84,25 +88,6 @@ volatile std::sig_atomic_t g_signal = 0;
 
 void on_signal(int signum) { g_signal = signum; }
 
-dvfs::obs::MetricsHttpServer::Response json_response(int status,
-                                                     std::string body) {
-  return {status, "application/json; charset=utf-8", std::move(body) + "\n"};
-}
-
-/// One {"id":...,"cycles":...} object → submit. Throws PreconditionError
-/// on schema violations (mapped to 400 by the caller).
-dvfs::svc::SchedulingService::Ticket submit_one(
-    dvfs::svc::SchedulingService& svc, const dvfs::obs::Json& task) {
-  DVFS_REQUIRE(task.is_object() && task.contains("id") &&
-                   task.contains("cycles"),
-               "task needs numeric \"id\" and \"cycles\" fields");
-  const double id = task.at("id").as_double();
-  const double cycles = task.at("cycles").as_double();
-  DVFS_REQUIRE(id >= 0.0 && cycles > 0.0, "id must be >= 0, cycles > 0");
-  return svc.submit(static_cast<dvfs::core::TaskId>(id),
-                    static_cast<dvfs::Cycles>(cycles));
-}
-
 int run_serve(const dvfs::util::Args& args) {
   using namespace dvfs;
   obs::register_build_info(obs::Registry::global());
@@ -139,70 +124,15 @@ int run_serve(const dvfs::util::Args& args) {
   }
   svc.start();
 
-  obs::MetricsHttpServer server(
-      obs::parse_listen(args.get_string("listen")),
-      [] { return obs::prometheus_text(obs::Registry::global()); });
+  // /metrics serves exemplar-bearing histograms: the service's trace
+  // layer remembers a recent trace id per latency bucket.
   svc::SchedulingService* s = &svc;
-  server.add_route(
-      "POST", "/submit",
-      [s](const obs::MetricsHttpServer::Request& req) {
-        obs::Json doc;
-        try {
-          doc = obs::Json::parse(req.body);
-        } catch (const std::exception& e) {
-          return json_response(400, std::string("{\"error\":\"bad JSON: ") +
-                                        e.what() + "\"}");
-        }
-        std::uint64_t accepted = 0;
-        std::uint64_t rejected = 0;
-        try {
-          if (doc.contains("tasks")) {
-            for (const obs::Json& t : doc.at("tasks").as_array()) {
-              submit_one(*s, t).accepted ? ++accepted : ++rejected;
-            }
-          } else {
-            submit_one(*s, doc).accepted ? ++accepted : ++rejected;
-          }
-        } catch (const std::exception& e) {
-          return json_response(400, std::string("{\"error\":\"") + e.what() +
-                                        "\"}");
-        }
-        // All-rejected = pure backpressure (full rings or draining):
-        // 503 so callers and the smoke test see the overload distinctly.
-        const int status = (accepted == 0 && rejected > 0) ? 503 : 202;
-        return json_response(
-            status, "{\"accepted\":" + std::to_string(accepted) +
-                        ",\"rejected\":" + std::to_string(rejected) + "}");
+  obs::MetricsHttpServer server(
+      obs::parse_listen(args.get_string("listen")), [s] {
+        return obs::prometheus_text(obs::Registry::global(),
+                                    &s->exemplars());
       });
-  server.add_prefix_route(
-      "GET", "/schedule/",
-      [s](const obs::MetricsHttpServer::Request& req) {
-        const std::string tail =
-            req.path.substr(std::string("/schedule/").size());
-        core::TaskId id = 0;
-        const auto [ptr, ec] =
-            std::from_chars(tail.data(), tail.data() + tail.size(), id);
-        if (ec != std::errc{} || ptr != tail.data() + tail.size() ||
-            tail.empty()) {
-          return json_response(400, "{\"error\":\"bad task id\"}");
-        }
-        const std::optional<svc::TaskStatus> st = s->status(id);
-        if (!st.has_value()) {
-          return json_response(404, "{\"error\":\"unknown task\"}");
-        }
-        obs::Json::Object out;
-        out["id"] = obs::Json(static_cast<double>(id));
-        out["state"] = obs::Json(st->state == svc::TaskStatus::State::kQueued
-                                     ? "queued"
-                                     : "completed");
-        out["shard"] = obs::Json(static_cast<double>(st->shard));
-        out["core"] = obs::Json(static_cast<double>(st->core));
-        out["rate_idx"] = obs::Json(static_cast<double>(st->rate_idx));
-        out["stolen"] = obs::Json(st->stolen);
-        out["cycles"] = obs::Json(static_cast<double>(st->cycles));
-        out["marginal_cost"] = obs::Json(st->marginal);
-        return json_response(200, obs::Json(std::move(out)).dump(-1));
-      });
+  svc::register_service_routes(server, svc);
   if (monitor != nullptr) {
     obs::health::HealthMonitor* m = monitor.get();
     server.add_route("/healthz", [m] {
@@ -214,7 +144,8 @@ int run_serve(const dvfs::util::Args& args) {
   }
   server.start();
   std::printf("serving scheduling API on port %u: POST /submit, "
-              "GET /schedule/{id}, /metrics%s (%zu shards x %zu cores)\n",
+              "GET /schedule/{id}, GET /tasks/{id}/trace, "
+              "/metrics%s (%zu shards x %zu cores)\n",
               server.port(),
               monitor != nullptr ? ", /healthz" : "", opts.shards,
               opts.cores / opts.shards);

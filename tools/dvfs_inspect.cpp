@@ -2,6 +2,7 @@
 ///
 ///   dvfs_inspect info    --in run.dfr
 ///   dvfs_inspect replay  --in run.dfr --trace-out t.json --metrics-out m.json
+///   dvfs_inspect trace   --in run.dfr [--task 17 | --slowest 5]
 ///   dvfs_inspect explain --in run.dfr --task 17
 ///   dvfs_inspect audit   --in run.dfr [--model table2] [--re R] [--rt R]
 ///   dvfs_inspect drift   --in run.dfr [--json-out d.json]
@@ -11,6 +12,11 @@
 ///   info     header + event census: what is in the recording
 ///   replay   rebuild the Chrome trace / metrics JSON the live run would
 ///            have written (byte-identical to --trace-out / --metrics-out)
+///   trace    reconstruct per-task request timelines from the v4 span
+///            events (service recordings): per-stage latency breakdown,
+///            the admission critical path, steal hops; `--slowest N`
+///            ranks by end-to-end latency, `--trace-out` exports the
+///            selection as Chrome trace_event JSON
 ///   explain  one task's full story: arrival, every candidate core the
 ///            governor priced with the losing margins, starts,
 ///            preemptions, finish, energy and turnaround
@@ -27,9 +33,11 @@
 ///
 /// Flags:
 ///   --in            input .dfr recording                  (required)
-///   --trace-out     replay: write Chrome trace JSON here
+///   --trace-out     replay/trace: write Chrome trace JSON here
 ///   --metrics-out   replay: write metrics-registry JSON here
 ///   --task          explain: task id to explain           (required)
+///                   trace: task id to show                (optional)
+///   --slowest       trace: print the N slowest tasks      (default 5)
 ///   --model         audit/drift: table2 | cubic:<n>       (default table2)
 ///   --re, --rt      audit/drift: cost weights (default: recorded kParams)
 ///   --json-out      drift: write a dvfs-drift-v1 report here
@@ -52,6 +60,7 @@
 #include "dvfs/obs/hw_telemetry.h"
 #include "dvfs/obs/json.h"
 #include "dvfs/obs/recorder.h"
+#include "dvfs/obs/reqtrace.h"
 #include "dvfs/obs/trace.h"
 #include "tool_common.h"
 
@@ -79,6 +88,13 @@ using obs::dfr::EventType;
     case EventType::kHwSpan: return "hw_span";
     case EventType::kHealthSample: return "health_sample";
     case EventType::kAlert: return "alert";
+    case EventType::kSubmitRecv: return "submit_recv";
+    case EventType::kRingEnqueue: return "ring_enqueue";
+    case EventType::kRingDequeue: return "ring_dequeue";
+    case EventType::kStealHop: return "steal_hop";
+    case EventType::kShardQueue: return "shard_queue";
+    case EventType::kExecBegin: return "exec_begin";
+    case EventType::kExecEnd: return "exec_end";
   }
   return "?";
 }
@@ -107,6 +123,15 @@ int cmd_info(const obs::Recording& rec) {
   std::printf("format v%u | %u channel(s) | %zu events | %llu dropped\n",
               rec.header.version, rec.header.num_channels, rec.events.size(),
               static_cast<unsigned long long>(rec.header.dropped));
+  // v4 recordings carry per-channel counters; older files only have the
+  // header aggregate, so the breakdown is simply absent.
+  for (std::size_t i = 0; i < rec.channels.size(); ++i) {
+    const obs::dfr::ChannelStats& ch = rec.channels[i];
+    std::printf("  channel %-3zu recorded=%-10llu dropped=%llu%s\n", i,
+                static_cast<unsigned long long>(ch.recorded),
+                static_cast<unsigned long long>(ch.dropped),
+                ch.dropped > 0 ? "  <-- lossy" : "");
+  }
   if (const auto p = rec.first_of(EventType::kParams)) {
     std::printf("policy %s on %u cores",
                 policy_name(static_cast<obs::dfr::PolicyKind>(p->aux)),
@@ -154,6 +179,118 @@ int cmd_replay(const obs::Recording& rec, const util::Args& args) {
     wrote = true;
   }
   DVFS_REQUIRE(wrote, "replay needs --trace-out and/or --metrics-out");
+  return 0;
+}
+
+// ---------------------------------------------------------------- trace
+
+void print_timeline(const obs::reqtrace::Timeline& t) {
+  namespace rt = obs::reqtrace;
+  std::printf("task %-6llu trace=%s %s hops=%zu end-to-end %.6f s\n",
+              static_cast<unsigned long long>(t.task),
+              rt::trace_id_hex(t.trace_id).c_str(),
+              t.stolen() ? "STOLEN" : "direct", t.hops(), t.end_to_end_s());
+  double prev = t.begin_s();
+  for (const rt::Step& s : t.steps) {
+    std::printf("  t=%-12.6f %-12s", s.t_s, rt::to_string(s.stage));
+    switch (s.stage) {
+      case rt::Stage::kRingEnqueue:
+      case rt::Stage::kRingDequeue:
+        std::printf(" shard=%u", s.a);
+        break;
+      case rt::Stage::kStealHop:
+        std::printf(" from_shard=%u to_shard=%u", s.a, s.b);
+        break;
+      case rt::Stage::kPlacement:
+        std::printf(" core=%u rate_idx=%u", s.a, s.b);
+        break;
+      case rt::Stage::kShardQueue:
+        std::printf(" core=%u depth=%u", s.a, s.b);
+        break;
+      case rt::Stage::kExecBegin:
+      case rt::Stage::kExecEnd:
+        std::printf(" core=%u", s.a);
+        break;
+      case rt::Stage::kSubmitRecv:
+        break;
+    }
+    std::printf("  (+%.6f s)\n", s.t_s - prev);
+    prev = s.t_s;
+  }
+  const rt::Durations d = t.durations();
+  std::printf("  breakdown: ingress=%.6f ring_wait=%.6f placement=%.6f "
+              "steal_wait=%.6f queue_wait=%.6f exec=%.6f s\n",
+              d.ingress_s, d.ring_wait_s, d.placement_s, d.steal_wait_s,
+              d.queue_wait_s, d.exec_s);
+  std::printf("  admission critical path: %s\n",
+              t.admission_critical_stage());
+}
+
+/// Rebuilds request timelines from the v4 event stream and prints either
+/// one task (`--task`) or the N slowest end-to-end (`--slowest`, default
+/// 5). With `--trace-out`, exports the selected timelines as Chrome
+/// trace_event JSON: one track per task, a complete span per stage gap,
+/// steal hops as instants.
+int cmd_trace(const obs::Recording& rec, const util::Args& args) {
+  namespace rt = obs::reqtrace;
+  std::vector<rt::Timeline> all = rt::build_timelines(rec.events);
+  DVFS_REQUIRE(!all.empty(),
+               "recording has no request-trace events (v4 recordings from "
+               "dvfs_execute --serve ... --record-out carry them)");
+
+  std::vector<rt::Timeline> selected;
+  if (args.has("task")) {
+    const std::uint64_t id = args.get_u64("task");
+    const auto it =
+        std::find_if(all.begin(), all.end(),
+                     [id](const rt::Timeline& t) { return t.task == id; });
+    DVFS_REQUIRE(it != all.end(), "task " + std::to_string(id) +
+                                      " has no trace in the recording");
+    selected.push_back(*it);
+  } else {
+    const std::uint64_t n = args.get_u64("slowest", 5);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const rt::Timeline& a, const rt::Timeline& b) {
+                       return a.end_to_end_s() > b.end_to_end_s();
+                     });
+    for (const rt::Timeline& t : all) {
+      if (selected.size() >= n) break;
+      selected.push_back(t);
+    }
+    std::printf("slowest %zu of %zu traced task(s)\n", selected.size(),
+                all.size());
+  }
+  for (const rt::Timeline& t : selected) print_timeline(t);
+
+  if (args.has("trace-out")) {
+    obs::TraceWriter writer;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const rt::Timeline& t = selected[i];
+      const auto tid = static_cast<std::int64_t>(i);
+      writer.thread_name(tid, "task " + std::to_string(t.task));
+      double prev = t.begin_s();
+      for (const rt::Step& s : t.steps) {
+        obs::Json::Object detail{
+            {"task", obs::Json(static_cast<double>(t.task))},
+            {"trace_id", obs::Json(rt::trace_id_hex(t.trace_id))}};
+        if (s.stage == rt::Stage::kStealHop) {
+          detail.emplace("from_shard", obs::Json(static_cast<double>(s.a)));
+          detail.emplace("to_shard", obs::Json(static_cast<double>(s.b)));
+          writer.instant(tid, "steal_hop", s.t_s * 1e6, std::move(detail));
+        } else if (s.t_s > prev) {
+          // The gap belongs to the stage that closed it — same attribution
+          // rule Durations uses, so the spans tile the timeline exactly.
+          writer.complete(tid, rt::to_string(s.stage), prev * 1e6,
+                          (s.t_s - prev) * 1e6, std::move(detail));
+        }
+        prev = s.t_s;
+      }
+    }
+    const std::string path = args.get_string("trace-out");
+    writer.write_file(path);
+    std::printf("wrote %zu trace events for %zu task(s) to %s\n",
+                writer.size(), selected.size(), path.c_str());
+  }
   return 0;
 }
 
@@ -584,11 +721,15 @@ int cmd_health(const obs::Recording& rec, const util::Args& args) {
 }
 
 constexpr const char* kUsage =
-    "usage: dvfs_inspect <info|replay|explain|audit|drift|health> --in "
+    "usage: dvfs_inspect <info|replay|trace|explain|audit|drift|health> --in "
     "run.dfr\n"
-    "  info     recording header and event census\n"
+    "  info     recording header, per-channel counters and event census\n"
     "  replay   --trace-out t.json --metrics-out m.json (byte-identical to\n"
     "           the live run's --trace-out/--metrics-out)\n"
+    "  trace    [--task <id> | --slowest N] [--trace-out t.json]: rebuild\n"
+    "           per-task request timelines from v4 service recordings with\n"
+    "           the per-stage latency breakdown and admission critical\n"
+    "           path; export the selection as Chrome trace JSON\n"
     "  explain  --task <id>: that task's decisions, candidates and timeline\n"
     "  audit    [--model table2|cubic:<n>] [--re R] [--rt R]: offline WBG\n"
     "           replan of each recorded placement + end-to-end gap\n"
@@ -607,7 +748,7 @@ int main(int argc, char** argv) {
   return dvfs::tools::run_tool([&] {
     const dvfs::util::Args args(argc, argv,
                                 {"in", "trace-out", "metrics-out", "task",
-                                 "model", "re", "rt", "json-out",
+                                 "slowest", "model", "re", "rt", "json-out",
                                  "health-config", "help"});
     if (args.has("help") || args.positional().empty()) {
       std::fputs(kUsage, stdout);
@@ -618,14 +759,15 @@ int main(int argc, char** argv) {
         dvfs::obs::Recording::load(args.get_string("in"));
     if (cmd == "info") return cmd_info(rec);
     if (cmd == "replay") return cmd_replay(rec, args);
+    if (cmd == "trace") return cmd_trace(rec, args);
     if (cmd == "explain") return cmd_explain(rec, args);
     if (cmd == "audit") return cmd_audit(rec, args);
     if (cmd == "drift") return cmd_drift(rec, args);
     if (cmd == "health") return cmd_health(rec, args);
-    DVFS_REQUIRE(
-        false,
-        "unknown subcommand (want info|replay|explain|audit|drift|health): " +
-            cmd);
+    DVFS_REQUIRE(false,
+                 "unknown subcommand (want "
+                 "info|replay|trace|explain|audit|drift|health): " +
+                     cmd);
     return 2;
   });
 }

@@ -105,13 +105,27 @@ class MetricsHttpServer {
   using Handler = std::function<Response()>;
 
   /// A fully parsed request, as handed to a RequestHandler. `path` is
-  /// the exact request target (no query parsing — nothing here needs
-  /// it); `body` is the complete Content-Length-delimited payload.
+  /// the request target with any `?query` stripped (so routes match
+  /// `/debug/pprof/profile?seconds=5`); `body` is the complete
+  /// Content-Length-delimited payload.
   struct Request {
     std::string method;
     std::string path;
+    std::string query;  ///< raw query string, '?' stripped ("" if absent)
     std::string body;
     std::string accept;  ///< raw Accept header ("" when absent)
+    /// `query` split on '&', keys/values percent-decoded with '+' → space,
+    /// in request order. Duplicate keys are kept; bad escapes pass
+    /// through literally (lenient — a scrape must not 400 over stray %).
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /// First value of `name` in `params`; nullptr when absent.
+    [[nodiscard]] const std::string* param(const std::string& name) const {
+      for (const auto& [k, v] : params) {
+        if (k == name) return &v;
+      }
+      return nullptr;
+    }
   };
   using RequestHandler = std::function<Response(const Request&)>;
 

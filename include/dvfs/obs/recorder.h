@@ -123,6 +123,13 @@ class Recorder {
   /// `write_file()` and before anything else touches the registry.
   void capture_metrics(const Registry& registry);
 
+  /// Captures an address → symbol-name table written as the v5 "DFRS"
+  /// epilogue, so kProfSample frames stay readable after the process
+  /// (and its ASLR layout) is gone. Entries with empty names are kept —
+  /// "we looked and found nothing" is itself worth recording.
+  void capture_symbols(
+      std::vector<std::pair<std::uint64_t, std::string>> symbols);
+
   /// Writes header + drained events + metrics epilogue. Throws
   /// dvfs::PreconditionError on I/O failure.
   void write_file(const std::string& path) const;
@@ -137,6 +144,7 @@ class Recorder {
     std::vector<Registry::HistogramSnapshot> histograms;
   };
   std::optional<MetricsSnapshot> metrics_;
+  std::vector<std::pair<std::uint64_t, std::string>> symbols_;
 };
 
 /// A `.dfr` file loaded back into memory.
@@ -147,6 +155,10 @@ struct Recording {
   /// (v4) Per-channel {recorded, dropped} counters, in channel order.
   /// Empty for v1–v3 files, which carried only the aggregate totals.
   std::vector<dfr::ChannelStats> channels;
+
+  /// (v5) Symbol table from the "DFRS" epilogue: code address → name for
+  /// kProfSample frames. Empty when the file carried none.
+  std::vector<std::pair<std::uint64_t, std::string>> symbols;
 
   /// Metrics epilogue, if the file has one (kept in a registry so it
   /// re-serializes through the same code path as a live dump).

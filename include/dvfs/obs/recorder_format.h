@@ -7,6 +7,10 @@
 ///   [ChannelStats * num_channels] (v4+) per-channel {recorded, dropped}
 ///                                counters, 16 bytes each
 ///   [Event * header.event_count] fixed 48-byte records, time-ordered
+///   [symbol epilogue]            optional (v5+): address → symbol-name
+///                                table (magic "DFRS") so kProfSample
+///                                frames symbolize offline, after ASLR
+///                                made the raw addresses meaningless
 ///   [metrics epilogue]           optional: the final metrics-registry
 ///                                snapshot (magic "DFRM"), so a recording
 ///                                can reproduce `--metrics-out` exactly
@@ -34,16 +38,22 @@ namespace dvfs::obs::dfr {
 inline constexpr std::uint32_t kFileMagic = 0x31524644u;
 /// "DFRM": starts the optional metrics-snapshot epilogue.
 inline constexpr std::uint32_t kMetricsMagic = 0x4d524644u;
+/// "DFRS": starts the optional (v5+) symbol-table epilogue. Like "DFRM"
+/// it begins with 'D' — a byte no small EventType value can produce —
+/// so the unfinalized-stream scanner can spot it mid-stream.
+inline constexpr std::uint32_t kSymbolsMagic = 0x53524644u;
 /// v2 added the hardware-telemetry events kHwPlanned/kHwSpan; v3 added
 /// the SLO-engine events kHealthSample/kAlert; v4 added the request-
 /// tracing span events kSubmitRecv..kExecEnd and a per-channel
 /// {recorded, dropped} summary table between the header and the event
 /// stream (so a starved shard ring is attributable after the channels
-/// were merged). Event and FileHeader layouts are unchanged across all
+/// were merged); v5 added the CPU-profiler event kProfSample and the
+/// optional "DFRS" symbol epilogue between the events and the metrics
+/// epilogue. Event and FileHeader layouts are unchanged across all
 /// bumps, so readers accept every version from kMinFormatVersion up —
 /// a pre-v4 reader would reject a v4 file on the version byte rather
 /// than misparse the table as events.
-inline constexpr std::uint8_t kFormatVersion = 4;
+inline constexpr std::uint8_t kFormatVersion = 5;
 inline constexpr std::uint8_t kMinFormatVersion = 1;
 
 /// What a 48-byte record means. Values are part of the format: append
@@ -136,6 +146,15 @@ enum class EventType : std::uint8_t {
   /// Virtual execution finished. core = global core index, f0 = the
   /// span's begin time in seconds (mirrors the kSpanEnd convention).
   kExecEnd = 22,
+  /// (v5) One stack frame of a sampling-profiler CPU sample. A sample is
+  /// a *run* of kProfSample events sharing time_s/task: rate_idx is the
+  /// frame index counted from the leaf (rate_idx == 0 starts a new
+  /// sample), u0 = the frame's code address (symbolized offline via the
+  /// "DFRS" epilogue), task = kernel thread id, core = the shard the
+  /// thread was serving (0xffff = unattributed), aux = the
+  /// prof::Stage marker active when the timer fired, time_s = seconds
+  /// since the profiler started (its own axis, like kHealthSample).
+  kProfSample = 23,
 };
 
 /// Bit flags (Event::flags).
@@ -222,6 +241,13 @@ struct ChannelStats {
 static_assert(sizeof(ChannelStats) == 16,
               "ChannelStats is part of the v4 format");
 
+/// (v5) Symbol-table epilogue layout, after kSymbolsMagic:
+///   u32 entry_count, then entry_count * (u64 address, u16 name_len,
+///   name bytes). Addresses are the raw u0 values of kProfSample events
+///   from this recording; names are whatever the symbolizer produced
+///   (mangled or demangled). Torn-tolerant like the metrics epilogue: a
+///   partial table downgrades to an epilogue note, the events still load.
+///
 /// Metrics-epilogue entry kinds (one byte each, after kMetricsMagic and a
 /// u32 entry count). Layouts:
 ///   kCounter:   u16 name_len, name, u64 value

@@ -15,10 +15,12 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "dvfs/common.h"
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/prof.h"
 #include "dvfs/obs/reqtrace.h"
 
 namespace dvfs::obs {
@@ -308,6 +310,10 @@ void MetricsHttpServer::stop() {
 }
 
 void MetricsHttpServer::serve_loop() {
+  // Opt the serving thread into CPU profiling: requests (HTTP parsing
+  // included) attribute to stage "http" whenever a profiler is running.
+  const prof::ThreadGuard prof_guard = prof::profile_current_thread();
+  const prof::ScopedStage stage(prof::Stage::kHttp);
   while (!stopping_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     // Short poll timeout bounds the shutdown latency without a self-pipe.
@@ -321,6 +327,64 @@ void MetricsHttpServer::serve_loop() {
     ::close(client);
   }
 }
+
+namespace {
+
+/// Percent-decodes one query component; '+' decodes to a space. Lenient:
+/// a malformed escape ("%zz", trailing "%") passes through literally —
+/// a scrape must not 400 over a stray percent sign.
+std::string url_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  const auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size() && hex(in[i + 1]) >= 0 &&
+               hex(in[i + 2]) >= 0) {
+      out.push_back(
+          static_cast<char>(hex(in[i + 1]) * 16 + hex(in[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+/// Splits "a=1&b=2" into decoded key/value pairs, in order. Empty
+/// segments ("a=1&&b=2") are skipped; a segment without '=' becomes a
+/// key with an empty value; duplicates are all kept.
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    const auto amp = query.find('&', pos);
+    const std::string_view part = query.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    if (!part.empty()) {
+      const auto eq = part.find('=');
+      if (eq == std::string_view::npos) {
+        params.emplace_back(url_decode(part), "");
+      } else {
+        params.emplace_back(url_decode(part.substr(0, eq)),
+                            url_decode(part.substr(eq + 1)));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return params;
+}
+
+}  // namespace
 
 bool MetricsHttpServer::read_request(int client, Request& out,
                                      Response& error) {
@@ -357,6 +421,12 @@ bool MetricsHttpServer::read_request(int client, Request& out,
   }
   out.method = line.substr(0, sp1);
   out.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Split the query off the target before dispatch ever sees the path.
+  if (const auto q = out.path.find('?'); q != std::string::npos) {
+    out.query = out.path.substr(q + 1);
+    out.path.resize(q);
+    out.params = parse_query(out.query);
+  }
 
   // Header scan (field names are case-insensitive).
   std::size_t content_length = 0;

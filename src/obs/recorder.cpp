@@ -110,6 +110,11 @@ void Recorder::capture_metrics(const Registry& registry) {
   metrics_ = std::move(snap);
 }
 
+void Recorder::capture_symbols(
+    std::vector<std::pair<std::uint64_t, std::string>> symbols) {
+  symbols_ = std::move(symbols);
+}
+
 namespace {
 
 template <class T>
@@ -162,6 +167,19 @@ void Recorder::write_file(const std::string& path) const {
     os.write(reinterpret_cast<const char*>(events_.data()),
              static_cast<std::streamsize>(events_.size() *
                                           sizeof(dfr::Event)));
+  }
+
+  // v5 symbol epilogue first, metrics last: the metrics snapshot is
+  // captured at the very end of a run, so keeping it terminal preserves
+  // the "a torn tail costs only the epilogue being written" property for
+  // both.
+  if (!symbols_.empty()) {
+    put(os, dfr::kSymbolsMagic);
+    put(os, static_cast<std::uint32_t>(symbols_.size()));
+    for (const auto& [addr, name] : symbols_) {
+      put(os, addr);
+      put_name(os, name);
+    }
   }
 
   if (metrics_.has_value()) {
@@ -226,8 +244,8 @@ Recording Recording::load(const std::string& path) {
       DVFS_REQUIRE(is.good(), path + ": truncated .dfr recording");
     }
   } else {
-    // Unfinalized (crash mid-run): stream events until the epilogue
-    // magic or EOF. An Event can never alias the magic because its
+    // Unfinalized (crash mid-run): stream events until an epilogue
+    // magic or EOF. An Event can never alias either magic because its
     // first byte is a small EventType, not 'D'.
     for (;;) {
       dfr::Event e;
@@ -236,7 +254,7 @@ Recording Recording::load(const std::string& path) {
       std::uint32_t head = 0;
       std::memcpy(&head, &e, sizeof(head));
       if (is.gcount() >= static_cast<std::streamsize>(sizeof(head)) &&
-          head == dfr::kMetricsMagic) {
+          (head == dfr::kMetricsMagic || head == dfr::kSymbolsMagic)) {
         // Rewind to the epilogue start and stop streaming events.
         is.clear();
         is.seekg(-is.gcount(), std::ios::cur);
@@ -249,11 +267,31 @@ Recording Recording::load(const std::string& path) {
     rec.header.event_count = rec.events.size();
   }
 
-  // Optional metrics epilogue. A torn epilogue (crash mid-write, partial
-  // copy) must not cost the caller the events it already has: parse
-  // failures downgrade to a note on the recording.
+  // Optional epilogues: (v5) symbol table first, metrics snapshot last.
+  // A torn epilogue (crash mid-write, partial copy) must not cost the
+  // caller the events it already has: parse failures downgrade to a note
+  // on the recording.
   std::uint32_t magic = 0;
   is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is.eof() && magic == dfr::kSymbolsMagic) {
+    try {
+      const auto entries = get<std::uint32_t>(is);
+      rec.symbols.reserve(entries);
+      for (std::uint32_t i = 0; i < entries; ++i) {
+        const auto addr = get<std::uint64_t>(is);
+        rec.symbols.emplace_back(addr, get_name(is));
+      }
+    } catch (const PreconditionError& e) {
+      // Mid-table tear: the stream position is unknowable, so any
+      // metrics epilogue behind it is unreachable too.
+      rec.symbols.clear();
+      rec.epilogue_note =
+          std::string("symbol epilogue unreadable: ") + e.what();
+      return rec;
+    }
+    magic = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  }
   if (!is.eof()) {
     try {
       DVFS_REQUIRE(is.good() && magic == dfr::kMetricsMagic,

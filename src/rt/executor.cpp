@@ -15,6 +15,7 @@
 #endif
 
 #include "dvfs/obs/metrics.h"
+#include "dvfs/obs/prof.h"
 #include "dvfs/obs/recorder.h"
 
 namespace dvfs::rt {
@@ -148,6 +149,11 @@ RtResult RealtimeExecutor::execute(const core::Plan& plan) const {
   for (std::size_t j = 0; j < plan.cores.size(); ++j) {
     workers.emplace_back([&, j] {
       if (config_.pin_threads) try_pin_to_cpu(j);
+      // Worker time is task execution; the CPU profiler (if running)
+      // attributes these samples to the exec stage.
+      const obs::prof::ThreadGuard prof_guard =
+          obs::prof::profile_current_thread();
+      const obs::prof::ScopedStage prof_stage(obs::prof::Stage::kExec);
       // Worker j owns recorder channel j exclusively (SPSC producer).
       obs::RecorderChannel* rc =
           recorder_ != nullptr ? &recorder_->channel(j) : nullptr;

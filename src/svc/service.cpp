@@ -6,6 +6,7 @@
 #include <span>
 
 #include "dvfs/core/task.h"
+#include "dvfs/obs/prof.h"
 #include "dvfs/obs/recorder.h"
 
 namespace dvfs::svc {
@@ -51,7 +52,8 @@ const char* to_string(TaskStatus::State s) {
 struct SchedulingService::Shard {
   Shard(std::size_t idx, std::size_t base, std::size_t n,
         std::vector<core::CostTable> tables, std::size_t ring_capacity,
-        obs::Gauge& cost_g, obs::Gauge& len_g, obs::Gauge& occ_g)
+        obs::Gauge& cost_g, obs::Gauge& len_g, obs::Gauge& occ_g,
+        obs::Counter& rejected_c)
       : index(idx),
         base_core(base),
         num_cores(n),
@@ -60,6 +62,7 @@ struct SchedulingService::Shard {
         cost_gauge(cost_g),
         len_gauge(len_g),
         occupancy_gauge(occ_g),
+        rejected_counter(rejected_c),
         running(n) {}
 
   struct Running {
@@ -78,6 +81,10 @@ struct SchedulingService::Shard {
   obs::Gauge& cost_gauge;
   obs::Gauge& len_gauge;
   obs::Gauge& occupancy_gauge;
+  /// Ring-full rejections on this shard — the per-shard breakdown the
+  /// health engine and /metrics see (the aggregate only says "someone
+  /// is overloaded"; a single hot shard says "resharding would help").
+  obs::Counter& rejected_counter;
   std::thread thread;
   obs::RecorderChannel* channel = nullptr;
 
@@ -143,7 +150,8 @@ SchedulingService::SchedulingService(core::EnergyModel model,
         options_.ring_capacity,
         registry_->gauge("svc.shard.queue_cost" + label),
         registry_->gauge("svc.shard.queue_len" + label),
-        registry_->gauge("svc.ring.occupancy" + label)));
+        registry_->gauge("svc.ring.occupancy" + label),
+        registry_->counter("svc.submit.rejected" + label)));
     status_.push_back(std::make_unique<StatusStripe>());
   }
 }
@@ -220,6 +228,7 @@ SchedulingService::Ticket SchedulingService::submit(core::TaskId id,
   if (!ok) {
     shard.enqueued.fetch_sub(1, std::memory_order_seq_cst);
     rejected_.inc();
+    shard.rejected_counter.inc();
   } else {
     submitted_.inc();
   }
@@ -310,9 +319,15 @@ double SchedulingService::now_s() const {
 }
 
 void SchedulingService::worker(Shard& shard) {
+  // Opt into CPU profiling: the guard registers this thread's stack and
+  // CPU clock with the profiler pool (a no-op when no profiler ever
+  // runs), and the shard marker attributes every sample taken here.
+  const obs::prof::ThreadGuard prof_guard = obs::prof::profile_current_thread();
+  obs::prof::set_shard(static_cast<std::uint16_t>(shard.index));
   std::vector<Msg> batch(std::max<std::size_t>(
       kDrainBatch, std::min<std::size_t>(options_.max_batch, 4096)));
   for (;;) {
+    obs::prof::set_stage(obs::prof::Stage::kDrain);
     const Phase phase = phase_.load(std::memory_order_seq_cst);
     if (phase != Phase::kRunning) {
       shard.saw_draining.store(true, std::memory_order_seq_cst);
@@ -351,6 +366,7 @@ void SchedulingService::worker(Shard& shard) {
     }
     if (options_.time_scale > 0.0) virtual_execute(shard);
     if (phase == Phase::kStopped) break;
+    obs::prof::set_stage(obs::prof::Stage::kIdle);
     ++shard.idle_iters;
     if (phase == Phase::kRunning &&
         shard.idle_iters % kStealCooldownIters == 0) {
@@ -369,6 +385,7 @@ void SchedulingService::worker(Shard& shard) {
 
 void SchedulingService::handle_submit(Shard& shard, const Msg& msg,
                                       std::uint64_t dequeue_ns) {
+  const obs::prof::ScopedStage prof_stage(obs::prof::Stage::kPlacement);
   const core::LmcScheduler::Placement placement =
       shard.lmc.place_non_interactive(msg.cycles, msg.id);
   ++shard.queue_len;
@@ -480,6 +497,7 @@ void SchedulingService::handle_submit(Shard& shard, const Msg& msg,
 }
 
 void SchedulingService::serve_steal(Shard& shard, const Msg& msg) {
+  const obs::prof::ScopedStage prof_stage(obs::prof::Stage::kSteal);
   Shard& requester = *shards_[msg.from_shard];
   std::uint16_t given = 0;
   while (given < msg.steal_want) {
@@ -567,6 +585,7 @@ void SchedulingService::maybe_request_steal(Shard& shard) {
 }
 
 void SchedulingService::virtual_execute(Shard& shard) {
+  const obs::prof::ScopedStage prof_stage(obs::prof::Stage::kExec);
   using obs::reqtrace::Stage;
   using obs::reqtrace::Step;
   const double now = now_s();

@@ -461,6 +461,94 @@ TEST_F(PostServerTest, ThrowingHandlerAnswers500) {
             std::string::npos);
 }
 
+/// A server with one GET route that echoes its parsed query parameters,
+/// the fixture for the query-string dispatch tests: the path is matched
+/// with the query stripped, and handlers get decoded key/value pairs.
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<MetricsHttpServer>(
+        MetricsHttpServer::Options{.host = "127.0.0.1", .port = 0},
+        [] { return std::string("metrics\n"); });
+    server_->add_route(
+        "GET", "/echo", [](const MetricsHttpServer::Request& req) {
+          std::string body = "path=" + req.path + "\nquery=" + req.query +
+                             "\n";
+          for (const auto& [k, v] : req.params) {
+            body += k + "=[" + v + "]\n";
+          }
+          return MetricsHttpServer::Response{
+              .status = 200,
+              .content_type = "text/plain; charset=utf-8",
+              .body = body};
+        });
+    server_->start();
+  }
+  std::unique_ptr<MetricsHttpServer> server_;
+};
+
+TEST_F(QueryServerTest, QueryIsStrippedFromThePathBeforeDispatch) {
+  // Routes registered as "/echo" must match "/echo?anything" — the old
+  // dispatcher compared the full target and 404ed parameterized URLs.
+  const std::string res = http_get(server_->port(), "/echo?seconds=5");
+  EXPECT_NE(res.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body_of(res).find("path=/echo\n"), std::string::npos);
+  EXPECT_NE(body_of(res).find("query=seconds=5\n"), std::string::npos);
+  EXPECT_NE(body_of(res).find("seconds=[5]\n"), std::string::npos);
+  // No query: empty query string, no params, same route.
+  EXPECT_NE(body_of(http_get(server_->port(), "/echo")).find("query=\n"),
+            std::string::npos);
+}
+
+TEST_F(QueryServerTest, PercentAndPlusDecodeLeniently) {
+  const std::string res =
+      http_get(server_->port(), "/echo?a=x%20y&b=1+2&c=%ZZbad%2");
+  const std::string body = body_of(res);
+  EXPECT_NE(body.find("a=[x y]\n"), std::string::npos);
+  EXPECT_NE(body.find("b=[1 2]\n"), std::string::npos);
+  // Malformed escapes pass through untouched rather than failing the
+  // request: query parsing must never turn /metrics?junk into an error.
+  EXPECT_NE(body.find("c=[%ZZbad%2]\n"), std::string::npos);
+}
+
+TEST_F(QueryServerTest, EmptyAndDuplicateParamsKeepOrder) {
+  const std::string res =
+      http_get(server_->port(), "/echo?flag&empty=&k=first&k=second&&k=third");
+  const std::string body = body_of(res);
+  // A bare key is present with an empty value; empty segments vanish.
+  EXPECT_NE(body.find("flag=[]\n"), std::string::npos);
+  EXPECT_NE(body.find("empty=[]\n"), std::string::npos);
+  // Duplicates all survive, in order — Request::param() takes the first.
+  const std::size_t first = body.find("k=[first]");
+  const std::size_t second = body.find("k=[second]");
+  const std::size_t third = body.find("k=[third]");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+}
+
+TEST(MetricsHttpServerRequest, ParamReturnsFirstMatchOrNull) {
+  MetricsHttpServer::Request req;
+  req.params = {{"k", "first"}, {"k", "second"}, {"other", "x"}};
+  ASSERT_NE(req.param("k"), nullptr);
+  EXPECT_EQ(*req.param("k"), "first");
+  ASSERT_NE(req.param("other"), nullptr);
+  EXPECT_EQ(*req.param("other"), "x");
+  EXPECT_EQ(req.param("absent"), nullptr);
+}
+
+TEST(MetricsHttpServer, MetricsPathIgnoresQueryString) {
+  MetricsHttpServer server({.host = "127.0.0.1", .port = 0},
+                           [] { return std::string("payload\n"); });
+  server.start();
+  EXPECT_NE(http_get(server.port(), "/metrics?debug=1")
+                .find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  server.stop();
+}
+
 TEST(MetricsHttpServer, ServesLiveRegistrySnapshot) {
   Registry reg;
   reg.counter("served.count").add(7);

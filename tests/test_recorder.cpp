@@ -272,7 +272,7 @@ TEST(Recorder, V4RoundTripCarriesPerChannelStats) {
   const Recording loaded = Recording::load(path);
   std::remove(path.c_str());
 
-  EXPECT_EQ(loaded.header.version, 4u);
+  EXPECT_EQ(loaded.header.version, dfr::kFormatVersion);
   ASSERT_EQ(loaded.channels.size(), 2u);
   EXPECT_EQ(loaded.channels[0].recorded, 5u);
   EXPECT_EQ(loaded.channels[0].dropped, 0u);

@@ -390,7 +390,7 @@ TEST(ReqTraceService, StolenTasksRoundTripWithExactlyOneStealHop) {
   recorder.write_file(path);
   const Recording loaded = Recording::load(path);
   std::remove(path.c_str());
-  ASSERT_EQ(loaded.header.version, 4u);
+  ASSERT_EQ(loaded.header.version, dfr::kFormatVersion);
   ASSERT_EQ(loaded.channels.size(), 2u);
   EXPECT_EQ(loaded.channels[0].dropped, 0u);
   EXPECT_EQ(loaded.channels[1].dropped, 0u);

@@ -197,6 +197,16 @@ TEST(SchedulingService, StarvedShardsExertBackpressureButStillDrain) {
   EXPECT_EQ(accepted, 16u);
   EXPECT_EQ(rejected, 48u);
   EXPECT_EQ(svc.rejected(), rejected);
+  // The aggregate also breaks down per shard: with round-robin-ish id
+  // routing the two 8-slot rings bounce 24 each, and the labeled
+  // counters must account for every rejection exactly.
+  const std::uint64_t shard0 =
+      registry.counter("svc.submit.rejected{shard=\"0\"}").value();
+  const std::uint64_t shard1 =
+      registry.counter("svc.submit.rejected{shard=\"1\"}").value();
+  EXPECT_EQ(shard0 + shard1, rejected);
+  EXPECT_GT(shard0, 0u);
+  EXPECT_GT(shard1, 0u);
   svc.drain();  // drain overrides the starvation and flushes the backlog
   EXPECT_EQ(svc.placed(), accepted);
   EXPECT_EQ(svc.submitted(), accepted);

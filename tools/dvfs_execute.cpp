@@ -67,6 +67,10 @@ constexpr const char* kUsage =
     "                       JSON path; enables burn-rate alerting\n"
     "  --health-period S    health sampling period in seconds (0.5);\n"
     "                       also enables the monitor (builtin rules)\n"
+    "  --profile-out PATH   gzipped pprof CPU profile of the run (plan\n"
+    "                       mode: enables the sampling profiler; serve\n"
+    "                       mode: always on, this adds the file dump)\n"
+    "  --profile-hz N       profiler sampling rate per thread    (100)\n"
     "serve mode (long-running sharded scheduling daemon):\n"
     "  --serve              run the dvfs::svc daemon instead of a plan\n"
     "  --listen HOST:PORT   bind the HTTP API + /metrics     (required)\n"
@@ -109,6 +113,12 @@ int run_serve(const dvfs::util::Args& args) {
   obs::Recorder recorder(std::max<std::size_t>(1, opts.shards));
   if (args.has("record-out")) svc.set_recorder(&recorder);
 
+  // Serve mode keeps the sampling profiler always on so operators can
+  // pull /debug/pprof/profile from a live daemon without a restart.
+  tools::ToolProfile prof = tools::start_tool_profiler(
+      args, args.has("record-out") ? &recorder : nullptr,
+      /*always_on=*/true);
+
   std::unique_ptr<obs::health::HealthMonitor> monitor;
   if (args.has("health-config") || args.has("health-period")) {
     monitor = std::make_unique<obs::health::HealthMonitor>(
@@ -133,6 +143,7 @@ int run_serve(const dvfs::util::Args& args) {
                                     &s->exemplars());
       });
   svc::register_service_routes(server, svc);
+  obs::prof::register_pprof_route(server, *prof.profiler);
   if (monitor != nullptr) {
     obs::health::HealthMonitor* m = monitor.get();
     server.add_route("/healthz", [m] {
@@ -183,6 +194,9 @@ int run_serve(const dvfs::util::Args& args) {
                 monitor->firing_count(),
                 static_cast<unsigned long long>(monitor->ticks()));
   }
+  // Profiler before the recorder drain: its channel events and symbol
+  // table must be in place when the .dfr file is written.
+  tools::finish_tool_profiler(prof, args, &recorder);
   if (args.has("record-out")) {
     recorder.drain();
     recorder.capture_metrics(obs::Registry::global());
@@ -210,7 +224,7 @@ int main(int argc, char** argv) {
          "metrics-out", "record-out", "health-config", "health-period",
          "serve", "listen", "shards", "cores", "re", "rt", "ring-capacity",
          "max-batch", "steal-ratio", "status-capacity", "serve-seconds",
-         "help"});
+         "profile-out", "profile-hz", "help"});
     if (args.has("help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -246,6 +260,8 @@ int main(int argc, char** argv) {
     // One SPSC channel per worker thread (the executor requires it).
     obs::Recorder recorder(std::max<std::size_t>(1, plan.num_cores()));
     if (args.has("record-out")) exec.set_recorder(&recorder);
+    tools::ToolProfile prof = tools::start_tool_profiler(
+        args, args.has("record-out") ? &recorder : nullptr);
     std::unique_ptr<obs::health::HealthMonitor> monitor;
     if (args.has("health-config") || args.has("health-period")) {
       monitor = std::make_unique<obs::health::HealthMonitor>(
@@ -270,6 +286,7 @@ int main(int argc, char** argv) {
                   monitor->firing_count(),
                   static_cast<unsigned long long>(monitor->ticks()));
     }
+    tools::finish_tool_profiler(prof, args, &recorder);
     if (args.has("record-out")) {
       recorder.drain();
       recorder.capture_metrics(obs::Registry::global());

@@ -7,6 +7,7 @@
 ///   dvfs_inspect audit   --in run.dfr [--model table2] [--re R] [--rt R]
 ///   dvfs_inspect drift   --in run.dfr [--json-out d.json]
 ///   dvfs_inspect health  --in run.dfr [--health-config rules.json]
+///   dvfs_inspect prof    --in run.dfr [--top N] [--folded out.folded]
 ///
 /// Subcommands:
 ///   info     header + event census: what is in the recording
@@ -30,6 +31,10 @@
 ///            --health-config/--health-period runs) through the engine
 ///            offline, verify every state against the live monitor, and
 ///            print the alert transitions
+///   prof     render the v5 CPU samples: top-N functions by self and
+///            cumulative samples, per-stage / per-shard share tables
+///            (symbolized from the recording's "DFRS" epilogue), and
+///            optionally folded stacks for flamegraph.pl
 ///
 /// Flags:
 ///   --in            input .dfr recording                  (required)
@@ -44,6 +49,8 @@
 ///   --health-config health: rule set to replay with (default: the
 ///                   builtin rules; must match the live run's rules for
 ///                   the state cross-check to be meaningful)
+///   --top           prof: show the N hottest functions   (default 20)
+///   --folded        prof: write folded stacks here
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -59,6 +66,7 @@
 #include "dvfs/obs/health.h"
 #include "dvfs/obs/hw_telemetry.h"
 #include "dvfs/obs/json.h"
+#include "dvfs/obs/prof.h"
 #include "dvfs/obs/recorder.h"
 #include "dvfs/obs/reqtrace.h"
 #include "dvfs/obs/trace.h"
@@ -95,6 +103,7 @@ using obs::dfr::EventType;
     case EventType::kShardQueue: return "shard_queue";
     case EventType::kExecBegin: return "exec_begin";
     case EventType::kExecEnd: return "exec_end";
+    case EventType::kProfSample: return "prof_sample";
   }
   return "?";
 }
@@ -151,6 +160,39 @@ int cmd_info(const obs::Recording& rec) {
   for (const auto& [type, n] : census) {
     std::printf("  %-14s %zu\n", type_name(static_cast<EventType>(type)), n);
   }
+  // v4+ service recordings: walk the request funnel so a lossy channel
+  // is diagnosable per stage — each count should be >= the next, and the
+  // stage where events went missing shows up as a negative delta.
+  if (rec.header.version >= 4) {
+    const EventType funnel[] = {
+        EventType::kSubmitRecv,   EventType::kRingEnqueue,
+        EventType::kRingDequeue,  EventType::kPlacement,
+        EventType::kExecBegin,    EventType::kExecEnd};
+    bool any = false;
+    for (const EventType t : funnel) {
+      any = any || census.contains(static_cast<std::uint8_t>(t));
+    }
+    if (any) {
+      std::printf("request funnel:\n");
+      std::size_t prev = 0;
+      bool first = true;
+      for (const EventType t : funnel) {
+        const auto it = census.find(static_cast<std::uint8_t>(t));
+        const std::size_t n = it == census.end() ? 0 : it->second;
+        if (first) {
+          std::printf("  %-14s %zu\n", type_name(t), n);
+        } else {
+          const auto delta = static_cast<long long>(n) -
+                             static_cast<long long>(prev);
+          std::printf("  %-14s %-10zu (%+lld%s)\n", type_name(t), n, delta,
+                      delta > 0 ? "  <-- span loss upstream" : "");
+        }
+        prev = n;
+        first = false;
+      }
+    }
+  }
+  std::printf("symbol table: %zu entries\n", rec.symbols.size());
   std::printf("metrics epilogue: %s\n", rec.metrics ? "yes" : "no");
   if (!rec.epilogue_note.empty()) {
     std::printf("note: %s\n", rec.epilogue_note.c_str());
@@ -652,6 +694,86 @@ int cmd_drift(const obs::Recording& rec, const util::Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------- prof
+
+/// Renders the kProfSample runs of a v5 recording: top-N functions by
+/// self samples, per-stage and per-shard share tables (each summing to
+/// exactly 100% of retained samples), and optionally the folded-stack
+/// file flamegraph.pl consumes. Symbol names come from the recording's
+/// "DFRS" epilogue; unnamed frames fall back to hex.
+int cmd_prof(const obs::Recording& rec, const util::Args& args) {
+  namespace prof = obs::prof;
+  const std::vector<prof::StackSample> samples =
+      prof::samples_from_events(rec.events);
+  DVFS_REQUIRE(!samples.empty(),
+               "recording has no CPU samples (v5 recordings from runs with "
+               "--profile-out or --serve carry them)");
+  const prof::TableSymbolizer sym(rec.symbols);
+  const prof::Report report = prof::build_report(samples, sym);
+
+  double t_begin = samples.front().t_s, t_end = samples.front().t_s;
+  for (const prof::StackSample& s : samples) {
+    t_begin = std::min(t_begin, s.t_s);
+    t_end = std::max(t_end, s.t_s);
+  }
+  std::printf("%llu samples over %.3f s\n",
+              static_cast<unsigned long long>(report.samples),
+              t_end - t_begin);
+  // The profiler's exact accounting rides in the metrics epilogue.
+  if (rec.metrics) {
+    const std::uint64_t dropped =
+        rec.metrics->counter("obs.prof.dropped").value();
+    std::printf("ring drops: %llu (exact; samples lost before collection)\n",
+                static_cast<unsigned long long>(dropped));
+  }
+
+  const std::uint64_t top = args.get_u64("top", 20);
+  std::printf("%-10s %-10s function\n", "self", "cum");
+  std::uint64_t shown = 0;
+  for (const prof::Report::Entry& e : report.by_function) {
+    if (shown++ >= top) break;
+    std::printf("%-10llu %-10llu %s\n",
+                static_cast<unsigned long long>(e.self),
+                static_cast<unsigned long long>(e.cum), e.name.c_str());
+  }
+  if (report.by_function.size() > top) {
+    std::printf("  ... %zu more (raise --top)\n",
+                report.by_function.size() - top);
+  }
+
+  const double denom = static_cast<double>(report.samples);
+  std::printf("by stage:\n");
+  for (const auto& [stage, n] : report.by_stage) {
+    std::printf("  %-10s %-10llu %.1f%%\n", prof::to_string(stage),
+                static_cast<unsigned long long>(n),
+                static_cast<double>(n) / denom * 100.0);
+  }
+  std::printf("by shard:\n");
+  for (const auto& [shard, n] : report.by_shard) {
+    if (shard == prof::kNoShard) {
+      std::printf("  %-10s %-10llu %.1f%%\n", "(none)",
+                  static_cast<unsigned long long>(n),
+                  static_cast<double>(n) / denom * 100.0);
+    } else {
+      std::printf("  shard %-4u %-10llu %.1f%%\n", shard,
+                  static_cast<unsigned long long>(n),
+                  static_cast<double>(n) / denom * 100.0);
+    }
+  }
+
+  if (args.has("folded")) {
+    const std::string path = args.get_string("folded");
+    const std::string folded = prof::folded_stacks(samples, sym);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    DVFS_REQUIRE(f != nullptr, "cannot open " + path);
+    std::fwrite(folded.data(), 1, folded.size(), f);
+    std::fclose(f);
+    std::printf("wrote folded stacks to %s (flamegraph.pl ready)\n",
+                path.c_str());
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------- health
 
 /// Replays the v3 kHealthSample stream through the *same* SloEngine the
@@ -721,8 +843,8 @@ int cmd_health(const obs::Recording& rec, const util::Args& args) {
 }
 
 constexpr const char* kUsage =
-    "usage: dvfs_inspect <info|replay|trace|explain|audit|drift|health> --in "
-    "run.dfr\n"
+    "usage: dvfs_inspect <info|replay|trace|explain|audit|drift|health|prof> "
+    "--in run.dfr\n"
     "  info     recording header, per-channel counters and event census\n"
     "  replay   --trace-out t.json --metrics-out m.json (byte-identical to\n"
     "           the live run's --trace-out/--metrics-out)\n"
@@ -740,7 +862,10 @@ constexpr const char* kUsage =
     "           and the model-error cost delta\n"
     "  health   [--health-config rules.json]: replay the recorded SLO\n"
     "           evaluations (v3) through the engine offline, verify every\n"
-    "           state against the live monitor, print alert transitions\n";
+    "           state against the live monitor, print alert transitions\n"
+    "  prof     [--top N] [--folded out.folded]: render the v5 CPU samples\n"
+    "           as top-N self/cumulative tables, per-stage and per-shard\n"
+    "           shares, and optionally folded stacks for flamegraph.pl\n";
 
 }  // namespace
 
@@ -749,7 +874,7 @@ int main(int argc, char** argv) {
     const dvfs::util::Args args(argc, argv,
                                 {"in", "trace-out", "metrics-out", "task",
                                  "slowest", "model", "re", "rt", "json-out",
-                                 "health-config", "help"});
+                                 "health-config", "top", "folded", "help"});
     if (args.has("help") || args.positional().empty()) {
       std::fputs(kUsage, stdout);
       return args.has("help") ? 0 : 2;
@@ -764,9 +889,10 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmd_audit(rec, args);
     if (cmd == "drift") return cmd_drift(rec, args);
     if (cmd == "health") return cmd_health(rec, args);
+    if (cmd == "prof") return cmd_prof(rec, args);
     DVFS_REQUIRE(false,
                  "unknown subcommand (want "
-                 "info|replay|trace|explain|audit|drift|health): " +
+                 "info|replay|trace|explain|audit|drift|health|prof): " +
                      cmd);
     return 2;
   });

@@ -77,7 +77,10 @@ constexpr const char* kUsage =
     "  --listen HOST:PORT   serve Prometheus /metrics (and /healthz when\n"
     "                       the health monitor is on) after the run\n"
     "  --serve-seconds N    with --listen: exit after N s (0 = until\n"
-    "                       SIGINT/SIGTERM; both exit gracefully)\n";
+    "                       SIGINT/SIGTERM; both exit gracefully)\n"
+    "  --profile-out PATH   gzipped pprof CPU profile of this process\n"
+    "                       (enables the sampling profiler for the run)\n"
+    "  --profile-hz N       profiler sampling rate per thread    (100)\n";
 
 // Written by the signal handler, polled by the serve loop. sig_atomic_t
 // per the C standard; volatile so the poll is not hoisted.
@@ -95,7 +98,8 @@ int main(int argc, char** argv) {
                            "model", "contention", "trace-out",
                            "metrics-out", "record-out", "record-capacity",
                            "health-config", "health-period", "listen",
-                           "serve-seconds", "help"});
+                           "serve-seconds", "profile-out", "profile-hz",
+                           "help"});
     if (args.has("help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -151,6 +155,11 @@ int main(int argc, char** argv) {
         args.has("record-capacity") ? args.get_u64("record-capacity")
                                     : auto_capacity);
     if (args.has("record-out")) engine.set_recorder(&recorder.channel(0));
+
+    // The simulator is single-threaded, so the main-thread guard inside
+    // the profile handle is what makes `--profile-out` produce samples.
+    tools::ToolProfile prof = tools::start_tool_profiler(
+        args, args.has("record-out") ? &recorder : nullptr);
 
     std::unique_ptr<obs::health::HealthMonitor> monitor;
     if (args.has("health-config") || args.has("health-period")) {
@@ -237,6 +246,10 @@ int main(int argc, char** argv) {
                   monitor->firing_count(),
                   static_cast<unsigned long long>(monitor->ticks()));
     }
+
+    // Profiler before the recorder drain below: its channel events and
+    // symbol table must be in place when the .dfr file is written.
+    tools::finish_tool_profiler(prof, args, &recorder);
 
     // Outputs flush last so a signal-interrupted serve still produces a
     // finalized recording (epilogue included) and a final snapshot.

@@ -2,10 +2,14 @@
 /// \brief Shared plumbing for the dvfs command-line tools.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "dvfs/core/cost_model.h"
+#include "dvfs/obs/prof.h"
+#include "dvfs/obs/recorder.h"
 #include "dvfs/util/args.h"
 
 namespace dvfs::tools {
@@ -28,6 +32,72 @@ namespace dvfs::tools {
   }
   DVFS_REQUIRE(false, "unknown model spec (want table2 or cubic:<n>): " + spec);
   return core::EnergyModel::icpp2014_table2();  // unreachable
+}
+
+/// Shared `--profile-out` / `--profile-hz` wiring: owns the profiler and
+/// the calling (main) thread's registration guard, so even a
+/// single-threaded tool run yields samples.
+struct ToolProfile {
+  obs::prof::ThreadGuard main_guard;
+  std::unique_ptr<obs::prof::CpuProfiler> profiler;
+
+  [[nodiscard]] explicit operator bool() const { return profiler != nullptr; }
+};
+
+/// Starts the CPU profiler when `--profile-out` was passed (or
+/// `always_on`, which serve mode uses so `/debug/pprof/profile` works
+/// without a flag). With a recorder, samples also persist as a
+/// kProfSample channel in the `.dfr` file.
+[[nodiscard]] inline ToolProfile start_tool_profiler(const util::Args& args,
+                                                     obs::Recorder* recorder,
+                                                     bool always_on = false) {
+  ToolProfile tp;
+  if (!always_on && !args.has("profile-out")) return tp;
+  tp.main_guard = obs::prof::profile_current_thread();
+  obs::prof::CpuProfiler::Options options;
+  options.hz = static_cast<int>(args.get_u64("profile-hz", 100));
+  if (recorder != nullptr) {
+    options.channel = &recorder->add_channel(obs::Recorder::kDefaultCapacity);
+  }
+  tp.profiler = std::make_unique<obs::prof::CpuProfiler>(options);
+  tp.profiler->start();
+  return tp;
+}
+
+/// Stops the profiler, captures symbols into `recorder` (so the `.dfr`
+/// v5 "DFRS" epilogue can name frames offline), and writes the gzipped
+/// pprof profile to `--profile-out` if requested. Call before
+/// `recorder->drain()`.
+inline void finish_tool_profiler(ToolProfile& tp, const util::Args& args,
+                                 obs::Recorder* recorder) {
+  if (!tp.profiler) return;
+  tp.profiler->stop();
+  const std::vector<obs::prof::StackSample> samples =
+      tp.profiler->all_samples();
+  const obs::prof::DladdrSymbolizer sym;
+  if (recorder != nullptr) {
+    recorder->capture_symbols(obs::prof::symbol_table(samples, sym));
+  }
+  if (args.has("profile-out")) {
+    obs::prof::PprofOptions options;
+    options.hz = tp.profiler->hz();
+    options.time_nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    options.mappings = obs::prof::read_proc_self_maps();
+    const std::string pprof = obs::prof::encode_pprof(samples, sym, options);
+    const std::string path = args.get_string("profile-out");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    DVFS_REQUIRE(f != nullptr, "cannot open " + path);
+    std::fwrite(pprof.data(), 1, pprof.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu CPU samples (%llu dropped) to %s "
+                "(gzipped pprof; `go tool pprof %s`)\n",
+                samples.size(),
+                static_cast<unsigned long long>(tp.profiler->dropped()),
+                path.c_str(), path.c_str());
+  }
 }
 
 /// Uniform tool error handling: run `body`, print a one-line error and
